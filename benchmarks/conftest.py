@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``test_bench_*`` module regenerates one paper artifact (a table
+or figure) and prints the same rows/series the paper reports; the
+``--benchmark-only`` run doubles as the reproduction harness.  Session
+caching keeps expensive DES runs from repeating across benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "repro_artifact(name): marks which paper artifact a benchmark regenerates"
+    )
+
+
+@pytest.fixture(scope="session")
+def fig6_result():
+    """One Fig. 6 system-simulation sweep shared by fig6 + speedups."""
+    from repro.experiments import run_fig6
+
+    return run_fig6(samples_per_core=500_000)

@@ -1,0 +1,31 @@
+"""Benchmark: the design-choice ablations (DESIGN.md §5 decisions)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    format_ablation,
+    run_block_size_ablation,
+    run_crossbar_ablation,
+    run_thread_ablation,
+)
+from repro.units import MIB
+
+
+@pytest.mark.repro_artifact("ablations")
+def test_bench_ablations(benchmark, capsys):
+    def run():
+        return (
+            run_block_size_ablation(n_samples=1_500_000),
+            run_thread_ablation(samples_per_core=600_000),
+            run_crossbar_ablation(),
+        )
+
+    block, threads, crossbar = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_ablation(block, threads, crossbar))
+    # The paper's choices must be justified by the sweep:
+    rates = dict(zip(block.block_bytes, block.samples_per_second))
+    assert rates[1 * MIB] >= 0.90 * max(rates.values())  # 1 MiB blocks
+    assert threads[1][2] > 1.2 * threads[1][1]  # 2 threads per PE (few cores)
+    assert all(routed < direct for direct, routed in crossbar.values())  # no crossbar

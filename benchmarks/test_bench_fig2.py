@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 2 (HBM channel throughput curve)."""
+
+import pytest
+
+from repro.experiments import format_fig2, run_fig2
+
+
+@pytest.mark.repro_artifact("fig2")
+def test_bench_fig2(benchmark, capsys):
+    result = benchmark.pedantic(run_fig2, kwargs={"n_requests": 16}, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_fig2(result))
+    assert result.plateau_gib == pytest.approx(12.0, rel=0.05)
+    assert result.saturation_bytes == 1 << 20

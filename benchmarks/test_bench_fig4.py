@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Fig. 4 (PE scaling with/without transfers).
+
+Runs the full simulated system — device, HBM channels, DMA engine,
+multi-threaded runtime — across all five benchmarks and 1..8 PEs in
+both measurement modes.  This is the heaviest artifact; the sample
+count per core is reduced from the paper's 100 M (steady state is
+reached far earlier; asserted by the anchors test suite).
+"""
+
+import pytest
+
+from repro.experiments import PAPER, format_fig4, run_fig4
+
+
+@pytest.mark.repro_artifact("fig4")
+def test_bench_fig4(benchmark, capsys):
+    result = benchmark.pedantic(
+        run_fig4,
+        kwargs={"samples_per_core": 400_000},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_fig4(result))
+    # Left panel: near-linear scaling to 8 PEs without transfers.
+    for name, series in result.without_transfers.items():
+        assert series[-1] / series[0] == pytest.approx(8.0, rel=0.06), name
+    # Right panel: NIPS10 plateaus around 5 PEs at ~614 M samples/s
+    # (marginal gain per extra PE collapses once PCIe saturates).
+    assert result.plateau_pe_count("NIPS10", tolerance=0.08) <= 6
+    assert result.with_transfers["NIPS10"][-1] == pytest.approx(
+        PAPER.nips10_five_core_rate, rel=0.08
+    )

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 5 (HBM scaling potential)."""
+
+import pytest
+
+from repro.experiments import format_fig5, run_fig5
+
+
+@pytest.mark.repro_artifact("fig5")
+def test_bench_fig5(benchmark, capsys):
+    result = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_fig5(result))
+    # The paper's reading of the figure: 64 cores feasible for the four
+    # smaller benchmarks, 128 for NIPS10, against HBM max_p.
+    assert result.max_cores_within("NIPS10", result.practical_total_gib) == 128
+    for name in ("NIPS20", "NIPS30", "NIPS40"):
+        assert result.max_cores_within(name, result.practical_total_gib) >= 64

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 6 (end-to-end platform comparison)."""
+
+import pytest
+
+from repro.experiments import format_fig6
+
+
+@pytest.mark.repro_artifact("fig6")
+def test_bench_fig6(benchmark, fig6_result, capsys):
+    result = benchmark.pedantic(lambda: fig6_result, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_fig6(result))
+    assert result.winner("NIPS10") == "CPU"  # the paper's one exception
+    for name in ("NIPS20", "NIPS30", "NIPS40", "NIPS80"):
+        assert result.winner(name) == "HBM"

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate the number-format selection study ([4])."""
+
+import pytest
+
+from repro.experiments import format_format_comparison, run_format_comparison
+
+
+@pytest.mark.repro_artifact("format-study")
+def test_bench_formats(benchmark, capsys):
+    rows = benchmark.pedantic(
+        run_format_comparison, kwargs={"n_samples": 800}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(format_format_comparison(rows))
+    adopted = next(r for r in rows if r.format_name.startswith("cfp(10,25"))
+    f32 = next(r for r in rows if r.format_name == "float32")
+    # The paper's choice must dominate float32: acceptable accuracy at
+    # roughly a third of the DSPs.
+    assert adopted.acceptable
+    assert f32.dsp > 2.5 * adopted.dsp

@@ -1,0 +1,45 @@
+"""Benchmark: the §VII outlook — HBM buffering many 100G links."""
+
+import pytest
+
+from repro.experiments.reporting import format_table
+from repro.streaming import MultiLinkBufferedNode, max_links_for_hbm
+from repro.units import GIB
+
+
+@pytest.mark.repro_artifact("text-vii-outlook")
+def test_bench_multilink(benchmark, capsys):
+    def run():
+        results = []
+        for links in (1, 4, 8, 16):
+            node = MultiLinkBufferedNode(
+                n_links=links, bytes_per_sample=88, cores_per_link=1
+            )
+            results.append(node.run(100_000))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            r.n_links,
+            r.samples_per_second / 1e6,
+            r.aggregate_ingest / GIB,
+            r.hbm_traffic / GIB,
+        ]
+        for r in results
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["links", "Msamples/s", "ingest GiB/s", "HBM buffer GiB/s"],
+                rows,
+                title="SectionVII outlook - NIPS80 inference over buffered 100G links",
+            )
+        )
+        print(f"max links per card: {max_links_for_hbm()}")
+    # Linear in links; the 16-link card stays under the practical HBM total.
+    assert results[-1].samples_per_second == pytest.approx(
+        16 * results[0].samples_per_second, rel=0.02
+    )
+    assert results[-1].hbm_traffic / GIB < 384

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate the §V-C PCIe/HBM outlook (text-v-c)."""
+
+import pytest
+
+from repro.experiments import PAPER, format_outlook, run_outlook
+
+
+@pytest.mark.repro_artifact("text-v-c")
+def test_bench_outlook(benchmark, capsys):
+    result = benchmark.pedantic(run_outlook, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_outlook(result))
+    assert result.nips80_input_gib == pytest.approx(PAPER.nips80_input_gib, rel=0.02)
+    assert result.nips10_128core_demand_gib == pytest.approx(
+        PAPER.nips10_128core_demand_gib, rel=0.02
+    )
+    assert result.hbm_headroom_ok

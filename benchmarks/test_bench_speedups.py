@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the §V-D speedup summary (text-v-d)."""
+
+import pytest
+
+from repro.experiments import PAPER, format_speedups, run_speedups
+
+
+@pytest.mark.repro_artifact("text-v-d")
+def test_bench_speedups(benchmark, fig6_result, capsys):
+    result = benchmark.pedantic(run_speedups, args=(fig6_result,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_speedups(result))
+    assert result.vs_cpu_max == pytest.approx(PAPER.speedup_vs_cpu_max, rel=0.05)
+    assert result.vs_gpu_geomean == pytest.approx(PAPER.speedup_vs_gpu_geomean, rel=0.06)
+    assert result.vs_f1_geomean == pytest.approx(PAPER.speedup_vs_f1_geomean, rel=0.05)
+    assert result.cpu_wins_nips10

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table I (resource utilisation, both platforms)."""
+
+import pytest
+
+from repro.experiments import PAPER, format_table1, run_table1
+
+
+@pytest.mark.repro_artifact("table1")
+def test_bench_table1(benchmark, capsys):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table1(result))
+    # Headline: ~3x fewer DSPs than the prior work on every benchmark.
+    for name in result.new_designs:
+        new_dsp = result.as_row(result.new_designs[name]).dsp
+        old_dsp = result.as_row(result.old_designs[name]).dsp
+        assert 2.5 < old_dsp / new_dsp < 3.5
+    # NIPS40 absolute check against the paper row.
+    got = result.as_row(result.new_designs["NIPS40"])
+    assert got.dsp == pytest.approx(PAPER.table1_new["NIPS40"].dsp, rel=0.05)

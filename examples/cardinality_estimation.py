@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""SPNs for database cardinality estimation (the DeepDB use case).
+
+The paper's related work (§VI) points to SPNs powering cardinality
+estimation and approximate query processing in databases [15].  This
+example plays that scenario end to end on the synthetic corpus:
+
+1. treat the bag-of-words matrix as a relational table
+   (documents x word-count attributes);
+2. learn an SPN over it — the "data-driven model" of DeepDB;
+3. estimate the cardinality of range-predicate queries with
+   :func:`repro.spn.probability_of_box` and AVG aggregates with
+   :func:`repro.spn.expectation`;
+4. compare every estimate against the true answer computed by
+   scanning the table.
+
+Run:  python examples/cardinality_estimation.py
+"""
+
+import numpy as np
+
+from repro import NipsCorpusConfig, learn_spn, synthesize_nips_corpus
+from repro.experiments.reporting import format_table
+from repro.spn import expectation, probability_of_box
+
+
+def q_error(estimate: float, truth: float) -> float:
+    """The standard cardinality-estimation metric: max(e/t, t/e)."""
+    estimate = max(estimate, 1.0)
+    truth = max(truth, 1.0)
+    return max(estimate / truth, truth / estimate)
+
+
+def main():
+    # The "table": 4000 documents, 16 word-count attributes.
+    table = synthesize_nips_corpus(
+        NipsCorpusConfig(n_words=16, n_documents=4000, seed=17)
+    ).astype(np.float64)
+    n_rows = len(table)
+    spn = learn_spn(table, seed=17, name="doc-table")
+    print(f"table: {n_rows} rows x {table.shape[1]} columns; SPN learned\n")
+
+    # Range-predicate workload (SELECT COUNT(*) WHERE ...).
+    queries = [
+        ("w0 < 10", {0: (0.0, 10.0)}),
+        ("w0 >= 10", {0: (10.0, np.inf)}),
+        ("w1 < 5 AND w2 < 5", {1: (0.0, 5.0), 2: (0.0, 5.0)}),
+        ("3 <= w0 < 12 AND w5 < 3", {0: (3.0, 12.0), 5: (0.0, 3.0)}),
+        ("w3 < 2 AND w7 < 2 AND w11 < 2", {3: (0.0, 2.0), 7: (0.0, 2.0), 11: (0.0, 2.0)}),
+        ("w0 >= 25 (rare)", {0: (25.0, np.inf)}),
+    ]
+    rows = []
+    for label, box in queries:
+        selectivity = probability_of_box(spn, box)
+        estimate = selectivity * n_rows
+        mask = np.ones(n_rows, dtype=bool)
+        for var, (lo, hi) in box.items():
+            mask &= (table[:, var] >= lo) & (table[:, var] < hi)
+        truth = int(mask.sum())
+        rows.append([label, f"{estimate:.0f}", truth, f"{q_error(estimate, truth):.2f}"])
+    print(
+        format_table(
+            ["predicate", "estimated rows", "true rows", "q-error"],
+            rows,
+            title="Cardinality estimation (COUNT(*) under range predicates)",
+        )
+    )
+
+    # AVG aggregates (approximate query processing).
+    rows = []
+    for var, label, box in (
+        (0, "AVG(w0)", None),
+        (1, "AVG(w1)", None),
+        (1, "AVG(w1) WHERE w0 < 10", {0: (0.0, 10.0)}),
+        (2, "AVG(w2) WHERE w0 >= 10", {0: (10.0, np.inf)}),
+    ):
+        estimate = expectation(spn, var, box=box)
+        mask = np.ones(n_rows, dtype=bool)
+        for v, (lo, hi) in (box or {}).items():
+            mask &= (table[:, v] >= lo) & (table[:, v] < hi)
+        # Histogram leaves place mass at bin centres; counts are the
+        # bin's left edge, so compare against the +0.5 shifted truth.
+        truth = table[mask, var].mean() + 0.5
+        rows.append([label, f"{estimate:.2f}", f"{truth:.2f}"])
+    print()
+    print(
+        format_table(
+            ["aggregate", "estimated", "true (+bin centre)"],
+            rows,
+            title="Approximate query processing (AVG aggregates)",
+        )
+    )
+    print(
+        "\nBoth query types cost one bottom-up pass over the SPN — the "
+        "tractability that motivates accelerating SPN inference in the first "
+        "place (paper SectionII-A/SectionVI)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Export the hardware artifacts a downstream flow would consume.
+
+Compiles a benchmark SPN and writes, next to this script's working
+directory (or --out-dir):
+
+* ``<name>.netlist.json`` — the machine-readable operator netlist;
+* ``<name>.dot``          — a Graphviz rendering of the datapath;
+* ``<name>.v``            — structural Verilog with balancing delay
+  lines (operator black boxes parameterised by width/latency);
+* ``<name>.report.txt``   — the synthesis-style design report.
+
+Run:  python examples/hardware_artifacts.py [--benchmark NIPS10] [--out-dir build]
+"""
+
+import argparse
+import pathlib
+
+from repro import XUPVVH_HBM_PLATFORM, compile_core, compose_design, nips_benchmark
+from repro.compiler.export import datapath_to_dot, datapath_to_json, design_report
+from repro.compiler.verilog import datapath_to_verilog
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="NIPS10")
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--out-dir", default="build")
+    args = parser.parse_args()
+
+    bench = nips_benchmark(args.benchmark)
+    core = compile_core(bench.spn, "cfp")
+    design = compose_design(core, args.cores, XUPVVH_HBM_PLATFORM)
+
+    out = pathlib.Path(args.out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    stem = args.benchmark.lower()
+
+    (out / f"{stem}.netlist.json").write_text(datapath_to_json(core.datapath))
+    (out / f"{stem}.dot").write_text(datapath_to_dot(core.datapath))
+    (out / f"{stem}.v").write_text(datapath_to_verilog(core.datapath, core.library))
+    report = design_report(design)
+    (out / f"{stem}.report.txt").write_text(report + "\n")
+
+    print(report)
+    print(f"\nartifacts written to {out.resolve()}/:")
+    for suffix in (".netlist.json", ".dot", ".v", ".report.txt"):
+        path = out / f"{stem}{suffix}"
+        print(f"  {path.name:24s} {path.stat().st_size:>8,} bytes")
+
+
+if __name__ == "__main__":
+    main()

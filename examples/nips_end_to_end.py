@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The paper's headline scenario: NIPS benchmarks across platforms.
+
+For each NIPS benchmark this script reports end-to-end throughput on
+the simulated HBM system (best core count, transfers included) next to
+the prior-work F1 model, the Xeon and V100 models — Fig. 6's
+comparison — plus a *real measured* CPU baseline on this machine for
+grounding.
+
+Run:  python examples/nips_end_to_end.py [--quick]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    AWS_F1_SYSTEM,
+    InferenceJobConfig,
+    InferenceRuntime,
+    SimulatedDevice,
+    TESLA_V100,
+    XEON_E5_2680_V3,
+    XUPVVH_HBM_PLATFORM,
+    compile_core,
+    compose_design,
+    nips_benchmark,
+    run_cpu_baseline,
+)
+from repro.experiments.reporting import format_table
+from repro.spn.nips import nips_dataset
+
+
+def measure_hbm(bench, n_cores, samples):
+    core = compile_core(bench.spn, "cfp")
+    design = compose_design(core, n_cores, XUPVVH_HBM_PLATFORM)
+    device = SimulatedDevice(design)
+    runtime = InferenceRuntime(device, InferenceJobConfig(threads_per_pe=1))
+    return runtime.run_timing_only(samples).samples_per_second
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="run only NIPS10 and NIPS80"
+    )
+    args = parser.parse_args()
+    names = ("NIPS10", "NIPS80") if args.quick else (
+        "NIPS10", "NIPS20", "NIPS30", "NIPS40", "NIPS80"
+    )
+
+    rows = []
+    for name in names:
+        bench = nips_benchmark(name)
+        hbm = measure_hbm(bench, 8, 4_000_000)
+        f1 = AWS_F1_SYSTEM.samples_per_second(
+            name, bench.input_bytes_per_sample, bench.result_bytes_per_sample
+        )
+        cpu_model = XEON_E5_2680_V3.samples_per_second(bench.spn)
+        gpu_model = TESLA_V100.samples_per_second(bench.spn)
+        local = run_cpu_baseline(bench.spn, nips_dataset(name).astype(np.float64))
+        rows.append(
+            [
+                name,
+                hbm / 1e6,
+                f1 / 1e6,
+                cpu_model / 1e6,
+                gpu_model / 1e6,
+                local.samples_per_second / 1e6,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "benchmark",
+                "HBM sim (M/s)",
+                "F1 model (M/s)",
+                "Xeon model (M/s)",
+                "V100 model (M/s)",
+                "this machine (M/s)",
+            ],
+            rows,
+            title="End-to-end SPN inference throughput (Fig. 6 scenario)",
+        )
+    )
+    print(
+        "\nNote: 'this machine' is the real numpy baseline measured locally; "
+        "the platform models reproduce the paper's hardware at its scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

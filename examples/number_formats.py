@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Number-format design space: accuracy vs hardware cost.
+
+Reproduces the design decision behind the paper's datapath (§III-B,
+building on FCCM'20 [4] and FPT'19 [11]): evaluate candidate hardware
+number formats on a benchmark SPN — log-domain accuracy against
+float64, underflow behaviour, and the resources a 4-core design would
+take with each format's operator library.
+
+Run:  python examples/number_formats.py [--benchmark NIPS20]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    FLOAT32,
+    PAPER_CFP,
+    PAPER_LNS,
+    CustomFloat,
+    Posit,
+    XUPVVH_HBM_PLATFORM,
+    compare_formats_on_spn,
+    compile_core,
+    compose_design,
+    nips_benchmark,
+)
+from repro.experiments.reporting import format_table
+from repro.spn.nips import nips_dataset
+
+#: Operator-library family backing each evaluated format.
+LIBRARY_OF = {
+    "cfp": "cfp",
+    "lns": "lns",
+    "float32": "float32",
+    "posit": None,  # no FPGA library calibrated; accuracy only
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="NIPS20")
+    args = parser.parse_args()
+
+    bench = nips_benchmark(args.benchmark)
+    data = nips_dataset(args.benchmark).astype(np.float64)
+
+    formats = [
+        PAPER_CFP,
+        PAPER_LNS,
+        CustomFloat(exponent_bits=8, mantissa_bits=15),  # narrow CFP
+        CustomFloat(exponent_bits=5, mantissa_bits=10),  # too narrow
+        Posit(32, 2),
+        FLOAT32,
+    ]
+    reports = compare_formats_on_spn(bench.spn, data, formats)
+
+    rows = []
+    for fmt, report in zip(formats, reports):
+        family = fmt.name.split("(")[0]
+        if LIBRARY_OF.get(family):
+            core = compile_core(bench.spn, LIBRARY_OF[family])
+            design = compose_design(core, 4, XUPVVH_HBM_PLATFORM)
+            dsp = f"{design.total_resources.dsp:.0f}"
+            luts = f"{design.total_resources.luts_logic / 1e3:.0f}k"
+        else:
+            dsp = luts = "-"
+        rows.append(
+            [
+                fmt.name,
+                fmt.bits,
+                f"{report.max_log_error:.2e}",
+                f"{report.underflow_fraction * 100:.1f}%",
+                "yes" if report.acceptable() else "NO",
+                dsp,
+                luts,
+            ]
+        )
+    print(
+        format_table(
+            ["format", "bits", "max log err", "underflow", "acceptable", "DSP(4c)", "LUT(4c)"],
+            rows,
+            title=f"Number formats on {args.benchmark} ({len(data)} samples)",
+        )
+    )
+    print(
+        "\nThe paper adopts the CFP configuration from [4]: wide enough "
+        "exponents that deep probability products never underflow, at a "
+        "third of the double-precision operator cost (Table I)."
+    )
+
+
+if __name__ == "__main__":
+    main()

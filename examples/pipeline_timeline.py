@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Visualising transfer/compute overlap (the §IV-B scheme).
+
+Runs the same workload with one and with two control threads per
+accelerator and renders span timelines of the DMA and PE tracks.
+With one thread, the PE idles while its thread shuttles data; with
+two, "one thread performs data transfers for block n+1 while another
+is waiting for the FPGA accelerator" — the PE track closes up and
+throughput rises, exactly the paper's motivation for the runtime
+design.
+
+Run:  python examples/pipeline_timeline.py
+"""
+
+from repro import (
+    InferenceJobConfig,
+    InferenceRuntime,
+    SimulatedDevice,
+    XUPVVH_HBM_PLATFORM,
+    compile_core,
+    compose_design,
+    nips_benchmark,
+)
+from repro.sim import Tracer
+from repro.units import MIB
+
+
+def run_with_threads(threads: int):
+    core = compile_core(nips_benchmark("NIPS10").spn, "cfp")
+    device = SimulatedDevice(compose_design(core, 1, XUPVVH_HBM_PLATFORM))
+    tracer = Tracer(device.env)
+    runtime = InferenceRuntime(
+        device,
+        InferenceJobConfig(block_bytes=1 * MIB, threads_per_pe=threads),
+        tracer=tracer,
+    )
+    stats = runtime.run_timing_only(600_000)
+    return tracer, stats
+
+
+def main():
+    for threads in (1, 2):
+        tracer, stats = run_with_threads(threads)
+        pe_busy = tracer.busy_time("pe0")
+        utilisation = pe_busy / stats.elapsed_seconds
+        print(
+            f"=== {threads} control thread(s): "
+            f"{stats.samples_per_second / 1e6:.1f} M samples/s, "
+            f"PE busy {utilisation:.0%} of the run ==="
+        )
+        print(tracer.timeline(width=72))
+        overlap = tracer.overlap_time("dma h2d", "pe0")
+        print(
+            f"transfer/compute overlap: {overlap * 1e6:.0f} us "
+            f"({overlap / stats.elapsed_seconds:.0%} of the run)\n"
+        )
+    print(
+        "With a second thread the next block's H2D transfer rides under the "
+        "current block's compute, closing the PE idle gaps — the paper found "
+        "two threads per accelerator saturate the PCIe DMA (SectionIV-B)."
+    )
+
+
+if __name__ == "__main__":
+    main()

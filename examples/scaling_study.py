@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Scaling study: where does adding accelerator cores stop helping?
+
+Reproduces the Fig. 4 investigation interactively: sweeps core counts
+for one benchmark in both measurement modes, reports per-core
+efficiency, identifies the PCIe saturation point, and shows what a
+PCIe Gen4/5/6 host would unlock (the §V-C outlook).
+
+Run:  python examples/scaling_study.py [--benchmark NIPS10] [--max-pes 8]
+"""
+
+import argparse
+
+from repro import (
+    InferenceJobConfig,
+    InferenceRuntime,
+    SimulatedDevice,
+    XUPVVH_HBM_PLATFORM,
+    compile_core,
+    compose_design,
+    nips_benchmark,
+)
+from repro.experiments.reporting import format_table
+from repro.platforms.specs import PCIE_GENERATIONS
+from repro.units import GIB
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="NIPS10")
+    parser.add_argument("--max-pes", type=int, default=8)
+    parser.add_argument("--samples-per-core", type=int, default=800_000)
+    args = parser.parse_args()
+
+    bench = nips_benchmark(args.benchmark)
+    core = compile_core(bench.spn, "cfp")
+    rows = []
+    previous = None
+    for n in range(1, args.max_pes + 1):
+        design = compose_design(core, n, XUPVVH_HBM_PLATFORM)
+
+        def run(transfers):
+            device = SimulatedDevice(design)
+            runtime = InferenceRuntime(device, InferenceJobConfig(threads_per_pe=1))
+            samples = args.samples_per_core * n
+            if transfers:
+                return runtime.run_timing_only(samples).samples_per_second
+            return runtime.run_on_device_only(samples).samples_per_second
+
+        end_to_end = run(True)
+        on_device = run(False)
+        gain = "" if previous is None else f"{(end_to_end / previous - 1) * 100:+.1f}%"
+        previous = end_to_end
+        rows.append(
+            [
+                n,
+                on_device / 1e6,
+                end_to_end / 1e6,
+                end_to_end / n / 1e6,
+                end_to_end * bench.total_bytes_per_sample / GIB,
+                gain,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "PEs",
+                "w/o transfers (M/s)",
+                "end-to-end (M/s)",
+                "per-PE (M/s)",
+                "PCIe traffic (GiB/s)",
+                "marginal gain",
+            ],
+            rows,
+            title=f"Scaling {args.benchmark}: on-device vs end-to-end (Fig. 4)",
+        )
+    )
+
+    print("\nPCIe outlook (what faster hosts would unlock, §V-C):")
+    for name, spec in PCIE_GENERATIONS.items():
+        bound = spec.bound_samples_per_second(
+            bench.input_bytes_per_sample, bench.result_bytes_per_sample
+        )
+        print(f"  {name}: PCIe-bound ceiling {bound / 1e6:,.0f} M samples/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Classification that knows when it doesn't know (§II-A motivation).
+
+Reproduces the Peharz-et-al behaviour the paper's background
+describes: an SPN classifier trained on in-domain data yields *lower
+joint probabilities* for out-of-domain inputs, flagging them instead
+of confidently mislabelling them.
+
+Scenario: documents from two distinguishable topic corpora are
+classified by topic; a third, never-seen corpus plays the
+out-of-domain role.
+
+Run:  python examples/uncertainty_classification.py
+"""
+
+import numpy as np
+
+from repro.apps import SPNClassifier
+from repro.experiments.reporting import format_table
+from repro.workloads import NipsCorpusConfig, synthesize_nips_corpus
+
+
+def corpus(seed, topic_boost, zipf):
+    return synthesize_nips_corpus(
+        NipsCorpusConfig(
+            n_words=12,
+            n_documents=1200,
+            seed=seed,
+            topic_boost=topic_boost,
+            zipf_exponent=zipf,
+        )
+    ).astype(np.float64)
+
+
+def main():
+    # Two in-domain classes with different word statistics.
+    class_a = corpus(seed=1, topic_boost=4.0, zipf=0.9)
+    class_b = corpus(seed=2, topic_boost=1.5, zipf=1.5)
+    data = np.concatenate([class_a, class_b])
+    labels = np.concatenate([np.zeros(len(class_a)), np.ones(len(class_b))]).astype(int)
+
+    # Train/test split.
+    rng = np.random.default_rng(0)
+    order = rng.permutation(len(data))
+    cut = int(0.8 * len(data))
+    train_idx, test_idx = order[:cut], order[cut:]
+
+    clf = SPNClassifier.fit(data[train_idx], labels[train_idx], seed=3)
+    acc = clf.accuracy(data[test_idx], labels[test_idx])
+    print(f"in-domain test accuracy: {acc:.1%} over {len(test_idx)} documents")
+
+    # Out-of-domain data: a corpus with very different statistics.
+    ood = corpus(seed=9, topic_boost=12.0, zipf=0.3) * 1.8
+    ood = np.minimum(ood, 255)
+
+    in_marg = clf.marginal_log_likelihood(data[test_idx])
+    ood_marg = clf.marginal_log_likelihood(ood[:200])
+    print(
+        format_table(
+            ["dataset", "mean log P(x)", "min", "max"],
+            [
+                ["in-domain test", in_marg.mean(), in_marg.min(), in_marg.max()],
+                ["out-of-domain", ood_marg.mean(), ood_marg.min(), ood_marg.max()],
+            ],
+            title="\nMarginal likelihood as an uncertainty signal",
+        )
+    )
+
+    flags_in = clf.out_of_domain_mask(
+        data[test_idx], calibration=data[train_idx], threshold_quantile=0.01
+    )
+    flags_ood = clf.out_of_domain_mask(
+        ood[:200], calibration=data[train_idx], threshold_quantile=0.01
+    )
+    print(
+        f"\nflagged as out-of-domain: {flags_in.mean():.1%} of in-domain test data "
+        f"(false alarms) vs {flags_ood.mean():.1%} of the foreign corpus"
+    )
+    print(
+        "A discriminative model would still emit confident class labels for "
+        "the foreign corpus; the SPN's joint probability exposes the mismatch "
+        "(the paper's SectionII-A argument for probabilistic models)."
+    )
+
+
+if __name__ == "__main__":
+    main()

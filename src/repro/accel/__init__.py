@@ -1,0 +1,26 @@
+"""The SPN accelerator core model (§III-B, Fig. 3).
+
+One core is the pipeline **Load Unit → Sample Buffer → SPN Datapath →
+Result Buffer → Store Unit**, controlled through an AXI4-Lite register
+file with 64-bit address registers (widened for the HBM address space)
+and a second execution mode that reads back the synthesis-time
+configuration parameters (§IV-B).
+
+The model is *functional + timed*: a job both computes real
+log-likelihoods (via the compiled datapath's arithmetic semantics) on
+real bytes in the channel's backing store, and advances simulated time
+through the burst-granular memory models.
+"""
+
+from repro.accel.registers import RegisterFile, ExecutionMode, CONFIG_REGISTERS
+from repro.accel.memory_store import ChannelMemory
+from repro.accel.core import SPNAcceleratorCore, JobResult
+
+__all__ = [
+    "RegisterFile",
+    "ExecutionMode",
+    "CONFIG_REGISTERS",
+    "ChannelMemory",
+    "SPNAcceleratorCore",
+    "JobResult",
+]

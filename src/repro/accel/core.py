@@ -1,0 +1,250 @@
+"""The SPN accelerator core: Load Unit, buffers, datapath, Store Unit.
+
+A job (programmed through the register file) streams ``n_samples``
+packed single-byte feature vectors from the core's HBM channel,
+pushes them through the II=1 pipelined datapath, and writes one
+float64 log-likelihood per sample back — the paper's Fig. 3 pipeline.
+
+The model advances simulated time at burst granularity with
+double-buffered load/compute/store stages, and *also* computes the
+real results: the input bytes come out of the channel's functional
+backing store, go through the software twin of the datapath, and the
+results land back in the store, so end-to-end runs are verifiable
+against the pure-software reference.
+
+The Result Buffer models the §III-B packing rule: 64-bit results are
+collected until a 512-bit word is complete before the Store Unit
+writes it out, so result traffic happens in 64-byte (or larger,
+burst-aggregated) units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.accel.memory_store import ChannelMemory
+from repro.accel.registers import ExecutionMode, RegisterFile
+from repro.arith.base import NumberFormat
+from repro.arith.spn_eval import evaluate_spn_in_format
+from repro.compiler.design import CoreSpec
+from repro.errors import RuntimeConfigError
+from repro.mem.hbm import HBMChannel
+from repro.sim.channel import Channel
+from repro.sim.engine import Engine, Event
+from repro.spn.graph import SPN
+from repro.spn.inference import MISSING_VALUE, log_likelihood_with_missing
+from repro.units import KIB
+
+__all__ = ["SPNAcceleratorCore", "JobResult"]
+
+#: Load/Store Unit burst size.  64 KiB amortises the channel's
+#: per-request overhead to <2% while staying far below the sample
+#: buffer capacity.
+BURST_BYTES = 64 * KIB
+
+#: Double buffering between pipeline stages (ping/pong buffers).
+_STAGE_DEPTH = 2
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Completion record of one accelerator job."""
+
+    n_samples: int
+    start_time: float
+    end_time: float
+
+    @property
+    def elapsed(self) -> float:
+        """Job wall time in simulated seconds."""
+        return self.end_time - self.start_time
+
+    @property
+    def samples_per_second(self) -> float:
+        """Throughput of this job alone."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.n_samples / self.elapsed
+
+
+class SPNAcceleratorCore:
+    """One timed+functional SPN accelerator instance."""
+
+    def __init__(
+        self,
+        env: Engine,
+        index: int,
+        spn: SPN,
+        core_spec: CoreSpec,
+        channel: HBMChannel,
+        memory: ChannelMemory,
+        *,
+        clock_hz: float,
+        n_variables: Optional[int] = None,
+        compute_format: Optional[NumberFormat] = None,
+    ):
+        if clock_hz <= 0:
+            raise RuntimeConfigError(f"clock must be positive, got {clock_hz}")
+        self.env = env
+        self.index = index
+        self.spn = spn
+        self.core_spec = core_spec
+        self.channel = channel
+        self.memory = memory
+        self.clock_hz = float(clock_hz)
+        self.n_variables = n_variables if n_variables is not None else spn.n_variables
+        self.compute_format = compute_format
+        self.sample_bytes = self.n_variables  # single-byte features
+        self.result_bytes = 8  # one float64 per sample
+        self.registers = RegisterFile(
+            {
+                "n_variables": self.n_variables,
+                "sample_bytes": self.sample_bytes,
+                "result_bytes": self.result_bytes,
+                "pipeline_depth": core_spec.pipeline_depth,
+                "format_bits": 64 if compute_format is None else compute_format.bits,
+                "interface_width_bits": 512,
+                "clock_mhz": int(round(clock_hz / 1e6)),
+            }
+        )
+        self._busy = False
+        self.total_samples = 0
+
+    # -- configuration read-out (the runtime's §IV-B query) -----------------------
+    def read_configuration(self) -> dict:
+        """Query the synthesis parameters via the register file."""
+        return self.registers.read_configuration()
+
+    # -- job execution ---------------------------------------------------------------
+    def start_job(
+        self,
+        input_addr: int,
+        result_addr: int,
+        n_samples: int,
+        *,
+        functional: bool = True,
+    ) -> Event:
+        """Launch a batch job; the returned event triggers with a
+        :class:`JobResult` when the Store Unit has written the last
+        result word.
+
+        With ``functional=False`` only the timing model runs (no real
+        bytes are computed or stored) — used by paper-scale timing
+        experiments where materialising 100 M samples is pointless.
+
+        Concurrent jobs on one core are a runtime bug, not a model
+        limitation, so they raise.
+        """
+        if self._busy:
+            raise RuntimeConfigError(f"core {self.index} is busy")
+        if n_samples <= 0:
+            raise RuntimeConfigError(f"n_samples must be positive, got {n_samples}")
+        if self.registers.mode is not ExecutionMode.INFERENCE:
+            raise RuntimeConfigError("core is in CONFIG_READOUT mode")
+        self.registers.set_job(input_addr, result_addr, n_samples)
+        self.registers.set_busy(True)
+        self._busy = True
+        done = Event(self.env)
+        self.env.process(
+            self._run_job(input_addr, result_addr, n_samples, functional, done),
+            name=f"core{self.index}-job",
+        )
+        return done
+
+    # -- functional path ------------------------------------------------------------
+    def _compute(self, input_addr: int, n_samples: int) -> np.ndarray:
+        raw = self.memory.read(input_addr, n_samples * self.sample_bytes)
+        data = (
+            np.frombuffer(raw, dtype=np.uint8)
+            .reshape(n_samples, self.sample_bytes)
+            .astype(np.float64)
+        )
+        # The reserved all-ones byte marks a missing feature; the
+        # datapath's table lookup returns probability 1 for it, so the
+        # core natively computes per-sample marginal queries.
+        if self.compute_format is None:
+            return log_likelihood_with_missing(
+                self.spn, data, missing_value=MISSING_VALUE
+            )
+        return evaluate_spn_in_format(
+            self.spn, data, self.compute_format, missing_value=MISSING_VALUE
+        )
+
+    # -- timed path -------------------------------------------------------------------
+    def _run_job(
+        self,
+        input_addr: int,
+        result_addr: int,
+        n_samples: int,
+        functional: bool,
+        done: Event,
+    ):
+        start = self.env.now
+        results = self._compute(input_addr, n_samples) if functional else None
+
+        samples_per_burst = max(1, BURST_BYTES // self.sample_bytes)
+        loaded = Channel(self.env, capacity=_STAGE_DEPTH, name=f"core{self.index}-samples")
+        computed = Channel(self.env, capacity=None, name=f"core{self.index}-results")
+
+        def loader():
+            offset = 0
+            remaining = n_samples
+            while remaining > 0:
+                chunk = min(samples_per_burst, remaining)
+                n_bytes = chunk * self.sample_bytes
+                yield self.channel.transfer(n_bytes, is_write=False)
+                yield loaded.put(chunk)
+                offset += n_bytes
+                remaining -= chunk
+            loaded.close()
+
+        def datapath():
+            first = True
+            processed = 0
+            while processed < n_samples:
+                chunk = yield loaded.get()
+                if first:
+                    # Pipeline fill: the first result trails the first
+                    # sample by the pipeline depth.
+                    yield self.env.timeout(
+                        self.core_spec.pipeline_depth / self.clock_hz
+                    )
+                    first = False
+                yield self.env.timeout(chunk / self.clock_hz)  # II = 1
+                yield computed.put(chunk)
+                processed += chunk
+
+        def storer():
+            pending = 0
+            written = 0
+            write_offset = 0
+            while written + pending < n_samples:
+                chunk = yield computed.get()
+                pending += chunk
+                # Store Unit flushes once a full burst of packed
+                # 512-bit result words is ready (or at job end).
+                flush_threshold = BURST_BYTES // self.result_bytes
+                if pending >= flush_threshold:
+                    n_bytes = pending * self.result_bytes
+                    yield self.channel.transfer(n_bytes, is_write=True)
+                    written += pending
+                    write_offset += n_bytes
+                    pending = 0
+            if pending:
+                yield self.channel.transfer(pending * self.result_bytes, is_write=True)
+
+        load_proc = self.env.process(loader(), name=f"core{self.index}-load")
+        path_proc = self.env.process(datapath(), name=f"core{self.index}-datapath")
+        store_proc = self.env.process(storer(), name=f"core{self.index}-store")
+        yield self.env.all_of([load_proc, path_proc, store_proc])
+
+        # Functional completion: results land in the backing store.
+        if results is not None:
+            self.memory.write_array(result_addr, results)
+        self.total_samples += n_samples
+        self._busy = False
+        self.registers.set_busy(False)
+        done.succeed(JobResult(n_samples=n_samples, start_time=start, end_time=self.env.now))

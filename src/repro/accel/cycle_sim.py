@@ -1,0 +1,153 @@
+"""Cycle-accurate simulation of the pipelined SPN datapath.
+
+The burst-granular models (DESIGN.md §6) assume the datapath behaves
+as a depth-D, II=1 pipeline.  This module *checks* that assumption at
+the register level: every operator is a latency-deep shift register,
+balancing delay lines are materialised exactly where the scheduler
+placed them, and one new sample enters per cycle.
+
+Timing convention (matching the scheduler's): a value presented at an
+operator's input during cycle *t* appears at its output during cycle
+``t + latency``; a producer with ``ready_stage == r`` therefore drives
+a consumer with ``start_stage == r`` in the same cycle, and any
+positive slack is bridged by a delay line of exactly that many stages.
+
+Invariants verified by the tests through this simulator:
+
+* the first result appears exactly ``schedule.depth`` cycles after
+  the first sample enters (pipeline fill);
+* thereafter one result appears **every** cycle (II = 1);
+* every result equals the functional interpreter's value — i.e. the
+  balancing registers align operands correctly even while many
+  samples are in flight.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compiler.datapath import Datapath
+from repro.compiler.interpreter import LookupTables
+from repro.compiler.operators import HWOp, OperatorLibrary
+from repro.compiler.schedule import PipelineSchedule, schedule_datapath
+from repro.errors import CompilerError
+
+__all__ = ["CycleSimulation", "simulate_cycles"]
+
+#: Sentinel carried by empty pipeline slots.
+_BUBBLE = None
+
+
+class _ShiftRegister:
+    """A fixed-depth shift register of values (depth 0 = wire)."""
+
+    def __init__(self, depth: int):
+        self.depth = depth
+        self._stages: Deque = deque([_BUBBLE] * depth, maxlen=depth or None)
+
+    def step(self, value):
+        """Clock edge: push *value*; return the value from *depth*
+        cycles ago (the register chain's output this cycle)."""
+        if self.depth == 0:
+            return value
+        out = self._stages[0]
+        self._stages.popleft()
+        self._stages.append(value)
+        return out
+
+
+class CycleSimulation:
+    """Register-accurate model of one compiled datapath."""
+
+    def __init__(
+        self,
+        datapath: Datapath,
+        library: OperatorLibrary,
+        tables: LookupTables,
+    ):
+        self.datapath = datapath
+        self.library = library
+        self.tables = tables
+        self.schedule: PipelineSchedule = schedule_datapath(datapath, library)
+        self._pipes: Dict[int, _ShiftRegister] = {}
+        self._balance: Dict[Tuple[int, int], _ShiftRegister] = {}
+        for node in datapath.nodes:
+            self._pipes[node.index] = _ShiftRegister(library.latency(node.op))
+            for source in node.inputs:
+                slack = (
+                    self.schedule.start_stage[node.index]
+                    - self.schedule.ready_stage[source]
+                )
+                if slack > 0:
+                    self._balance[(source, node.index)] = _ShiftRegister(slack)
+        self.cycle = 0
+
+    def step(self, sample: Optional[np.ndarray]):
+        """One clock cycle.  *sample* is the entering feature vector
+        (or None for a bubble).  Returns the root output this cycle."""
+        current: Dict[int, object] = {}
+        for node in self.datapath.nodes:  # topological order
+            if node.op is HWOp.INPUT:
+                incoming = (
+                    _BUBBLE if sample is None else float(sample[node.variable])
+                )
+                current[node.index] = self._pipes[node.index].step(incoming)
+                continue
+
+            operands = []
+            for source in node.inputs:
+                value = current[source]
+                line = self._balance.get((source, node.index))
+                if line is not None:
+                    value = line.step(value)
+                operands.append(value)
+
+            if any(v is _BUBBLE for v in operands):
+                result = _BUBBLE
+            elif node.op is HWOp.LOOKUP:
+                result = float(self.tables[node.index][int(operands[0])])
+            elif node.op is HWOp.CONST_MUL:
+                result = operands[0] * node.constant
+            elif node.op is HWOp.MUL:
+                result = operands[0] * operands[1]
+            elif node.op is HWOp.ADD:
+                result = operands[0] + operands[1]
+            else:  # pragma: no cover - exhaustive over HWOp
+                raise CompilerError(f"cannot simulate op {node.op}")
+            current[node.index] = self._pipes[node.index].step(result)
+        self.cycle += 1
+        return current[self.datapath.output]
+
+
+def simulate_cycles(
+    datapath: Datapath,
+    library: OperatorLibrary,
+    tables: LookupTables,
+    samples: np.ndarray,
+    *,
+    max_cycles: Optional[int] = None,
+) -> Tuple[List[float], List[int]]:
+    """Feed *samples* one per cycle; collect (results, result_cycles).
+
+    Returns the root values in arrival order plus the cycle index at
+    which each appeared, so callers can assert fill latency and II.
+    """
+    samples = np.asarray(samples)
+    if samples.ndim != 2:
+        raise CompilerError(f"samples must be 2-D, got {samples.ndim}-D")
+    sim = CycleSimulation(datapath, library, tables)
+    horizon = max_cycles or (len(samples) + sim.schedule.depth + 8)
+    results: List[float] = []
+    result_cycles: List[int] = []
+    for cycle in range(horizon):
+        sample = samples[cycle] if cycle < len(samples) else None
+        out = sim.step(sample)
+        if out is not _BUBBLE:
+            results.append(float(out))
+            result_cycles.append(cycle)
+        if len(results) == len(samples):
+            break
+    return results, result_cycles

@@ -1,0 +1,156 @@
+"""AXI4-Lite register file of the accelerator.
+
+The paper's §III-B: "Accelerators are controlled by an AXI4 Lite
+Interface, which exposes a simple register file to the user.  Due to
+the increased address-width of the HBM-data-channel, we had to adapt
+the control registers to 64 bit."  §IV-B adds: "the accelerator was
+extended with a second execution mode to read out the configuration
+parameters specified at synthesis time", which is what lets the new
+runtime self-configure instead of requiring manual parameters.
+
+This module models exactly that interface: a word-addressed register
+map with control/status semantics and the config read-out mode.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from repro.errors import RuntimeConfigError
+
+__all__ = ["ExecutionMode", "RegisterFile", "CONFIG_REGISTERS"]
+
+
+class ExecutionMode(enum.Enum):
+    """The accelerator's two execution modes (§IV-B)."""
+
+    #: Normal batch inference over the configured address ranges.
+    INFERENCE = 0
+    #: Read-out of synthesis-time configuration parameters.
+    CONFIG_READOUT = 1
+
+
+#: Offsets of the control registers (64-bit words).
+CONTROL = 0x00        # write 1 to start; reads 0 when idle
+STATUS = 0x08         # bit0: done, bit1: busy
+MODE = 0x10           # ExecutionMode selector
+INPUT_ADDR = 0x18     # 64-bit HBM input base address
+RESULT_ADDR = 0x20    # 64-bit HBM result base address
+N_SAMPLES = 0x28      # samples in this job
+
+#: Offsets of the read-only synthesis-parameter registers served in
+#: CONFIG_READOUT mode.
+CONFIG_REGISTERS: Dict[str, int] = {
+    "n_variables": 0x40,
+    "sample_bytes": 0x48,
+    "result_bytes": 0x50,
+    "pipeline_depth": 0x58,
+    "format_bits": 0x60,
+    "interface_width_bits": 0x68,
+    "clock_mhz": 0x70,
+}
+
+
+class RegisterFile:
+    """A 64-bit, word-addressed control/status register file."""
+
+    WORD = 8
+
+    def __init__(self, config: Dict[str, int]):
+        missing = set(CONFIG_REGISTERS) - set(config)
+        if missing:
+            raise RuntimeConfigError(f"register file config missing {sorted(missing)}")
+        self._regs: Dict[int, int] = {
+            CONTROL: 0,
+            STATUS: 0,
+            MODE: ExecutionMode.INFERENCE.value,
+            INPUT_ADDR: 0,
+            RESULT_ADDR: 0,
+            N_SAMPLES: 0,
+        }
+        self._config = {CONFIG_REGISTERS[k]: int(v) for k, v in config.items()}
+
+    def _check(self, offset: int) -> None:
+        if offset % self.WORD:
+            raise RuntimeConfigError(f"unaligned register access at {offset:#x}")
+        if offset < 0:
+            raise RuntimeConfigError(f"negative register offset {offset:#x}")
+
+    def write(self, offset: int, value: int) -> None:
+        """AXI4-Lite write; config registers are read-only."""
+        self._check(offset)
+        if offset in self._config:
+            raise RuntimeConfigError(f"register {offset:#x} is read-only")
+        if offset == STATUS:
+            raise RuntimeConfigError("status register is read-only")
+        if offset not in self._regs:
+            raise RuntimeConfigError(f"no register at {offset:#x}")
+        if value < 0 or value >= 1 << 64:
+            raise RuntimeConfigError(f"value {value:#x} does not fit 64 bits")
+        self._regs[offset] = value
+
+    def read(self, offset: int) -> int:
+        """AXI4-Lite read of control, status or config registers.
+
+        Config registers are only visible in CONFIG_READOUT mode —
+        modelling the paper's dedicated execution mode.
+        """
+        self._check(offset)
+        if offset in self._config:
+            if self._regs[MODE] != ExecutionMode.CONFIG_READOUT.value:
+                raise RuntimeConfigError(
+                    "config registers require CONFIG_READOUT execution mode"
+                )
+            return self._config[offset]
+        if offset not in self._regs:
+            raise RuntimeConfigError(f"no register at {offset:#x}")
+        return self._regs[offset]
+
+    # -- typed helpers used by the core and runtime ---------------------------
+    @property
+    def mode(self) -> ExecutionMode:
+        """Currently selected execution mode."""
+        return ExecutionMode(self._regs[MODE])
+
+    def set_mode(self, mode: ExecutionMode) -> None:
+        """Select the execution mode."""
+        self.write(MODE, mode.value)
+
+    def set_job(self, input_addr: int, result_addr: int, n_samples: int) -> None:
+        """Program a job's address ranges and sample count."""
+        self.write(INPUT_ADDR, input_addr)
+        self.write(RESULT_ADDR, result_addr)
+        self.write(N_SAMPLES, n_samples)
+
+    def job_parameters(self) -> tuple:
+        """(input_addr, result_addr, n_samples) as programmed."""
+        return (
+            self._regs[INPUT_ADDR],
+            self._regs[RESULT_ADDR],
+            self._regs[N_SAMPLES],
+        )
+
+    def set_busy(self, busy: bool) -> None:
+        """Status bit bookkeeping (core-side)."""
+        self._regs[STATUS] = 0b10 if busy else 0b01
+
+    @property
+    def busy(self) -> bool:
+        """True while a job runs."""
+        return bool(self._regs[STATUS] & 0b10)
+
+    def read_configuration(self) -> Dict[str, int]:
+        """Convenience: switch to read-out mode and dump all config.
+
+        This is what the new runtime does at start-up so the user no
+        longer supplies parameters manually (§IV-B).
+        """
+        previous = self.mode
+        self.set_mode(ExecutionMode.CONFIG_READOUT)
+        try:
+            return {
+                name: self.read(offset) for name, offset in CONFIG_REGISTERS.items()
+            }
+        finally:
+            self.set_mode(previous)

@@ -1,0 +1,13 @@
+"""Application layers built on the SPN library.
+
+The paper's introduction motivates SPNs with real-world deployments:
+probabilistic classification that *knows when it does not know*
+(Peharz et al.'s random-SPN classifiers, cited in §II-A) and
+database cardinality estimation (DeepDB, §VI).  This package provides
+the classification application; the cardinality use case is covered
+by :mod:`repro.spn.queries` plus ``examples/cardinality_estimation.py``.
+"""
+
+from repro.apps.classification import SPNClassifier
+
+__all__ = ["SPNClassifier"]

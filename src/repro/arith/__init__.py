@@ -1,0 +1,59 @@
+"""Hardware arithmetic number-format emulation.
+
+The paper's datapath generator supports two configurable internal
+number formats (§III-B), both originating in the group's prior work:
+
+* **Custom Floating Point (CFP)** — configurable exponent/mantissa
+  widths and rounding scheme (Sommer et al., FCCM 2020 [4]);
+* **Logarithmic Number System (LNS)** — configurable fixed-point log
+  representation with an interpolated addition operator (Weber et al.,
+  FPT 2019 [11]);
+
+plus a **Posit** format (PaCoGen-based) that [4] compares against.
+
+Each format is emulated bit-accurately but *vectorised*: values travel
+as float64 arrays holding exactly-representable format values, and the
+``add``/``mul`` operators apply the format's quantisation semantics.
+:mod:`repro.arith.spn_eval` evaluates whole SPNs under a format, which
+is how the functional accelerator model and the accuracy experiments
+check that a hardware configuration is numerically adequate.
+"""
+
+from repro.arith.base import NumberFormat
+from repro.arith.float_ref import FloatReference, FLOAT64, FLOAT32
+from repro.arith.cfp import CustomFloat, Rounding
+from repro.arith.lns import LogNumberSystem
+from repro.arith.posit import Posit
+from repro.arith.spn_eval import evaluate_spn_in_format
+from repro.arith.error_analysis import (
+    ErrorReport,
+    compare_formats_on_spn,
+    max_relative_error,
+    relative_errors,
+)
+
+#: The CFP configuration the paper says it adopts from [4]: enough
+#: exponent range for NIPS-scale probabilities at reduced mantissa cost.
+PAPER_CFP = CustomFloat(exponent_bits=10, mantissa_bits=25, rounding=Rounding.NEAREST_EVEN)
+
+#: The LNS configuration of [11]: 32-bit word, wide integer field for
+#: very small probabilities.
+PAPER_LNS = LogNumberSystem(integer_bits=10, fraction_bits=21)
+
+__all__ = [
+    "NumberFormat",
+    "FloatReference",
+    "FLOAT64",
+    "FLOAT32",
+    "CustomFloat",
+    "Rounding",
+    "LogNumberSystem",
+    "Posit",
+    "evaluate_spn_in_format",
+    "ErrorReport",
+    "compare_formats_on_spn",
+    "max_relative_error",
+    "relative_errors",
+    "PAPER_CFP",
+    "PAPER_LNS",
+]

@@ -1,0 +1,66 @@
+"""The NumberFormat interface.
+
+A format provides a *quantisation* (mapping real values onto its
+representable set) and the two datapath operators the SPN hardware
+needs (add, mul) with that format's semantics: operands are assumed
+already quantised, the operation is computed, and the result is
+re-quantised — exactly what a hardware operator does in one pipeline
+stage.
+
+Values are carried as float64 arrays whose entries are exactly
+representable in the emulated format.  float64 can represent every
+value of any format with <= 52 mantissa bits and modest exponent range
+exactly, so the emulation is bit-accurate while staying vectorised.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["NumberFormat", "ArrayLike"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class NumberFormat:
+    """Abstract base class of emulated hardware number formats."""
+
+    #: Short identifier used in reports (e.g. ``cfp(8,26)``).
+    name: str = "abstract"
+    #: Total storage bits per value (drives resource/bandwidth models).
+    bits: int = 0
+
+    # -- quantisation ---------------------------------------------------------
+    def quantize(self, values: ArrayLike) -> np.ndarray:
+        """Map real *values* onto the format's representable set."""
+        raise NotImplementedError
+
+    def representable(self, values: ArrayLike) -> np.ndarray:
+        """Boolean mask: which entries survive quantisation unchanged."""
+        values = np.asarray(values, dtype=np.float64)
+        return np.equal(self.quantize(values), values)
+
+    # -- datapath operators -----------------------------------------------------
+    def add(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        """Format-semantics addition of already-quantised operands."""
+        return self.quantize(np.asarray(a, dtype=np.float64) + np.asarray(b, dtype=np.float64))
+
+    def mul(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        """Format-semantics multiplication of already-quantised operands."""
+        return self.quantize(np.asarray(a, dtype=np.float64) * np.asarray(b, dtype=np.float64))
+
+    # -- range ---------------------------------------------------------------------
+    @property
+    def smallest_positive(self) -> float:
+        """Smallest representable positive value (underflow threshold)."""
+        raise NotImplementedError
+
+    @property
+    def largest(self) -> float:
+        """Largest representable finite value (saturation threshold)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,195 @@
+"""Custom Floating Point (CFP) emulation.
+
+Models the FPGA-optimised floating-point format of Sommer et al. (FCCM
+2020): a sign bit, ``e`` exponent bits (biased), ``m`` mantissa bits
+with an implicit leading one, **no subnormals** (flush to zero), **no
+NaN/infinity** (saturate to the largest finite value), and a
+configurable rounding scheme.  Dropping the IEEE special cases is what
+makes the hardware operators small — SPN probabilities never need
+them: values are non-negative and overflow cannot occur when
+multiplying probabilities <= 1.
+
+The emulation is vectorised: quantisation decomposes values with
+``np.frexp`` and rebuilds them with ``np.ldexp``, so batches of
+millions of values quantise in a handful of numpy ops.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+import numpy as np
+
+from repro.arith.base import ArrayLike, NumberFormat
+from repro.errors import ArithmeticConfigError
+
+__all__ = ["CustomFloat", "Rounding"]
+
+
+class Rounding(enum.Enum):
+    """Mantissa rounding schemes supported by the generator."""
+
+    #: IEEE round-to-nearest, ties to even (the default, best accuracy).
+    NEAREST_EVEN = "nearest-even"
+    #: Truncate toward zero (cheapest hardware).
+    TRUNCATE = "truncate"
+    #: Round away from zero (guards against underestimating tiny
+    #: probabilities at one extra carry chain).
+    AWAY_FROM_ZERO = "away-from-zero"
+
+
+class CustomFloat(NumberFormat):
+    """A configurable custom floating-point format.
+
+    Parameters
+    ----------
+    exponent_bits:
+        Width of the biased exponent field (2..11 supported; 11 is the
+        float64 ceiling of the emulation).
+    mantissa_bits:
+        Stored mantissa bits, excluding the implicit one (1..52).
+    rounding:
+        Mantissa rounding scheme, a :class:`Rounding` member.
+    """
+
+    def __init__(
+        self,
+        exponent_bits: int,
+        mantissa_bits: int,
+        rounding: Rounding = Rounding.NEAREST_EVEN,
+    ):
+        if not 2 <= exponent_bits <= 11:
+            raise ArithmeticConfigError(
+                f"exponent_bits must be in [2, 11], got {exponent_bits}"
+            )
+        if not 1 <= mantissa_bits <= 52:
+            raise ArithmeticConfigError(
+                f"mantissa_bits must be in [1, 52], got {mantissa_bits}"
+            )
+        if not isinstance(rounding, Rounding):
+            raise ArithmeticConfigError(f"unknown rounding scheme {rounding!r}")
+        self.exponent_bits = int(exponent_bits)
+        self.mantissa_bits = int(mantissa_bits)
+        self.rounding = rounding
+        self.bias = (1 << (exponent_bits - 1)) - 1
+        #: Minimum/maximum unbiased exponents of normal values.  The
+        #: all-zero exponent code is reserved for zero (no denormals);
+        #: no NaN/inf codes are reserved: the hardware never produces
+        #: them, so the top exponent code encodes ordinary normals.
+        self.min_exponent = 1 - self.bias
+        self.max_exponent = (1 << exponent_bits) - 1 - self.bias
+        self.bits = 1 + exponent_bits + mantissa_bits
+        self.name = f"cfp({exponent_bits},{mantissa_bits},{rounding.value})"
+
+    # -- range -------------------------------------------------------------------
+    @property
+    def smallest_positive(self) -> float:
+        return float(np.ldexp(1.0, self.min_exponent))
+
+    @property
+    def largest(self) -> float:
+        max_mantissa = 2.0 - np.ldexp(1.0, -self.mantissa_bits)
+        with np.errstate(over="ignore"):
+            value = float(np.ldexp(max_mantissa, self.max_exponent))
+        # e=11 formats exceed the float64 carrier at the very top; the
+        # emulation saturates at the carrier's ceiling instead.
+        if not np.isfinite(value):
+            return float(np.finfo(np.float64).max)
+        return value
+
+    #: Alias matching FPGA-generator terminology.
+    @property
+    def machine_epsilon(self) -> float:
+        """Spacing of representable values around 1.0."""
+        return float(np.ldexp(1.0, -self.mantissa_bits))
+
+    # -- quantisation ---------------------------------------------------------------
+    def _round_mantissa(self, scaled: np.ndarray) -> np.ndarray:
+        """Round mantissa*2^m values to integers per the scheme."""
+        if self.rounding is Rounding.NEAREST_EVEN:
+            return np.rint(scaled)
+        if self.rounding is Rounding.TRUNCATE:
+            return np.floor(scaled)  # operands are positive magnitudes
+        return np.ceil(scaled)  # AWAY_FROM_ZERO on magnitudes
+
+    def quantize(self, values: ArrayLike) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        scalar = values.ndim == 0
+        values = np.atleast_1d(values)
+        out = np.zeros_like(values)
+
+        sign = np.signbit(values)
+        magnitude = np.abs(values)
+        finite = np.isfinite(magnitude)
+        nonzero = (magnitude > 0) & finite
+
+        if np.any(nonzero):
+            mag = magnitude[nonzero]
+            # frexp: mag = frac * 2^exp with frac in [0.5, 1).
+            frac, exp = np.frexp(mag)
+            # Normalise to mantissa in [1, 2): mantissa = frac*2, e = exp-1.
+            exponent = exp - 1
+            mantissa = frac * 2.0
+            scaled = self._round_mantissa(np.ldexp(mantissa, self.mantissa_bits))
+            # Rounding may carry out: 2.0 * 2^m -> bump the exponent.
+            carried = scaled >= np.ldexp(2.0, self.mantissa_bits)
+            scaled = np.where(carried, np.ldexp(1.0, self.mantissa_bits), scaled)
+            exponent = exponent + carried.astype(exponent.dtype)
+
+            quantised = np.ldexp(scaled, exponent - self.mantissa_bits)
+            # Underflow: flush to zero (no subnormals in hardware).
+            quantised = np.where(exponent < self.min_exponent, 0.0, quantised)
+            # Overflow: saturate to the largest finite value.
+            quantised = np.where(exponent > self.max_exponent, self.largest, quantised)
+            result = np.zeros_like(magnitude)
+            result[nonzero] = quantised
+        else:
+            result = np.zeros_like(magnitude)
+
+        # Non-finite inputs saturate (hardware never sees them, but the
+        # emulation must stay total).
+        result[~finite] = self.largest
+        nan_in = np.isnan(values)
+        result[nan_in] = self.largest
+        out = np.where(sign, -result, result)
+        return out[0] if scalar else out
+
+    # -- introspection -----------------------------------------------------------------
+    def encode(self, values: ArrayLike) -> np.ndarray:
+        """Bit patterns (uint64) of quantised *values*.
+
+        Layout: ``[sign | exponent | mantissa]`` from MSB to LSB.  Zero
+        encodes as all-zero exponent and mantissa (by convention the
+        exponent code 0 with mantissa 0 is zero).
+        """
+        quantised = np.atleast_1d(self.quantize(values))
+        sign = np.signbit(quantised).astype(np.uint64)
+        magnitude = np.abs(quantised)
+        nonzero = magnitude > 0
+        frac, exp = np.frexp(np.where(nonzero, magnitude, 1.0))
+        exponent_field = np.where(nonzero, exp - 1 + self.bias, 0).astype(np.uint64)
+        mantissa_field = np.where(
+            nonzero,
+            np.rint(np.ldexp(frac * 2.0 - 1.0, self.mantissa_bits)),
+            0.0,
+        ).astype(np.uint64)
+        return (
+            (sign << np.uint64(self.exponent_bits + self.mantissa_bits))
+            | (exponent_field << np.uint64(self.mantissa_bits))
+            | mantissa_field
+        )
+
+    def decode(self, bits: ArrayLike) -> np.ndarray:
+        """Inverse of :meth:`encode`."""
+        bits = np.atleast_1d(np.asarray(bits, dtype=np.uint64))
+        mantissa_mask = np.uint64((1 << self.mantissa_bits) - 1)
+        exponent_mask = np.uint64((1 << self.exponent_bits) - 1)
+        mantissa_field = bits & mantissa_mask
+        exponent_field = (bits >> np.uint64(self.mantissa_bits)) & exponent_mask
+        sign = (bits >> np.uint64(self.exponent_bits + self.mantissa_bits)) & np.uint64(1)
+        zero = (exponent_field == 0) & (mantissa_field == 0)
+        mantissa = 1.0 + np.ldexp(mantissa_field.astype(np.float64), -self.mantissa_bits)
+        value = np.ldexp(mantissa, exponent_field.astype(np.int64) - self.bias)
+        value = np.where(zero, 0.0, value)
+        return np.where(sign.astype(bool), -value, value)

@@ -1,0 +1,112 @@
+"""Accuracy analysis of hardware number formats.
+
+Used by the number-format example and by tests to confirm that the
+paper's chosen configurations (``PAPER_CFP``, ``PAPER_LNS``) are
+numerically adequate for the NIPS benchmarks — the precondition for
+the whole performance study (the accelerator must compute the *right*
+probabilities before its throughput means anything).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.arith.base import NumberFormat
+from repro.arith.spn_eval import evaluate_spn_in_format
+from repro.errors import ReproError
+from repro.spn.graph import SPN
+from repro.spn.inference import log_likelihood
+
+__all__ = [
+    "relative_errors",
+    "max_relative_error",
+    "ErrorReport",
+    "compare_formats_on_spn",
+]
+
+
+def relative_errors(reference: np.ndarray, approximate: np.ndarray) -> np.ndarray:
+    """Elementwise ``|approx - ref| / |ref|`` with zero-safe handling.
+
+    Entries where the reference is zero report the absolute error
+    instead (relative error is undefined there).
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    approximate = np.asarray(approximate, dtype=np.float64)
+    if reference.shape != approximate.shape:
+        raise ReproError(
+            f"shape mismatch {reference.shape} vs {approximate.shape}"
+        )
+    diff = np.abs(approximate - reference)
+    denom = np.abs(reference)
+    zero = denom == 0
+    out = np.empty_like(diff)
+    out[~zero] = diff[~zero] / denom[~zero]
+    out[zero] = diff[zero]
+    return out
+
+
+def max_relative_error(reference: np.ndarray, approximate: np.ndarray) -> float:
+    """Maximum of :func:`relative_errors`."""
+    return float(np.max(relative_errors(reference, approximate)))
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """Accuracy of one format on one SPN/dataset pair."""
+
+    format_name: str
+    spn_name: str
+    n_samples: int
+    #: Max relative error of the *log*-likelihood vs float64.
+    max_log_error: float
+    #: Mean relative error of the log-likelihood vs float64.
+    mean_log_error: float
+    #: Fraction of samples whose hardware result underflowed to zero.
+    underflow_fraction: float
+
+    def acceptable(self, threshold: float = 1e-2) -> bool:
+        """True when the max log-domain error is below *threshold* and
+        nothing underflowed — the acceptance rule of [4]."""
+        return self.max_log_error < threshold and self.underflow_fraction == 0.0
+
+
+def compare_formats_on_spn(
+    spn: SPN,
+    data: np.ndarray,
+    formats: Sequence[NumberFormat],
+) -> list:
+    """Evaluate *spn* on *data* under each format and report errors.
+
+    Returns one :class:`ErrorReport` per format, in input order.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    reference = log_likelihood(spn, data)
+    reports = []
+    for fmt in formats:
+        linear = evaluate_spn_in_format(spn, data, fmt, return_linear=True)
+        underflow = linear <= 0.0
+        with np.errstate(divide="ignore"):
+            approx_log = np.log(linear)
+        live = ~underflow
+        if np.any(live):
+            errors = relative_errors(reference[live], approx_log[live])
+            max_err = float(errors.max())
+            mean_err = float(errors.mean())
+        else:
+            max_err = float("inf")
+            mean_err = float("inf")
+        reports.append(
+            ErrorReport(
+                format_name=fmt.name,
+                spn_name=spn.name,
+                n_samples=len(data),
+                max_log_error=max_err,
+                mean_log_error=mean_err,
+                underflow_fraction=float(np.mean(underflow)),
+            )
+        )
+    return reports

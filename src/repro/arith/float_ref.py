@@ -1,0 +1,53 @@
+"""IEEE-754 reference formats.
+
+:data:`FLOAT64` is the golden reference every hardware format is
+compared against (the CPU baseline computes in float64).  :data:`FLOAT32`
+models the single-precision datapath of the paper's *prior* F1 design,
+whose larger operators explain much of Table I's resource gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arith.base import ArrayLike, NumberFormat
+
+__all__ = ["FloatReference", "FLOAT64", "FLOAT32"]
+
+
+class FloatReference(NumberFormat):
+    """An IEEE-754 binary format backed by a native numpy dtype."""
+
+    def __init__(self, dtype: np.dtype, bits: int, name: str):
+        self.dtype = np.dtype(dtype)
+        self.bits = bits
+        self.name = name
+
+    def quantize(self, values: ArrayLike) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        return values.astype(self.dtype).astype(np.float64)
+
+    def add(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        return (a + b).astype(np.float64)
+
+    def mul(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        return (a * b).astype(np.float64)
+
+    @property
+    def smallest_positive(self) -> float:
+        return float(np.finfo(self.dtype).tiny)
+
+    @property
+    def largest(self) -> float:
+        return float(np.finfo(self.dtype).max)
+
+
+#: IEEE-754 binary64 — the golden software reference.
+FLOAT64 = FloatReference(np.float64, 64, "float64")
+
+#: IEEE-754 binary32 — the prior work's datapath format.
+FLOAT32 = FloatReference(np.float32, 32, "float32")

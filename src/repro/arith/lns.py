@@ -1,0 +1,163 @@
+"""Logarithmic Number System (LNS) emulation.
+
+Models the resource-efficient LNS of Weber et al. (FPT 2019): a
+positive value ``x`` is stored as ``log2(x)`` in two's-complement fixed
+point with ``i`` integer and ``f`` fraction bits, plus a zero flag.
+SPN inference only ever sees non-negative values, so no sign bit for
+the linear-domain value is needed.
+
+Operator semantics:
+
+* **mul** is exact up to saturation — an integer addition of the fixed
+  point logs; this is why LNS multipliers are tiny on FPGAs.
+* **add** is the expensive operator: ``log2(a+b) = la + phi(la - lb)``
+  with ``phi(d) = log2(1 + 2^-d)``.  The hardware evaluates ``phi``
+  with a lookup table over the quantised difference plus linear
+  interpolation; the emulation reproduces exactly that table-plus-
+  interpolation datapath so its error behaviour matches the
+  generator's.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.arith.base import ArrayLike, NumberFormat
+from repro.errors import ArithmeticConfigError
+
+__all__ = ["LogNumberSystem"]
+
+
+class LogNumberSystem(NumberFormat):
+    """A configurable logarithmic number system for non-negative values.
+
+    Parameters
+    ----------
+    integer_bits:
+        Integer bits of the log2 value (including its sign); the
+        representable exponent range is ``[-2^(i-1), 2^(i-1))``.
+    fraction_bits:
+        Fractional bits of the log2 value (precision).
+    table_address_bits:
+        Address width of the ``phi`` lookup table (table has
+        ``2^table_address_bits`` segments over the active difference
+        range).
+    """
+
+    def __init__(
+        self,
+        integer_bits: int,
+        fraction_bits: int,
+        table_address_bits: int = 10,
+    ):
+        if not 2 <= integer_bits <= 16:
+            raise ArithmeticConfigError(
+                f"integer_bits must be in [2, 16], got {integer_bits}"
+            )
+        if not 1 <= fraction_bits <= 40:
+            raise ArithmeticConfigError(
+                f"fraction_bits must be in [1, 40], got {fraction_bits}"
+            )
+        if not 2 <= table_address_bits <= 16:
+            raise ArithmeticConfigError(
+                f"table_address_bits must be in [2, 16], got {table_address_bits}"
+            )
+        self.integer_bits = int(integer_bits)
+        self.fraction_bits = int(fraction_bits)
+        self.table_address_bits = int(table_address_bits)
+        # +1 for the zero flag the hardware carries alongside the word.
+        self.bits = integer_bits + fraction_bits + 1
+        self.name = f"lns({integer_bits},{fraction_bits})"
+        self._scale = float(1 << fraction_bits)
+        self.max_log = float((1 << (integer_bits - 1)) - 2.0 ** (-fraction_bits))
+        self.min_log = -float(1 << (integer_bits - 1))
+        # phi(d) = log2(1 + 2^-d) decays below one output ULP past
+        # d_max; the hardware clamps the table there and returns 0.
+        self._d_max = float(fraction_bits + 1)
+        self._build_table()
+
+    def _build_table(self) -> None:
+        n = 1 << self.table_address_bits
+        # Segment endpoints over [0, d_max]; entries are quantised to
+        # the fraction grid exactly like the BRAM contents would be.
+        self._seg_width = self._d_max / n
+        knots = np.arange(n + 1) * self._seg_width
+        phi = np.log2(1.0 + np.exp2(-knots))
+        self._table = np.round(phi * self._scale) / self._scale
+
+    # -- range ------------------------------------------------------------------
+    @property
+    def smallest_positive(self) -> float:
+        return float(2.0**self.min_log)
+
+    @property
+    def largest(self) -> float:
+        return float(2.0**self.max_log)
+
+    # -- log-domain helpers --------------------------------------------------------
+    def quantize_log(self, logs: ArrayLike) -> np.ndarray:
+        """Quantise log2 values onto the fixed-point grid (saturating)."""
+        logs = np.asarray(logs, dtype=np.float64)
+        fixed = np.rint(logs * self._scale) / self._scale
+        return np.clip(fixed, self.min_log, self.max_log)
+
+    def phi(self, diff: ArrayLike) -> np.ndarray:
+        """Table-plus-interpolation evaluation of log2(1 + 2^-d), d>=0."""
+        diff = np.asarray(diff, dtype=np.float64)
+        clamped = np.clip(diff, 0.0, self._d_max)
+        position = clamped / self._seg_width
+        index = np.minimum(position.astype(np.int64), (1 << self.table_address_bits) - 1)
+        fraction = position - index
+        left = self._table[index]
+        right = self._table[index + 1]
+        interpolated = left + fraction * (right - left)
+        out = np.round(interpolated * self._scale) / self._scale
+        return np.where(diff >= self._d_max, 0.0, out)
+
+    # -- NumberFormat interface -------------------------------------------------------
+    def quantize(self, values: ArrayLike) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        scalar = values.ndim == 0
+        values = np.atleast_1d(values)
+        if np.any(values < 0):
+            raise ArithmeticConfigError(
+                "LNS represents non-negative values only (SPN probabilities)"
+            )
+        out = np.zeros_like(values)
+        positive = values > 0
+        underflow = positive & (values < self.smallest_positive / np.sqrt(2.0))
+        live = positive & ~underflow
+        if np.any(live):
+            out[live] = np.exp2(self.quantize_log(np.log2(values[live])))
+        # Non-finite saturates; true zero stays zero (the zero flag).
+        out[~np.isfinite(values)] = self.largest
+        return out[0] if scalar else out
+
+    def mul(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        a = np.atleast_1d(np.asarray(a, dtype=np.float64))
+        b = np.atleast_1d(np.asarray(b, dtype=np.float64))
+        zero = (a == 0) | (b == 0)
+        safe_a = np.where(zero, 1.0, a)
+        safe_b = np.where(zero, 1.0, b)
+        logs = np.log2(safe_a) + np.log2(safe_b)
+        # The fixed-point log addition is exact; only saturation applies.
+        result = np.exp2(np.clip(logs, self.min_log, self.max_log))
+        return np.where(zero, 0.0, result)
+
+    def add(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        a = np.atleast_1d(np.asarray(a, dtype=np.float64))
+        b = np.atleast_1d(np.asarray(b, dtype=np.float64))
+        a_zero = a == 0
+        b_zero = b == 0
+        la = np.log2(np.where(a_zero, 1.0, a))
+        lb = np.log2(np.where(b_zero, 1.0, b))
+        hi = np.maximum(la, lb)
+        lo = np.minimum(la, lb)
+        result_log = self.quantize_log(hi + self.phi(hi - lo))
+        result = np.exp2(result_log)
+        result = np.where(a_zero & b_zero, 0.0, result)
+        result = np.where(a_zero & ~b_zero, b, result)
+        result = np.where(b_zero & ~a_zero, a, result)
+        return result

@@ -1,0 +1,157 @@
+"""Posit arithmetic emulation (PaCoGen-style).
+
+Implements posit<nbits, es> quantisation as specified by the posit
+standard (Gustafson): a sign bit, a unary-coded *regime*, ``es``
+exponent bits and the remaining bits of fraction.  The useed is
+``2^(2^es)``; the represented value is
+``sign * useed^regime * 2^exponent * (1 + fraction)``.
+
+The paper's comparison work [4] evaluated posits via the PaCoGen core
+generator; this emulation provides the same quantisation behaviour —
+tapered precision: values near 1 get the most fraction bits, extreme
+magnitudes degrade gracefully instead of flushing/saturating early.
+
+Quantisation is implemented via round-to-nearest-even on the integer
+bit pattern, vectorised over numpy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arith.base import ArrayLike, NumberFormat
+from repro.errors import ArithmeticConfigError
+
+__all__ = ["Posit"]
+
+
+class Posit(NumberFormat):
+    """A posit<nbits, es> format.
+
+    Parameters
+    ----------
+    nbits:
+        Total width in bits (3..32 supported by the emulation).
+    es:
+        Exponent field width (0..4 typical).
+    """
+
+    def __init__(self, nbits: int, es: int):
+        if not 3 <= nbits <= 32:
+            raise ArithmeticConfigError(f"nbits must be in [3, 32], got {nbits}")
+        if not 0 <= es <= 8:
+            raise ArithmeticConfigError(f"es must be in [0, 8], got {es}")
+        if es >= nbits - 2:
+            raise ArithmeticConfigError(
+                f"es={es} leaves no regime/fraction room in nbits={nbits}"
+            )
+        self.nbits = int(nbits)
+        self.es = int(es)
+        self.useed_power = 1 << es  # useed = 2^(2^es)
+        self.bits = self.nbits
+        self.name = f"posit({nbits},{es})"
+        # Maximum positive value: regime of nbits-1 ones.
+        self._max_regime = nbits - 2
+        self.max_value = float(2.0 ** (self.useed_power * self._max_regime))
+        self.min_value = float(2.0 ** (-self.useed_power * self._max_regime))
+        self._enumerate_values()
+
+    def _enumerate_values(self) -> None:
+        """Precompute all positive representable values.
+
+        For nbits <= 16 the full table is tiny (< 32k entries) and
+        makes quantisation a single ``searchsorted``.  For wider
+        posits we fall back to scaled enumeration of the packed
+        integer patterns, still vectorised.
+        """
+        n = self.nbits
+        if n > 16:
+            # Keep memory bounded: 2^31 values would be too many.  Use
+            # analytic quantisation instead (see quantize()).
+            self._values = None
+            return
+        patterns = np.arange(1, 1 << (n - 1), dtype=np.int64)
+        self._values = self._decode_positive(patterns)
+
+    def _decode_positive(self, patterns: np.ndarray) -> np.ndarray:
+        """Decode positive posit bit patterns to float64 values."""
+        n = self.nbits
+        values = np.empty(len(patterns), dtype=np.float64)
+        for i, p in enumerate(patterns):
+            bits = int(p)
+            # Regime: count of identical bits after the sign bit.
+            body = bits & ((1 << (n - 1)) - 1)
+            first = (body >> (n - 2)) & 1
+            run = 0
+            position = n - 2
+            while position >= 0 and ((body >> position) & 1) == first:
+                run += 1
+                position -= 1
+            regime = run - 1 if first == 1 else -run
+            position -= 1  # skip the terminating bit (if present)
+            remaining = max(position + 1, 0)
+            exp_bits = min(self.es, remaining)
+            exponent = (body >> (remaining - exp_bits)) & ((1 << exp_bits) - 1) if exp_bits else 0
+            exponent <<= self.es - exp_bits  # left-align short exponent fields
+            frac_bits = remaining - exp_bits
+            fraction = body & ((1 << frac_bits) - 1) if frac_bits > 0 else 0
+            mantissa = 1.0 + (fraction / (1 << frac_bits) if frac_bits > 0 else 0.0)
+            scale = self.useed_power * regime + exponent
+            values[i] = mantissa * 2.0**scale
+        return values
+
+    # -- range ----------------------------------------------------------------
+    @property
+    def smallest_positive(self) -> float:
+        return self.min_value
+
+    @property
+    def largest(self) -> float:
+        return self.max_value
+
+    # -- quantisation ------------------------------------------------------------
+    def quantize(self, values: ArrayLike) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        scalar = values.ndim == 0
+        values = np.atleast_1d(values)
+        sign = np.signbit(values)
+        magnitude = np.abs(values)
+        out = np.zeros_like(magnitude)
+        finite = np.isfinite(magnitude)
+        nonzero = (magnitude > 0) & finite
+
+        if np.any(nonzero):
+            mag = magnitude[nonzero]
+            if self._values is not None:
+                out[nonzero] = self._quantize_table(mag)
+            else:
+                out[nonzero] = self._quantize_analytic(mag)
+        out[~finite | np.isnan(values)] = self.max_value
+        result = np.where(sign, -out, out)
+        return result[0] if scalar else result
+
+    def _quantize_table(self, mag: np.ndarray) -> np.ndarray:
+        table = self._values
+        idx = np.searchsorted(table, mag)
+        idx_lo = np.clip(idx - 1, 0, len(table) - 1)
+        idx_hi = np.clip(idx, 0, len(table) - 1)
+        lo = table[idx_lo]
+        hi = table[idx_hi]
+        # Round to nearest (ties to the even pattern index, matching
+        # posit round-to-nearest-even on the integer encoding).
+        pick_hi = (mag - lo) > (hi - mag)
+        ties = (mag - lo) == (hi - mag)
+        pick_hi = pick_hi | (ties & (idx_hi % 2 == 0))
+        return np.where(pick_hi, hi, lo)
+
+    def _quantize_analytic(self, mag: np.ndarray) -> np.ndarray:
+        """Wide-posit quantisation via per-value fraction-width math."""
+        mag = np.clip(mag, self.min_value, self.max_value)
+        scale = np.floor(np.log2(mag)).astype(np.int64)
+        regime = np.floor_divide(scale, self.useed_power)
+        # Regime field length: r+2 bits for regime >= 0, -r+1 for < 0.
+        regime_len = np.where(regime >= 0, regime + 2, -regime + 1)
+        frac_bits = np.maximum(self.nbits - 1 - regime_len - self.es, 0)
+        step = np.exp2(scale.astype(np.float64) - frac_bits)
+        quantised = np.rint(mag / step) * step
+        return np.clip(quantised, self.min_value, self.max_value)

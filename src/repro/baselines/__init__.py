@@ -1,0 +1,23 @@
+"""Executable software baselines.
+
+Unlike the *analytic* platform models in :mod:`repro.platforms` (which
+reproduce the paper's Fig. 6 at the paper's hardware scale), these are
+real, runnable implementations measured on the local machine: the
+vectorised numpy batch-inference baseline (single- and multi-threaded)
+and a deliberately naive scalar reference used to validate everything
+else.
+"""
+
+from repro.baselines.cpu import (
+    CpuBaselineResult,
+    naive_log_likelihood,
+    run_cpu_baseline,
+    run_threaded_cpu_baseline,
+)
+
+__all__ = [
+    "CpuBaselineResult",
+    "naive_log_likelihood",
+    "run_cpu_baseline",
+    "run_threaded_cpu_baseline",
+]

@@ -1,0 +1,158 @@
+"""Command-line interface: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro <artifact> [options]
+
+where ``<artifact>`` is one of ``fig2``, ``table1``, ``fig4``,
+``fig5``, ``fig6``, ``speedups``, ``outlook``, ``ablations`` or
+``all``.  Each command prints the same rows/series the paper reports
+(see EXPERIMENTS.md for the interpretation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+__all__ = ["main"]
+
+
+def _cmd_fig2(args) -> str:
+    from repro.experiments import format_fig2, run_fig2
+
+    return format_fig2(run_fig2(n_requests=args.requests))
+
+
+def _cmd_table1(args) -> str:
+    from repro.experiments import format_table1, run_table1
+
+    return format_table1(run_table1())
+
+
+def _cmd_fig4(args) -> str:
+    from repro.experiments import format_fig4, run_fig4
+
+    return format_fig4(run_fig4(samples_per_core=args.samples))
+
+
+def _cmd_fig5(args) -> str:
+    from repro.experiments import format_fig5, run_fig5
+
+    return format_fig5(run_fig5())
+
+
+def _cmd_fig6(args) -> str:
+    from repro.experiments import format_fig6, run_fig6
+
+    return format_fig6(run_fig6(samples_per_core=args.samples))
+
+
+def _cmd_speedups(args) -> str:
+    from repro.experiments import format_speedups, run_fig6, run_speedups
+
+    fig6 = run_fig6(samples_per_core=args.samples)
+    return format_speedups(run_speedups(fig6))
+
+
+def _cmd_outlook(args) -> str:
+    from repro.experiments import format_outlook, run_outlook
+
+    return format_outlook(run_outlook())
+
+
+def _cmd_formats(args) -> str:
+    from repro.experiments.format_comparison import (
+        format_format_comparison,
+        run_format_comparison,
+    )
+
+    rows = run_format_comparison(n_samples=args.samples // 500 or 500)
+    return format_format_comparison(rows)
+
+
+def _cmd_sensitivity(args) -> str:
+    from repro.experiments import format_sensitivity, run_sensitivity
+
+    return format_sensitivity(run_sensitivity())
+
+
+def _cmd_roofline(args) -> str:
+    from repro.experiments import format_roofline, run_roofline
+
+    return format_roofline(run_roofline())
+
+
+def _cmd_ablations(args) -> str:
+    from repro.experiments.ablations import (
+        format_ablation,
+        run_block_size_ablation,
+        run_crossbar_ablation,
+        run_thread_ablation,
+    )
+
+    return format_ablation(
+        run_block_size_ablation(n_samples=args.samples),
+        run_thread_ablation(samples_per_core=args.samples // 2),
+        run_crossbar_ablation(),
+    )
+
+
+_COMMANDS: Dict[str, Callable] = {
+    "fig2": _cmd_fig2,
+    "table1": _cmd_table1,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "speedups": _cmd_speedups,
+    "outlook": _cmd_outlook,
+    "ablations": _cmd_ablations,
+    "formats": _cmd_formats,
+    "sensitivity": _cmd_sensitivity,
+    "roofline": _cmd_roofline,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures from the models.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=500_000,
+        help="samples per core for DES-backed artifacts (default 500k)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=16,
+        help="requests per point for the Fig. 2 sweep (default 16)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.artifact == "all":
+        names = sorted(_COMMANDS)
+    else:
+        names = [args.artifact]
+    for index, name in enumerate(names):
+        if index:
+            print("\n" + "=" * 72 + "\n")
+        print(_COMMANDS[name](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

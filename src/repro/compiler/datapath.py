@@ -1,0 +1,178 @@
+"""SPN to hardware dataflow graph translation.
+
+The generator lowers an SPN into a DAG of *two-input* hardware
+operators:
+
+* a histogram/categorical leaf becomes an ``INPUT`` tap feeding a
+  ``LOOKUP`` (the BRAM/LUTRAM probability table);
+* an ``n``-ary product becomes a balanced binary tree of ``n-1``
+  ``MUL`` operators (balanced trees minimise pipeline depth);
+* an ``n``-ary sum becomes ``n`` ``CONST_MUL`` weight multipliers
+  feeding a balanced binary tree of ``n-1`` ``ADD`` operators.
+
+Gaussian leaves are lowered to a LOOKUP as well: the hardware flow
+(per the prior work) discretises them into histogram tables before
+generation, which this builder performs on the fly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler.operators import HWOp
+from repro.errors import CompilerError
+from repro.spn.graph import SPN
+from repro.spn.nodes import (
+    CategoricalLeaf,
+    GaussianLeaf,
+    HistogramLeaf,
+    LeafNode,
+    ProductNode,
+    SumNode,
+)
+
+__all__ = ["DatapathNode", "Datapath", "build_datapath"]
+
+#: Bins used when discretising a Gaussian leaf for hardware.
+_GAUSSIAN_TABLE_BINS = 64
+
+
+@dataclass
+class DatapathNode:
+    """One hardware operator instance in the dataflow graph."""
+
+    #: Dense index within the owning datapath.
+    index: int
+    op: HWOp
+    #: Indices of input operators (0 for INPUT, 1 for LOOKUP, 2 else).
+    inputs: Tuple[int, ...] = ()
+    #: Input variable fed by this tap (INPUT only).
+    variable: Optional[int] = None
+    #: Table entry count (LOOKUP only).
+    table_entries: int = 0
+    #: Constant coefficient (CONST_MUL only).
+    constant: Optional[float] = None
+
+
+class Datapath:
+    """A scheduled-ready dataflow DAG in topological order."""
+
+    def __init__(self, nodes: List[DatapathNode], output: int, name: str = "datapath"):
+        if not nodes:
+            raise CompilerError("datapath needs at least one node")
+        if not 0 <= output < len(nodes):
+            raise CompilerError(f"output index {output} out of range")
+        for position, node in enumerate(nodes):
+            if node.index != position:
+                raise CompilerError("datapath nodes must be densely indexed")
+            for source in node.inputs:
+                if source >= position:
+                    raise CompilerError("datapath nodes must be in topological order")
+        self.nodes = nodes
+        self.output = output
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def count(self, op: HWOp) -> int:
+        """Number of operators of kind *op*."""
+        return sum(1 for n in self.nodes if n.op is op)
+
+    @property
+    def total_table_entries(self) -> int:
+        """Sum of LOOKUP table depths (drives LUT-as-memory cost)."""
+        return sum(n.table_entries for n in self.nodes if n.op is HWOp.LOOKUP)
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of distinct input variables tapped."""
+        return len({n.variable for n in self.nodes if n.op is HWOp.INPUT})
+
+
+class _Builder:
+    def __init__(self):
+        self.nodes: List[DatapathNode] = []
+        self._input_taps: Dict[int, int] = {}
+
+    def _emit(self, node: DatapathNode) -> int:
+        node.index = len(self.nodes)
+        self.nodes.append(node)
+        return node.index
+
+    def input_tap(self, variable: int) -> int:
+        if variable not in self._input_taps:
+            self._input_taps[variable] = self._emit(
+                DatapathNode(index=-1, op=HWOp.INPUT, variable=variable)
+            )
+        return self._input_taps[variable]
+
+    def lookup(self, variable: int, entries: int) -> int:
+        tap = self.input_tap(variable)
+        return self._emit(
+            DatapathNode(index=-1, op=HWOp.LOOKUP, inputs=(tap,), table_entries=entries)
+        )
+
+    def const_mul(self, source: int, constant: float) -> int:
+        return self._emit(
+            DatapathNode(
+                index=-1, op=HWOp.CONST_MUL, inputs=(source,), constant=float(constant)
+            )
+        )
+
+    def reduce_tree(self, sources: Sequence[int], op: HWOp) -> int:
+        """Balanced binary reduction of *sources* with *op*."""
+        level = list(sources)
+        if not level:
+            raise CompilerError("cannot reduce an empty operand list")
+        while len(level) > 1:
+            nxt: List[int] = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(
+                    self._emit(
+                        DatapathNode(index=-1, op=op, inputs=(level[i], level[i + 1]))
+                    )
+                )
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+
+def _leaf_entries(leaf: LeafNode) -> int:
+    if isinstance(leaf, HistogramLeaf):
+        return leaf.n_bins
+    if isinstance(leaf, CategoricalLeaf):
+        return leaf.n_categories
+    if isinstance(leaf, GaussianLeaf):
+        return _GAUSSIAN_TABLE_BINS
+    raise CompilerError(f"cannot map leaf type {type(leaf).__name__} to hardware")
+
+
+def build_datapath(spn: SPN) -> Datapath:
+    """Lower *spn* to a two-input-operator dataflow graph.
+
+    Shared SPN sub-graphs stay shared in hardware (one operator, many
+    consumers), matching the generator's common-subexpression reuse.
+    """
+    builder = _Builder()
+    produced: Dict[int, int] = {}
+    for node in spn:
+        if isinstance(node, LeafNode):
+            produced[node.id] = builder.lookup(node.variable, _leaf_entries(node))
+        elif isinstance(node, ProductNode):
+            sources = [produced[c.id] for c in node.children]
+            produced[node.id] = builder.reduce_tree(sources, HWOp.MUL)
+        elif isinstance(node, SumNode):
+            terms = [
+                builder.const_mul(produced[c.id], w)
+                for c, w in zip(node.children, node.weights)
+            ]
+            produced[node.id] = builder.reduce_tree(terms, HWOp.ADD)
+        else:  # pragma: no cover - validation rules this out
+            raise CompilerError(f"unknown node type {type(node).__name__}")
+    return Datapath(builder.nodes, produced[spn.root.id], name=spn.name)

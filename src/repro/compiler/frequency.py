@@ -1,0 +1,74 @@
+"""Achievable clock frequency model.
+
+Place-and-route frequency degrades with design size and with clocking-
+sensitive infrastructure.  The paper's motivation section is explicit
+about the mechanism this model captures: *"the use of additional soft
+memory controllers had a larger impact on the achievable clock
+frequency than the addition of extra SPN accelerators"* (§III-A), and
+removing them (HBM controllers are hard IP) is one of the stated wins
+of the HBM port.
+
+The model: start from the operator library's nominal Fmax, apply a
+congestion-driven derating that grows with logic utilisation, and a
+fixed multiplicative penalty per soft DDR controller.  The HBM designs
+run the accelerator clock at *half* the 450 MHz HBM clock (225 MHz)
+with doubled interface width (§IV-A), so the returned value is capped
+at the requested target clock when one is given.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler.resources import DeviceResources, ResourceVector
+from repro.errors import CompilerError
+
+__all__ = ["achievable_frequency"]
+
+#: Utilisation (LUT-logic fraction) where congestion derating starts.
+_CONGESTION_KNEE = 0.35
+#: Fmax multiplier lost per unit of utilisation beyond the knee.
+_CONGESTION_SLOPE = 0.55
+#: Fmax multiplier per instantiated soft DDR memory controller
+#: (calibrated to the prior work's observation that adding the 4th
+#: controller cost more than adding accelerator cores).
+_SOFT_CONTROLLER_FACTOR = 0.94
+
+
+def achievable_frequency(
+    nominal_fmax_mhz: float,
+    used: ResourceVector,
+    device: DeviceResources,
+    *,
+    soft_memory_controllers: int = 0,
+    target_mhz: Optional[float] = None,
+) -> float:
+    """Estimate the post-route clock of a composed design in MHz.
+
+    Parameters
+    ----------
+    nominal_fmax_mhz:
+        The operator library's small-design Fmax.
+    used / device:
+        Resource totals and the device budget (drives congestion).
+    soft_memory_controllers:
+        Count of soft DDR controllers in the design (0 for HBM).
+    target_mhz:
+        Constraint clock; the returned value never exceeds it (designs
+        are timed at their constraint, not above).
+    """
+    if nominal_fmax_mhz <= 0:
+        raise CompilerError(f"nominal_fmax must be positive, got {nominal_fmax_mhz}")
+    if soft_memory_controllers < 0:
+        raise CompilerError("soft_memory_controllers must be >= 0")
+    utilisation = device.utilisation(used)["luts_logic"]
+    fmax = nominal_fmax_mhz
+    if utilisation > _CONGESTION_KNEE:
+        derate = 1.0 - _CONGESTION_SLOPE * (utilisation - _CONGESTION_KNEE)
+        fmax *= max(derate, 0.2)
+    fmax *= _SOFT_CONTROLLER_FACTOR**soft_memory_controllers
+    if target_mhz is not None:
+        if target_mhz <= 0:
+            raise CompilerError(f"target clock must be positive, got {target_mhz}")
+        fmax = min(fmax, target_mhz)
+    return fmax

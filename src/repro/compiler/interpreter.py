@@ -1,0 +1,110 @@
+"""Functional interpreter for compiled datapath netlists.
+
+Executes a :class:`~repro.compiler.datapath.Datapath` directly — no
+reference to the source SPN — by walking the operator list in
+topological order.  Its purpose is verification: the interpreter's
+output on a netlist must equal the SPN's likelihood (property-tested),
+which pins down the lowering (balanced trees, shared input taps,
+weight constants) independently of the code that produced it.
+
+Supports the same number-format semantics as the hardware twin: pass
+a :class:`~repro.arith.base.NumberFormat` to fold every operator
+through its quantisation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.arith.base import NumberFormat
+from repro.compiler.datapath import Datapath
+from repro.compiler.operators import HWOp
+from repro.errors import CompilerError
+
+__all__ = ["interpret_datapath", "LookupTables", "extract_lookup_tables"]
+
+#: node index -> probability table indexed by the (integer) feature.
+LookupTables = Dict[int, np.ndarray]
+
+
+def extract_lookup_tables(datapath: Datapath, spn) -> LookupTables:
+    """Build each LOOKUP node's probability table from the source SPN.
+
+    The generator burns leaf distributions into LUTRAM at synthesis
+    time; this reproduces that step.  Tables are indexed by the raw
+    feature byte; out-of-range values clamp to the leaf floor, and
+    the reserved all-ones byte (255) returns probability 1
+    (marginalisation).
+    """
+    from repro.spn.nodes import LeafNode
+
+    leaves: List[LeafNode] = [n for n in spn if hasattr(n, "log_density")]
+    # The datapath emits LOOKUPs in SPN evaluation order, one per leaf.
+    lookup_nodes = [n for n in datapath.nodes if n.op is HWOp.LOOKUP]
+    if len(lookup_nodes) != len(leaves):
+        raise CompilerError(
+            f"{len(lookup_nodes)} LOOKUP ops for {len(leaves)} leaves; "
+            "netlist does not belong to this SPN"
+        )
+    tables: LookupTables = {}
+    for node, leaf in zip(lookup_nodes, leaves):
+        support = np.arange(256, dtype=np.float64)
+        probs = np.exp(leaf.log_density(support))
+        probs[255] = 1.0  # reserved missing-feature code
+        tables[node.index] = probs
+    return tables
+
+
+def interpret_datapath(
+    datapath: Datapath,
+    data: np.ndarray,
+    tables: LookupTables,
+    *,
+    fmt: Optional[NumberFormat] = None,
+) -> np.ndarray:
+    """Execute the netlist on *data*; returns the root's linear value.
+
+    Parameters
+    ----------
+    datapath:
+        The compiled netlist.
+    data:
+        ``(batch, n_variables)`` integer feature matrix (byte range).
+    tables:
+        Per-LOOKUP probability tables (see
+        :func:`extract_lookup_tables`).
+    fmt:
+        Optional hardware number format applied at every operator.
+    """
+    data = np.asarray(data)
+    if data.ndim != 2:
+        raise CompilerError(f"data must be 2-D, got {data.ndim}-D")
+    quantize = (lambda x: x) if fmt is None else fmt.quantize
+    mul = (lambda a, b: a * b) if fmt is None else fmt.mul
+    add = (lambda a, b: a + b) if fmt is None else fmt.add
+
+    values: Dict[int, np.ndarray] = {}
+    for node in datapath.nodes:
+        if node.op is HWOp.INPUT:
+            column = np.rint(data[:, node.variable]).astype(np.int64)
+            if np.any(column < 0) or np.any(column > 255):
+                raise CompilerError("input features must be byte-range integers")
+            values[node.index] = column.astype(np.float64)
+        elif node.op is HWOp.LOOKUP:
+            table = tables.get(node.index)
+            if table is None:
+                raise CompilerError(f"no table for LOOKUP node {node.index}")
+            addresses = values[node.inputs[0]].astype(np.int64)
+            values[node.index] = quantize(table[addresses])
+        elif node.op is HWOp.CONST_MUL:
+            coeff = quantize(np.float64(node.constant))
+            values[node.index] = mul(values[node.inputs[0]], coeff)
+        elif node.op is HWOp.MUL:
+            values[node.index] = mul(values[node.inputs[0]], values[node.inputs[1]])
+        elif node.op is HWOp.ADD:
+            values[node.index] = add(values[node.inputs[0]], values[node.inputs[1]])
+        else:  # pragma: no cover - exhaustive over HWOp
+            raise CompilerError(f"cannot interpret op {node.op}")
+    return values[datapath.output]

@@ -1,0 +1,78 @@
+"""Pipeline scheduling of a datapath.
+
+The generated hardware is a fully pipelined dataflow datapath with
+initiation interval (II) 1: one new sample enters and one result
+leaves every clock cycle; a sample's *latency* is the depth of the
+pipeline.  The scheduler assigns each operator an ASAP start stage,
+computes the total depth, and counts the balancing registers that must
+be inserted where a value produced in an early stage is consumed in a
+later one (these registers show up in Table I's kRegs column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.compiler.datapath import Datapath
+from repro.compiler.operators import HWOp, OperatorLibrary
+from repro.errors import CompilerError
+
+__all__ = ["PipelineSchedule", "schedule_datapath"]
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """The result of scheduling one datapath against one library."""
+
+    #: Start stage of each operator (index-aligned with the datapath).
+    start_stage: Tuple[int, ...]
+    #: Stage at which each operator's result is available.
+    ready_stage: Tuple[int, ...]
+    #: Total pipeline depth in cycles (latency of one sample).
+    depth: int
+    #: Initiation interval — always 1 for this generator.
+    initiation_interval: int
+    #: Balancing registers inserted to align operator inputs, in
+    #: value-stages (multiply by the word width for flip-flop bits).
+    balance_registers: int
+
+    @property
+    def samples_per_cycle(self) -> float:
+        """Steady-state throughput in samples per clock cycle."""
+        return 1.0 / self.initiation_interval
+
+
+def schedule_datapath(datapath: Datapath, library: OperatorLibrary) -> PipelineSchedule:
+    """ASAP-schedule *datapath* with *library*'s operator latencies.
+
+    ASAP is optimal for pipeline depth on a dataflow DAG (every
+    operator starts as soon as its last input is ready), and the
+    balancing-register count follows from the slack between each
+    input's ready stage and the operator's start stage.
+    """
+    n = len(datapath.nodes)
+    start = [0] * n
+    ready = [0] * n
+    balance = 0
+    for node in datapath.nodes:
+        if node.inputs:
+            start_stage = max(ready[i] for i in node.inputs)
+        else:
+            start_stage = 0
+        start[node.index] = start_stage
+        ready[node.index] = start_stage + library.latency(node.op)
+        # Each input arriving earlier than start_stage needs one
+        # register per stage of slack to stay aligned (II=1).
+        for source in node.inputs:
+            balance += start_stage - ready[source]
+    depth = ready[datapath.output]
+    if depth < 0:  # pragma: no cover - latencies are non-negative
+        raise CompilerError("negative pipeline depth")
+    return PipelineSchedule(
+        start_stage=tuple(start),
+        ready_stage=tuple(ready),
+        depth=depth,
+        initiation_interval=1,
+        balance_registers=balance,
+    )

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated Python
+errors.  Sub-hierarchies mirror the package layout: SPN structure errors,
+arithmetic-format configuration errors, compiler/fitting errors, memory
+model errors and host-runtime errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SPNStructureError(ReproError):
+    """An SPN graph violates a structural requirement.
+
+    Raised when a graph is not a DAG, references unknown children, or
+    violates completeness/decomposability/smoothness where those are
+    required (e.g. before hardware generation).
+    """
+
+
+class SPNFormatError(ReproError):
+    """The SPFlow-compatible textual SPN description cannot be parsed."""
+
+
+class ArithmeticConfigError(ReproError):
+    """An arithmetic number-format configuration is invalid.
+
+    Examples: zero mantissa bits, unknown rounding mode, posit *es*
+    larger than the word allows.
+    """
+
+
+class CompilerError(ReproError):
+    """The hardware compiler cannot translate or schedule an SPN."""
+
+
+class ResourceFitError(CompilerError):
+    """A composed design does not fit the target device's resources."""
+
+
+class MemoryModelError(ReproError):
+    """A memory-substrate model was used inconsistently.
+
+    Examples: AXI burst crossing a forbidden boundary, accessing an HBM
+    channel's address space without the crossbar enabled, freeing an
+    unallocated device buffer.
+    """
+
+
+class AllocationError(MemoryModelError):
+    """The device memory manager cannot satisfy an allocation request."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an inconsistency.
+
+    Examples: scheduling an event in the past, a process yielding an
+    unknown command, deadlock detection on bounded channels.
+    """
+
+
+class RuntimeConfigError(ReproError):
+    """The host runtime was configured inconsistently.
+
+    Examples: more accelerators requested than PEs present, a block size
+    that does not hold a single sample, zero control threads.
+    """

@@ -1,0 +1,122 @@
+"""Fig. 6 — end-to-end peak performance across platforms.
+
+For every benchmark, the best configuration per platform:
+
+* **HBM (this work)** — full system simulation (device + runtime),
+  best of the deployable core counts with transfers included;
+* **AWS F1 [8]** — the calibrated prior-work system model;
+* **CPU (Xeon E5-2680 v3)** — the calibrated analytic model;
+* **GPU (Tesla V100)** — the calibrated analytic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.compiler.design import ROUTABILITY_LIMIT, compile_core, compose_design
+from repro.errors import ResourceFitError
+from repro.experiments.reference import PAPER
+from repro.experiments.reporting import format_series
+from repro.host.device import SimulatedDevice
+from repro.host.runtime import InferenceJobConfig, InferenceRuntime
+from repro.platforms.cpu_model import XEON_E5_2680_V3
+from repro.platforms.f1_model import AWS_F1_SYSTEM
+from repro.platforms.gpu_model import TESLA_V100
+from repro.platforms.specs import XUPVVH_HBM_PLATFORM
+from repro.spn.nips import NIPS_BENCHMARKS, nips_benchmark
+
+__all__ = ["Fig6Result", "run_fig6", "format_fig6", "hbm_core_count"]
+
+#: Samples per core for the HBM simulation runs.
+SAMPLES_PER_CORE = 1_000_000
+
+
+def hbm_core_count(benchmark: str) -> int:
+    """Deployable core count on the VU37P for *benchmark*.
+
+    The paper deploys up to 8 cores (NIPS80 included); smaller
+    benchmarks could fit more but gain nothing past the PCIe plateau,
+    so 8 is the evaluated maximum throughout.
+    """
+    spn = nips_benchmark(benchmark).spn
+    core = compile_core(spn, "cfp")
+    best = 1
+    for n in range(1, 9):
+        try:
+            compose_design(core, n, XUPVVH_HBM_PLATFORM)
+            best = n
+        except ResourceFitError:
+            break
+    return best
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """Best-case samples/s per platform per benchmark."""
+
+    benchmarks: Tuple[str, ...]
+    hbm: Dict[str, float]
+    f1: Dict[str, float]
+    cpu: Dict[str, float]
+    gpu: Dict[str, float]
+
+    def winner(self, benchmark: str) -> str:
+        """Fastest platform for *benchmark*."""
+        candidates = {
+            "HBM": self.hbm[benchmark],
+            "F1": self.f1[benchmark],
+            "CPU": self.cpu[benchmark],
+            "V100": self.gpu[benchmark],
+        }
+        return max(candidates, key=candidates.get)
+
+
+def run_fig6(
+    benchmarks: Sequence[str] = NIPS_BENCHMARKS,
+    *,
+    samples_per_core: int = SAMPLES_PER_CORE,
+) -> Fig6Result:
+    """Measure/model all four platforms per benchmark."""
+    hbm: Dict[str, float] = {}
+    f1: Dict[str, float] = {}
+    cpu: Dict[str, float] = {}
+    gpu: Dict[str, float] = {}
+    for name in benchmarks:
+        bench = nips_benchmark(name)
+        n_cores = hbm_core_count(name)
+        design = compose_design(
+            compile_core(bench.spn, "cfp"), n_cores, XUPVVH_HBM_PLATFORM
+        )
+        device = SimulatedDevice(design)
+        runtime = InferenceRuntime(device, InferenceJobConfig(threads_per_pe=1))
+        stats = runtime.run_timing_only(samples_per_core * n_cores)
+        hbm[name] = stats.samples_per_second
+        f1[name] = AWS_F1_SYSTEM.samples_per_second(
+            name, bench.input_bytes_per_sample, bench.result_bytes_per_sample
+        )
+        cpu[name] = XEON_E5_2680_V3.samples_per_second(bench.spn)
+        gpu[name] = TESLA_V100.samples_per_second(bench.spn)
+    return Fig6Result(
+        benchmarks=tuple(benchmarks), hbm=hbm, f1=f1, cpu=cpu, gpu=gpu
+    )
+
+
+def format_fig6(result: Fig6Result) -> str:
+    """Render the Fig. 6 bars (Msamples/s) with paper references."""
+    names = list(result.benchmarks)
+    table = format_series(
+        "benchmark",
+        names,
+        {
+            "HBM (this)": [result.hbm[n] / 1e6 for n in names],
+            "HBM paper*": [PAPER.fig6_hbm[n] / 1e6 for n in names],
+            "AWS F1": [result.f1[n] / 1e6 for n in names],
+            "CPU": [result.cpu[n] / 1e6 for n in names],
+            "V100": [result.gpu[n] / 1e6 for n in names],
+        },
+        title="Fig. 6 - peak end-to-end performance, Msamples/s "
+        "(*reconstructed from quoted anchors)",
+    )
+    winners = ", ".join(f"{n}: {result.winner(n)}" for n in names)
+    return table + "\nwinners: " + winners

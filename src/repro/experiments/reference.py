@@ -1,0 +1,164 @@
+"""Paper-reported reference values.
+
+Everything the paper quotes numerically, collected in one place so
+experiments can print paper-vs-measured columns.  Values marked
+*derived* are reconstructed from quoted ratios/anchors (the paper's
+figures are bar charts without printed values); the derivation is
+noted per entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["PAPER", "PaperReference", "TableOneRow"]
+
+
+@dataclass(frozen=True)
+class TableOneRow:
+    """One Table I row: (kLUT logic, kLUT mem, kRegs, BRAM, DSP)."""
+
+    luts_logic_k: float
+    luts_mem_k: float
+    registers_k: float
+    bram: int
+    dsp: int
+
+
+@dataclass(frozen=True)
+class PaperReference:
+    """All quoted numbers from the paper's evaluation."""
+
+    # --- Table I (quoted directly) ---------------------------------------
+    table1_new: Dict[str, TableOneRow]
+    table1_old: Dict[str, TableOneRow]
+    table1_available_new: TableOneRow
+    table1_available_old: TableOneRow
+
+    # --- §V-B scaling anchors (quoted directly) ---------------------------
+    #: Single accelerator, NIPS10, end-to-end samples/s.
+    nips10_single_core_rate: float
+    #: Five accelerators, NIPS10, end-to-end samples/s.
+    nips10_five_core_rate: float
+    #: NIPS10 bits in flight per sample.
+    nips10_bits_per_sample: int
+    #: Required bandwidth of one NIPS10 core, GiB/s.
+    nips10_single_core_gib: float
+    #: NIPS80 peak samples/s (8 cores, end to end).
+    nips80_rate: float
+    #: NIPS80 input-side bandwidth, GiB/s.
+    nips80_input_gib: float
+
+    # --- §II-B HBM microbenchmark (quoted directly) -----------------------
+    #: Practical per-channel combined throughput, GiB/s.
+    hbm_channel_gib: float
+    #: Request size where the channel saturates, bytes.
+    hbm_saturation_bytes: int
+    #: Vendor theoretical total bandwidth, GB/s.
+    hbm_theoretical_gb: float
+    #: Practical 32-channel total, GiB/s.
+    hbm_practical_total_gib: float
+
+    # --- §V-C outlook (quoted directly) ------------------------------------
+    #: PCIe gen -> practical single-direction GiB/s.
+    pcie_outlook_gib: Dict[str, float]
+    #: 128 NIPS10 cores' demand, GiB/s.
+    nips10_128core_demand_gib: float
+
+    # --- §V-D speedups (quoted: maxima and geometric means) ----------------
+    speedup_vs_cpu_max: float
+    speedup_vs_cpu_geomean: float
+    speedup_vs_cpu_nips20: float
+    speedup_vs_gpu_max: float
+    speedup_vs_gpu_geomean: float
+    speedup_vs_f1_max: float
+    speedup_vs_f1_geomean: float
+
+    # --- §V-D streaming perspective (quoted directly) ----------------------
+    streaming_line_rate_gbit: float
+    streaming_nips80_rate: float
+
+    # --- Fig. 6 series (derived from the quoted speedups + anchors; the
+    # figure itself prints no numbers).  Keyed by benchmark. -----------------
+    fig6_hbm: Dict[str, float]
+    fig6_cpu: Dict[str, float]
+    fig6_gpu: Dict[str, float]
+    fig6_f1: Dict[str, float]
+
+
+def _derive_fig6() -> Tuple[dict, dict, dict, dict]:
+    """Reconstruct the Fig. 6 series from quoted anchors and ratios.
+
+    HBM values follow from the PCIe weighted-capacity model pinned by
+    the two quoted anchors (NIPS10 5-core plateau, NIPS80 rate); CPU
+    uses the quoted 1.21x/2.46x speedups at NIPS20/NIPS80 plus the
+    power-law interpolation of :mod:`repro.platforms.cpu_model`; GPU
+    and F1 use ratio series consistent with the quoted maxima and
+    geometric means.
+    """
+    weighted = 9.38 * 2**30
+    hbm = {
+        name: weighted / (nvars + 0.8 * 8)
+        for name, nvars in (
+            ("NIPS10", 10), ("NIPS20", 20), ("NIPS30", 30), ("NIPS40", 40), ("NIPS80", 80),
+        )
+    }
+    cpu_ratios = {"NIPS10": 0.95, "NIPS20": 1.21, "NIPS30": 1.30, "NIPS40": 1.60, "NIPS80": 2.46}
+    gpu_ratios = {"NIPS10": 5.2, "NIPS20": 6.6, "NIPS30": 7.2, "NIPS40": 7.6, "NIPS80": 8.4}
+    f1_ratios = {"NIPS10": 1.24, "NIPS20": 1.24, "NIPS30": 1.25, "NIPS40": 1.25, "NIPS80": 1.45}
+    cpu = {k: hbm[k] / r for k, r in cpu_ratios.items()}
+    gpu = {k: hbm[k] / r for k, r in gpu_ratios.items()}
+    f1 = {k: hbm[k] / r for k, r in f1_ratios.items()}
+    return hbm, cpu, gpu, f1
+
+
+_hbm, _cpu, _gpu, _f1 = _derive_fig6()
+
+#: The paper's quoted numbers (see field docs for derived entries).
+PAPER = PaperReference(
+    table1_new={
+        "NIPS10": TableOneRow(169.8, 66.9, 275.1, 122, 200),
+        "NIPS20": TableOneRow(180.5, 69.6, 320.7, 126, 448),
+        "NIPS30": TableOneRow(230.9, 70.4, 354.4, 122, 696),
+        "NIPS40": TableOneRow(241.2, 72.9, 401.6, 132, 976),
+    },
+    table1_old={
+        "NIPS10": TableOneRow(376.0, 45.4, 530.2, 360, 612),
+        "NIPS20": TableOneRow(467.0, 54.4, 650.6, 388, 1356),
+        "NIPS30": TableOneRow(577.3, 62.6, 765.4, 364, 2100),
+        "NIPS40": TableOneRow(664.1, 75.1, 907.1, 380, 2940),
+    },
+    table1_available_new=TableOneRow(1304.0, 601.0, 2607.0, 2016, 9024),
+    table1_available_old=TableOneRow(1182.0, 592.0, 2364.0, 2160, 6840),
+    nips10_single_core_rate=133_139_305.0,
+    nips10_five_core_rate=614_654_595.0,
+    nips10_bits_per_sample=144,
+    nips10_single_core_gib=2.23,
+    nips80_rate=116_565_604.0,
+    nips80_input_gib=8.7,
+    hbm_channel_gib=12.0,
+    hbm_saturation_bytes=1 << 20,
+    hbm_theoretical_gb=460.0,
+    hbm_practical_total_gib=384.0,
+    pcie_outlook_gib={
+        "pcie3-x16": 11.64,
+        "pcie4-x16": 23.0,
+        "pcie5-x16": 46.0,
+        "pcie6-x16": 92.0,
+    },
+    nips10_128core_demand_gib=285.0,
+    speedup_vs_cpu_max=2.46,
+    speedup_vs_cpu_geomean=1.6,
+    speedup_vs_cpu_nips20=1.21,
+    speedup_vs_gpu_max=8.4,
+    speedup_vs_gpu_geomean=6.9,
+    speedup_vs_f1_max=1.5,
+    speedup_vs_f1_geomean=1.29,
+    streaming_line_rate_gbit=99.078,
+    streaming_nips80_rate=140_748_580.0,
+    fig6_hbm=_hbm,
+    fig6_cpu=_cpu,
+    fig6_gpu=_gpu,
+    fig6_f1=_f1,
+)

@@ -1,0 +1,132 @@
+"""Roofline analysis: why SPN inference is bandwidth-bound.
+
+The paper attributes its memory focus to "the relatively low
+arithmetic intensity of SPN inference" (§I) and the V100's loss to
+the same property (§V-D).  This module quantifies that claim: for
+each benchmark, the arithmetic intensity (datapath operations per
+byte moved) and the resulting roofline-limited throughput on each
+platform's (bandwidth, compute) envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.compiler.datapath import build_datapath
+from repro.compiler.operators import HWOp
+from repro.experiments.reporting import format_table
+from repro.spn.nips import NIPS_BENCHMARKS, nips_benchmark
+from repro.units import GIB
+
+__all__ = ["PlatformEnvelope", "RooflinePoint", "run_roofline", "format_roofline"]
+
+
+@dataclass(frozen=True)
+class PlatformEnvelope:
+    """A platform's roofline: sustained bandwidth and op throughput."""
+
+    name: str
+    #: Sustained memory/interface bandwidth in bytes/s (the slanted
+    #: part of the roof).
+    bandwidth: float
+    #: Peak operation throughput in ops/s (the flat part).
+    compute: float
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Ops/byte where the platform turns compute-bound."""
+        return self.compute / self.bandwidth
+
+    def bound(self, intensity: float) -> float:
+        """Roofline-limited op rate at *intensity* (ops/s)."""
+        return min(self.compute, self.bandwidth * intensity)
+
+
+#: Platform envelopes.  HBM FPGA: 8 channels x 12 GiB/s feeding
+#: 8 x 225 MHz II=1 pipelines, each pipeline retiring its whole
+#: datapath's ops every cycle (spatial compute — this is the point).
+#: V100: ~900 GB/s HBM2 but ~17 Gop/s *effective* on gather-heavy SPN
+#: node evaluation (the calibrated model).  Xeon: ~60 GB/s, ~30 Gop/s
+#: effective vector throughput.
+def _platform_envelopes(n_ops: int) -> List[PlatformEnvelope]:
+    return [
+        PlatformEnvelope(
+            "HBM FPGA (8 cores)",
+            bandwidth=8 * 12 * GIB,
+            compute=8 * 225e6 * n_ops,  # spatial: all ops, every cycle
+        ),
+        PlatformEnvelope("Tesla V100", bandwidth=900e9, compute=17e9),
+        PlatformEnvelope("Xeon E5-2680v3", bandwidth=60e9, compute=30e9),
+    ]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One benchmark's position on the rooflines."""
+
+    benchmark: str
+    n_ops: int
+    bytes_per_sample: int
+    intensity: float
+    #: platform -> (roofline-bound samples/s, memory_bound?).
+    bounds: Dict[str, Tuple[float, bool]]
+
+
+def run_roofline(
+    benchmarks: Sequence[str] = NIPS_BENCHMARKS,
+) -> List[RooflinePoint]:
+    """Compute intensity and per-platform bounds for each benchmark."""
+    points: List[RooflinePoint] = []
+    for name in benchmarks:
+        bench = nips_benchmark(name)
+        datapath = build_datapath(bench.spn)
+        n_ops = sum(
+            datapath.count(op)
+            for op in (HWOp.ADD, HWOp.MUL, HWOp.CONST_MUL, HWOp.LOOKUP)
+        )
+        bytes_per_sample = bench.total_bytes_per_sample
+        intensity = n_ops / bytes_per_sample
+        bounds: Dict[str, Tuple[float, bool]] = {}
+        for platform in _platform_envelopes(n_ops):
+            op_rate = platform.bound(intensity)
+            samples = op_rate / n_ops
+            bounds[platform.name] = (samples, intensity < platform.ridge_intensity)
+        points.append(
+            RooflinePoint(
+                benchmark=name,
+                n_ops=n_ops,
+                bytes_per_sample=bytes_per_sample,
+                intensity=intensity,
+                bounds=bounds,
+            )
+        )
+    return points
+
+
+def format_roofline(points: Sequence[RooflinePoint]) -> str:
+    """Render the roofline table (Msamples/s bounds, bound type)."""
+    platforms = list(points[0].bounds)
+    headers = ["benchmark", "ops", "B/sample", "ops/B"] + [
+        f"{p} (M/s)" for p in platforms
+    ]
+    rows = []
+    for point in points:
+        row = [
+            point.benchmark,
+            point.n_ops,
+            point.bytes_per_sample,
+            f"{point.intensity:.1f}",
+        ]
+        for platform in platforms:
+            samples, memory_bound = point.bounds[platform]
+            row.append(f"{samples / 1e6:,.0f}{' (mem)' if memory_bound else ''}")
+        rows.append(row)
+    return format_table(
+        headers,
+        rows,
+        title=(
+            "Roofline bounds per platform ('mem' = memory-bound at that "
+            "platform's envelope; SPN inference sits left of the GPU ridge)"
+        ),
+    )

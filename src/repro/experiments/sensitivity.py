@@ -1,0 +1,184 @@
+"""Sensitivity of the reproduced findings to calibration constants.
+
+DESIGN.md §5 freezes a handful of calibrated constants (DMA weighted
+capacity, job-dispatch overhead, per-operator costs).  A reproduction
+is only convincing if the paper's *qualitative* findings do not hinge
+on those exact values, so this experiment perturbs each constant
+across a range and re-evaluates the three headline conclusions:
+
+1. PCIe (not HBM) is the end-to-end bottleneck at 8 cores;
+2. the HBM system beats the prior F1 system on every benchmark;
+3. the CPU wins NIPS10 but loses from NIPS20 on.
+
+Each conclusion is re-derived analytically from the perturbed
+constants (the same closed forms the DES validates), so a full sweep
+is cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.compiler.datapath import build_datapath
+from repro.compiler.operators import HWOp
+from repro.experiments.reporting import format_table
+from repro.platforms.cpu_model import XEON_E5_2680_V3
+from repro.platforms.f1_model import AWS_F1_SYSTEM
+from repro.platforms.specs import HBM_XUPVVH, PCIE_GEN3_X16
+from repro.spn.nips import NIPS_BENCHMARKS, nips_benchmark
+from repro.units import GIB
+
+__all__ = ["SensitivityResult", "run_sensitivity", "format_sensitivity"]
+
+#: Multiplicative perturbations applied to each calibrated constant.
+DEFAULT_FACTORS: Tuple[float, ...] = (0.8, 0.9, 1.0, 1.1, 1.2)
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Headline-conclusion verdicts under each perturbation."""
+
+    factors: Tuple[float, ...]
+    #: constant -> factor -> (pcie_is_bottleneck, hbm_beats_f1_all,
+    #: cpu_crossover_at_nips20) verdict triple.
+    verdicts: Dict[str, Dict[float, Tuple[bool, bool, bool]]]
+
+    def all_conclusions_robust(self) -> bool:
+        """True when every perturbation preserves every conclusion."""
+        return all(
+            all(verdict)
+            for by_factor in self.verdicts.values()
+            for verdict in by_factor.values()
+        )
+
+
+def _conclusions(
+    *,
+    weighted_capacity: float,
+    dispatch_overhead: float,
+    cpu_coefficient: float,
+) -> Tuple[bool, bool, bool]:
+    """Re-derive the three headline conclusions from the constants."""
+    block_samples = (1 << 20) // 10  # 1 MiB of NIPS10 inputs
+    per_core = block_samples / (dispatch_overhead + block_samples / 225e6)
+    pcie_bound_nips10 = weighted_capacity / (10 + 0.8 * 8)
+    # 1. At 8 cores the PCIe bound must sit below the compute capacity.
+    pcie_is_bottleneck = pcie_bound_nips10 < 8 * per_core
+
+    # 2. HBM beats F1 on every benchmark (both PCIe-limited systems).
+    hbm_beats_f1 = True
+    for name in NIPS_BENCHMARKS:
+        bench = nips_benchmark(name)
+        hbm = min(
+            weighted_capacity
+            / (bench.input_bytes_per_sample + 0.8 * bench.result_bytes_per_sample),
+            8 * per_core,
+        )
+        f1 = AWS_F1_SYSTEM.samples_per_second(
+            name, bench.input_bytes_per_sample, bench.result_bytes_per_sample
+        )
+        hbm_beats_f1 &= hbm > f1
+
+    # 3. CPU wins NIPS10, loses NIPS20 (the Fig. 6 crossover).
+    def cpu_rate(name: str) -> float:
+        datapath = build_datapath(nips_benchmark(name).spn)
+        n_ops = sum(
+            datapath.count(op)
+            for op in (HWOp.ADD, HWOp.MUL, HWOp.CONST_MUL, HWOp.LOOKUP)
+        )
+        cycles = cpu_coefficient * n_ops**XEON_E5_2680_V3.cycles_exponent
+        return XEON_E5_2680_V3.n_cores * XEON_E5_2680_V3.frequency_hz / cycles
+
+    def hbm_rate(name: str) -> float:
+        bench = nips_benchmark(name)
+        return min(
+            weighted_capacity
+            / (bench.input_bytes_per_sample + 0.8 * bench.result_bytes_per_sample),
+            8 * per_core,
+        )
+
+    crossover = cpu_rate("NIPS10") > hbm_rate("NIPS10") and cpu_rate(
+        "NIPS20"
+    ) < hbm_rate("NIPS20")
+    return pcie_is_bottleneck, hbm_beats_f1, crossover
+
+
+def run_sensitivity(factors: Sequence[float] = DEFAULT_FACTORS) -> SensitivityResult:
+    """Sweep each calibrated constant by the given factors."""
+    base_capacity = PCIE_GEN3_X16.weighted_capacity
+    base_dispatch = 86e-6
+    base_cpu = XEON_E5_2680_V3.cycles_coefficient
+    verdicts: Dict[str, Dict[float, Tuple[bool, bool, bool]]] = {
+        "pcie weighted capacity": {},
+        "job dispatch overhead": {},
+        "cpu cost coefficient": {},
+    }
+    for factor in factors:
+        verdicts["pcie weighted capacity"][factor] = _conclusions(
+            weighted_capacity=base_capacity * factor,
+            dispatch_overhead=base_dispatch,
+            cpu_coefficient=base_cpu,
+        )
+        verdicts["job dispatch overhead"][factor] = _conclusions(
+            weighted_capacity=base_capacity,
+            dispatch_overhead=base_dispatch * factor,
+            cpu_coefficient=base_cpu,
+        )
+        verdicts["cpu cost coefficient"][factor] = _conclusions(
+            weighted_capacity=base_capacity,
+            dispatch_overhead=base_dispatch,
+            cpu_coefficient=base_cpu * factor,
+        )
+    return SensitivityResult(factors=tuple(factors), verdicts=verdicts)
+
+
+def format_sensitivity(result: SensitivityResult) -> str:
+    """Render the robustness matrix."""
+    rows: List[list] = []
+    for constant, by_factor in result.verdicts.items():
+        for factor, (pcie, f1, crossover) in sorted(by_factor.items()):
+            rows.append(
+                [
+                    constant,
+                    f"x{factor:.1f}",
+                    "yes" if pcie else "NO",
+                    "yes" if f1 else "NO",
+                    "yes" if crossover else "NO",
+                ]
+            )
+    if result.all_conclusions_robust():
+        verdict = "all three conclusions hold under every perturbation"
+    else:
+        robust = [
+            label
+            for index, label in enumerate(
+                ["PCIe-is-bottleneck", "HBM-beats-F1", "CPU crossover"]
+            )
+            if all(
+                verdict[index]
+                for by_factor in result.verdicts.values()
+                for verdict in by_factor.values()
+            )
+        ]
+        verdict = (
+            f"robust under +-20%: {', '.join(robust) or 'none'}; the "
+            "remaining findings are margin-limited — consistent with the "
+            "paper's own narrow margins (CPU wins NIPS10 by ~5%, the "
+            "NIPS20 speedup is only 1.21x)"
+        )
+    return (
+        format_table(
+            [
+                "calibrated constant",
+                "scale",
+                "PCIe is bottleneck",
+                "HBM beats F1",
+                "CPU crossover @NIPS20",
+            ],
+            rows,
+            title="Sensitivity of headline findings to calibration (+-20%)",
+        )
+        + "\n"
+        + verdict
+    )

@@ -1,0 +1,103 @@
+"""Table I — resource utilisation, this work vs prior work [8].
+
+Compiles the four comparable benchmarks (NIPS10..NIPS40) as 4-core
+designs on both platforms and reports the five resource columns next
+to the paper's quoted values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.compiler.design import AcceleratorDesign, compile_core, compose_design
+from repro.experiments.reference import PAPER, TableOneRow
+from repro.experiments.reporting import format_table
+from repro.platforms.specs import (
+    AWS_F1_PLATFORM,
+    F1_CORE_INFRASTRUCTURE,
+    XUPVVH_HBM_PLATFORM,
+)
+from repro.spn.nips import nips_spn
+
+__all__ = ["Table1Result", "run_table1", "format_table1", "TABLE1_BENCHMARKS"]
+
+#: The benchmarks Table I covers (4-core designs fit both platforms).
+TABLE1_BENCHMARKS: Tuple[str, ...] = ("NIPS10", "NIPS20", "NIPS30", "NIPS40")
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Modelled resource totals for both platforms, per benchmark."""
+
+    new_designs: Dict[str, AcceleratorDesign]
+    old_designs: Dict[str, AcceleratorDesign]
+
+    def as_row(self, design: AcceleratorDesign) -> TableOneRow:
+        """Convert a design's totals into Table I row units."""
+        used = design.total_resources
+        return TableOneRow(
+            luts_logic_k=used.luts_logic / 1e3,
+            luts_mem_k=used.luts_mem / 1e3,
+            registers_k=used.registers / 1e3,
+            bram=int(round(used.bram)),
+            dsp=int(round(used.dsp)),
+        )
+
+
+def run_table1(benchmarks: Tuple[str, ...] = TABLE1_BENCHMARKS) -> Table1Result:
+    """Compile the Table I designs on both platforms."""
+    new_designs = {}
+    old_designs = {}
+    for name in benchmarks:
+        spn = nips_spn(name)
+        new_designs[name] = compose_design(
+            compile_core(spn, "cfp"), 4, XUPVVH_HBM_PLATFORM
+        )
+        old_designs[name] = compose_design(
+            compile_core(spn, "float64", core_infrastructure=F1_CORE_INFRASTRUCTURE),
+            4,
+            AWS_F1_PLATFORM,
+        )
+    return Table1Result(new_designs=new_designs, old_designs=old_designs)
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render modelled-vs-paper Table I (both platforms)."""
+    headers = [
+        "Example",
+        "kLUT log (paper)",
+        "kLUT mem (paper)",
+        "kRegs (paper)",
+        "BRAM (paper)",
+        "DSP (paper)",
+    ]
+
+    def rows_for(designs, reference) -> List[List[str]]:
+        rows = []
+        for name, design in designs.items():
+            got = result.as_row(design)
+            ref = reference[name]
+            rows.append(
+                [
+                    name,
+                    f"{got.luts_logic_k:.1f} ({ref.luts_logic_k})",
+                    f"{got.luts_mem_k:.1f} ({ref.luts_mem_k})",
+                    f"{got.registers_k:.1f} ({ref.registers_k})",
+                    f"{got.bram} ({ref.bram})",
+                    f"{got.dsp} ({ref.dsp})",
+                ]
+            )
+        return rows
+
+    new_table = format_table(
+        headers,
+        rows_for(result.new_designs, PAPER.table1_new),
+        title="Table I - this work (HBM, CFP), 4 cores; modelled (paper)",
+    )
+    old_table = format_table(
+        headers,
+        rows_for(result.old_designs, PAPER.table1_old),
+        title="Table I - prior work [8] (F1, float64), 4 cores; modelled (paper)",
+    )
+    return new_table + "\n\n" + old_table

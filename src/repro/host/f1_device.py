@@ -1,0 +1,211 @@
+"""DES model of the prior-work AWS F1 device [8].
+
+The analytic :class:`repro.platforms.f1_model.F1SystemModel` answers
+"what does the F1 system sustain"; this class *simulates* it with the
+same machinery as the HBM device, differing in exactly the three ways
+the paper contrasts (§III-A):
+
+* cores share **DDR channels** behind soft controllers (a controller
+  may serve several cores) instead of owning an HBM pseudo-channel;
+* host transfers run through the shell's **XDMA** engine: one ~3 GiB/s
+  queue per core, all queues sharing a lower aggregate capacity;
+* the composed design runs at the F1 platform's (congestion-degraded)
+  clock with the double-precision datapath.
+
+It speaks the same device protocol as
+:class:`repro.host.device.SimulatedDevice`, so the unmodified
+:class:`~repro.host.runtime.InferenceRuntime` drives it — the runtime
+logic is platform-independent, as in the real TaPaSCo stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.accel.core import SPNAcceleratorCore
+from repro.accel.memory_store import ChannelMemory
+from repro.arith.base import NumberFormat
+from repro.compiler.design import AcceleratorDesign
+from repro.errors import RuntimeConfigError
+from repro.host.memory_manager import DeviceMemoryManager
+from repro.mem.ddr import DDR4_2400_SPEC, DDRChannel, DDRSpec
+from repro.platforms.f1_model import AWS_F1_SYSTEM
+from repro.sim.engine import Engine, Event
+from repro.sim.resource import TokenBucket
+from repro.units import GIB
+
+__all__ = ["F1DmaEngine", "F1SimulatedDevice"]
+
+#: DDR capacity behind one F1 channel.
+F1_CHANNEL_CAPACITY = 16 * GIB
+
+
+class F1DmaEngine:
+    """The F1 shell's XDMA: per-queue limits under an aggregate cap."""
+
+    def __init__(
+        self,
+        env: Engine,
+        n_queues: int,
+        *,
+        per_queue_bandwidth: float = AWS_F1_SYSTEM.per_queue_bandwidth,
+        aggregate_weighted: float = AWS_F1_SYSTEM.weighted_pcie_capacity,
+        d2h_weight: float = AWS_F1_SYSTEM.d2h_weight,
+        setup_latency: float = 30e-6,
+    ):
+        if n_queues < 1:
+            raise RuntimeConfigError(f"n_queues must be >= 1, got {n_queues}")
+        self.env = env
+        self.d2h_weight = d2h_weight
+        self.setup_latency = setup_latency
+        self._queues = [
+            TokenBucket(env, per_queue_bandwidth, 4096.0, name=f"xdma-q{i}")
+            for i in range(n_queues)
+        ]
+        self._aggregate = TokenBucket(env, aggregate_weighted, 4096.0, name="xdma-agg")
+        self.bytes_to_device = 0
+        self.bytes_from_device = 0
+
+    def transfer(self, queue: int, n_bytes: int, *, to_device: bool) -> Event:
+        """Move *n_bytes* through *queue*; yields on completion."""
+        if not 0 <= queue < len(self._queues):
+            raise RuntimeConfigError(f"queue {queue} out of range")
+        if n_bytes <= 0:
+            raise RuntimeConfigError(f"transfer needs positive size, got {n_bytes}")
+        done = Event(self.env)
+        self.env.process(self._serve(queue, n_bytes, to_device, done), name="xdma")
+        return done
+
+    def _serve(self, queue: int, n_bytes: int, to_device: bool, done: Event):
+        yield self.env.timeout(self.setup_latency)
+        weight = 1.0 if to_device else self.d2h_weight
+        # Both constraints bind: the queue's own rate and the shared
+        # engine capacity (weighted).
+        queue_done = self._queues[queue].consume(float(n_bytes))
+        agg_done = self._aggregate.consume(n_bytes * weight)
+        yield self.env.all_of([queue_done, agg_done])
+        if to_device:
+            self.bytes_to_device += n_bytes
+        else:
+            self.bytes_from_device += n_bytes
+        done.succeed(None)
+
+
+class F1SimulatedDevice:
+    """The composed F1 card: cores + shared DDR + XDMA queues."""
+
+    def __init__(
+        self,
+        design: AcceleratorDesign,
+        *,
+        n_memory_controllers: Optional[int] = None,
+        ddr_spec: DDRSpec = DDR4_2400_SPEC,
+        compute_format: Optional[NumberFormat] = None,
+    ):
+        n_controllers = (
+            min(design.n_cores, 4)
+            if n_memory_controllers is None
+            else n_memory_controllers
+        )
+        if n_controllers < 1:
+            raise RuntimeConfigError("F1 device needs at least one DDR controller")
+        if design.n_cores < 1:
+            raise RuntimeConfigError("F1 device needs at least one core")
+        self.design = design
+        self.env = Engine()
+        self.n_controllers = n_controllers
+        self.ddr_channels: List[DDRChannel] = [
+            DDRChannel(self.env, index, ddr_spec) for index in range(n_controllers)
+        ]
+        self.dma = F1DmaEngine(self.env, n_queues=design.n_cores)
+        self.memory_manager = DeviceMemoryManager(
+            n_blocks=n_controllers,
+            block_capacity=F1_CHANNEL_CAPACITY,
+        )
+        self.memories: List[ChannelMemory] = [
+            ChannelMemory(F1_CHANNEL_CAPACITY) for _ in range(n_controllers)
+        ]
+        spn = design.core.spn
+        self.cores: List[SPNAcceleratorCore] = [
+            SPNAcceleratorCore(
+                self.env,
+                index,
+                spn,
+                design.core,
+                self.ddr_channels[index % n_controllers],
+                self.memories[index % n_controllers],
+                clock_hz=design.clock_mhz * 1e6,
+                compute_format=compute_format,
+            )
+            for index in range(design.n_cores)
+        ]
+
+    # -- device protocol (mirrors SimulatedDevice) -----------------------------
+    @property
+    def n_pes(self) -> int:
+        """Number of processing elements."""
+        return len(self.cores)
+
+    def controller_of(self, pe: int) -> int:
+        """DDR controller serving *pe*."""
+        return pe % self.n_controllers
+
+    def pe_configuration(self, pe: int) -> dict:
+        """Query a PE's synthesis parameters."""
+        return self._core(pe).read_configuration()
+
+    def alloc(self, pe: int, n_bytes: int) -> int:
+        """Allocate in the PE's controller region (shared by its peers)."""
+        return self.memory_manager.alloc(self.controller_of(pe), n_bytes)
+
+    def free(self, pe: int, address: int) -> None:
+        """Free a controller-region allocation."""
+        self.memory_manager.free(self.controller_of(pe), address)
+
+    def copy_to_device(self, pe: int, address: int, payload: bytes) -> Event:
+        """DMA *payload* to the PE's DDR region via its XDMA queue."""
+        done = Event(self.env)
+        self.env.process(self._h2d(pe, address, payload, done), name="f1-h2d")
+        return done
+
+    def _h2d(self, pe: int, address: int, payload: bytes, done: Event):
+        yield self.dma.transfer(pe, len(payload), to_device=True)
+        self.memories[self.controller_of(pe)].write(address, payload)
+        done.succeed(None)
+
+    def copy_from_device(self, pe: int, address: int, n_bytes: int) -> Event:
+        """DMA out of the PE's DDR region via its XDMA queue."""
+        done = Event(self.env)
+        self.env.process(self._d2h(pe, address, n_bytes, done), name="f1-d2h")
+        return done
+
+    def _d2h(self, pe: int, address: int, n_bytes: int, done: Event):
+        yield self.dma.transfer(pe, n_bytes, to_device=False)
+        done.succeed(self.memories[self.controller_of(pe)].read(address, n_bytes))
+
+    def dma_h2d_timed(self, pe: int, n_bytes: int) -> Event:
+        """Timing-only host-to-device transfer."""
+        return self.dma.transfer(pe, n_bytes, to_device=True)
+
+    def dma_d2h_timed(self, pe: int, n_bytes: int) -> Event:
+        """Timing-only device-to-host transfer."""
+        return self.dma.transfer(pe, n_bytes, to_device=False)
+
+    def launch(
+        self,
+        pe: int,
+        input_addr: int,
+        result_addr: int,
+        n_samples: int,
+        *,
+        functional: bool = True,
+    ) -> Event:
+        """Start a job on *pe*."""
+        return self._core(pe).start_job(
+            input_addr, result_addr, n_samples, functional=functional
+        )
+
+    def _core(self, pe: int) -> SPNAcceleratorCore:
+        if not 0 <= pe < len(self.cores):
+            raise RuntimeConfigError(f"PE {pe} out of range 0..{len(self.cores) - 1}")
+        return self.cores[pe]

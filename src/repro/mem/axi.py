@@ -1,0 +1,138 @@
+"""AXI interface abstractions.
+
+The accelerator cores talk AXI4 at 225 MHz / 512 bit; the HBM exposes
+AXI3 at 450 MHz / 256 bit.  An AXI SmartConnect between them performs
+clock conversion, data-width conversion and protocol conversion
+(§IV-A).  This module models the *rate* consequences of those
+conversions — which is what the paper's Fig. 2 insight is about: the
+two attachments have identical byte rates (half clock x double width),
+so conversion costs only a little extra latency, not bandwidth.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import MemoryModelError
+from repro.units import is_power_of_two
+
+__all__ = ["TransferKind", "AxiTransaction", "AxiPort", "SmartConnect"]
+
+_txn_ids = itertools.count()
+
+
+class TransferKind(enum.Enum):
+    """Direction of an AXI burst."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class AxiTransaction:
+    """One AXI burst request.
+
+    AXI3 limits bursts to 16 beats and 4 KiB address-boundary
+    crossings; the models issue channel requests at or below that
+    granularity, so a transaction here may describe a *logical*
+    transfer that the port chops into protocol-legal bursts.
+    """
+
+    kind: TransferKind
+    address: int
+    n_bytes: int
+    txn_id: int = field(default_factory=lambda: next(_txn_ids))
+
+    def __post_init__(self):
+        if self.address < 0:
+            raise MemoryModelError(f"negative address {self.address:#x}")
+        if self.n_bytes <= 0:
+            raise MemoryModelError(f"transfer needs positive size, got {self.n_bytes}")
+
+
+@dataclass(frozen=True)
+class AxiPort:
+    """A clocked AXI data port (one direction's data channel)."""
+
+    name: str
+    clock_hz: float
+    data_width_bits: int
+    protocol: str = "AXI4"
+
+    def __post_init__(self):
+        if self.clock_hz <= 0:
+            raise MemoryModelError(f"port clock must be positive, got {self.clock_hz}")
+        if self.data_width_bits <= 0 or self.data_width_bits % 8:
+            raise MemoryModelError(
+                f"data width must be a positive multiple of 8, got {self.data_width_bits}"
+            )
+        if not is_power_of_two(self.data_width_bits // 8):
+            raise MemoryModelError(
+                f"data width must be a power-of-two byte count, got {self.data_width_bits}"
+            )
+
+    @property
+    def bytes_per_beat(self) -> int:
+        """Bytes moved per clock edge."""
+        return self.data_width_bits // 8
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Raw single-direction byte rate of the port (bytes/s)."""
+        return self.clock_hz * self.bytes_per_beat
+
+    def beats(self, n_bytes: int) -> int:
+        """Clock beats needed to move *n_bytes* (ceil)."""
+        if n_bytes <= 0:
+            raise MemoryModelError(f"n_bytes must be positive, got {n_bytes}")
+        return -(-n_bytes // self.bytes_per_beat)
+
+    def transfer_seconds(self, n_bytes: int) -> float:
+        """Pure data time for *n_bytes* on this port."""
+        return self.beats(n_bytes) / self.clock_hz
+
+
+@dataclass(frozen=True)
+class SmartConnect:
+    """An AXI SmartConnect between a master and a slave port.
+
+    Performs clock-domain crossing, width conversion and AXI4-to-AXI3
+    protocol conversion.  The achievable byte rate through the bridge
+    is the minimum of the two port rates; the conversions add a fixed
+    latency per transaction.
+    """
+
+    master: AxiPort
+    slave: AxiPort
+    #: Extra one-way latency added per transaction, in seconds.  A few
+    #: cycles of each clock domain; ~100 ns covers CDC FIFOs plus
+    #: packing/unpacking at 225/450 MHz.
+    conversion_latency: float = 100e-9
+
+    def __post_init__(self):
+        if self.conversion_latency < 0:
+            raise MemoryModelError("conversion latency must be >= 0")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Byte rate sustained through the bridge (bytes/s)."""
+        return min(self.master.peak_bandwidth, self.slave.peak_bandwidth)
+
+    @property
+    def rate_matched(self) -> bool:
+        """True when both sides move the same bytes per second.
+
+        This is the §II-B equivalence: 225 MHz x 512 bit matches
+        450 MHz x 256 bit exactly, so conversion costs no bandwidth.
+        """
+        return self.master.peak_bandwidth == self.slave.peak_bandwidth
+
+    def transfer_seconds(self, n_bytes: int) -> float:
+        """Latency-inclusive time to move one transaction of *n_bytes*."""
+        slowest = max(
+            self.master.transfer_seconds(n_bytes),
+            self.slave.transfer_seconds(n_bytes),
+        )
+        return slowest + self.conversion_latency

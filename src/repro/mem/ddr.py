@@ -1,0 +1,78 @@
+"""DDR4 memory-channel model (the prior-work F1 substrate).
+
+The AWS F1's custom-logic region attaches up to four DDR4-2400 72-bit
+channels, each behind a *soft* memory controller (consuming the logic
+the paper's Table I charges it for — see
+:data:`repro.platforms.specs.AWS_F1_PLATFORM`).  Unlike HBM channels,
+a DDR channel is a big shared resource: multiple accelerators attached
+to one controller contend for it, which is half of the prior work's
+trade-off (§III-A: sacrifice controllers → lose parallel access;
+sacrifice accelerators → lose concurrency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import MemoryModelError
+from repro.sim.engine import Engine, Event
+from repro.sim.resource import TokenBucket
+from repro.units import GIB
+
+__all__ = ["DDRSpec", "DDR4_2400_SPEC", "DDRChannel"]
+
+
+@dataclass(frozen=True)
+class DDRSpec:
+    """Timing/bandwidth description of one DDR channel."""
+
+    name: str
+    #: Theoretical byte rate (transfer rate x bus width).
+    theoretical_bandwidth: float
+    #: Practical sustained byte rate for the linear access pattern.
+    practical_bandwidth: float
+    #: Fixed per-request service overhead in seconds.
+    request_overhead: float
+
+
+#: DDR4-2400 with a 64-bit data bus (19.2 GB/s raw): the F1 channels.
+#: Practical rate derated for refresh + read/write turnaround, which
+#: costs DDR more than HBM's fine-grained banking.
+DDR4_2400_SPEC = DDRSpec(
+    name="ddr4-2400",
+    theoretical_bandwidth=19.2e9,
+    practical_bandwidth=13.0 * GIB,
+    request_overhead=3.5e-6,
+)
+
+
+class DDRChannel:
+    """Discrete-event model of one shared DDR channel."""
+
+    def __init__(self, env: Engine, index: int = 0, spec: DDRSpec = DDR4_2400_SPEC):
+        self.env = env
+        self.index = index
+        self.spec = spec
+        self._bus = TokenBucket(
+            env, rate=spec.practical_bandwidth, burst=64.0, name=f"ddr{index}-bus"
+        )
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def transfer(self, n_bytes: int, *, is_write: bool = False) -> Event:
+        """Move *n_bytes* through the channel; yields when complete."""
+        if n_bytes <= 0:
+            raise MemoryModelError(f"n_bytes must be positive, got {n_bytes}")
+        done = Event(self.env)
+        self.env.process(self._serve(n_bytes, is_write, done), name=f"ddr{self.index}-req")
+        return done
+
+    def _serve(self, n_bytes: int, is_write: bool, done: Event):
+        yield self.env.timeout(self.spec.request_overhead)
+        yield self._bus.consume(float(n_bytes))
+        if is_write:
+            self.bytes_written += n_bytes
+        else:
+            self.bytes_read += n_bytes
+        done.succeed(None)

@@ -1,0 +1,72 @@
+"""Performance model of the CPU baseline (12-core Xeon E5-2680 v3).
+
+The prior work [8] measured SPN inference on a 12-core Haswell Xeon
+with an optimised vectorised code path; Fig. 6 carries those numbers
+forward.  We model per-sample cost as a power law in the datapath
+operation count::
+
+    cycles_per_sample = k * (arith_ops + lookup_ops) ** p
+
+The super-linear exponent captures the measured behaviour that large
+SPNs lose vector/cache efficiency (intermediate buffers spill outward
+through the cache hierarchy), which is exactly why the CPU wins the
+tiny NIPS10 benchmark but falls behind from NIPS20 on.
+
+Calibration (DESIGN.md §5): *k* and *p* are pinned by the paper's two
+quoted CPU speedups — the HBM design beats the CPU by 1.21x on NIPS20
+and by 2.46x on NIPS80 (§V-D) — evaluated against this repository's
+benchmark structures.  Everything else (the NIPS10 crossover, the
+remaining ratios, the geometric mean) is *predicted*, not fitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.datapath import build_datapath
+from repro.compiler.operators import HWOp
+from repro.errors import ReproError
+from repro.spn.graph import SPN
+
+__all__ = ["CpuModel", "XEON_E5_2680_V3"]
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """An analytic multicore-CPU inference-throughput model."""
+
+    name: str
+    n_cores: int
+    frequency_hz: float
+    #: Power-law cost constants (see module docstring).
+    cycles_coefficient: float
+    cycles_exponent: float
+
+    def cycles_per_sample(self, n_ops: int) -> float:
+        """Modelled per-sample cost in cycles for *n_ops* datapath ops."""
+        if n_ops < 1:
+            raise ReproError(f"n_ops must be >= 1, got {n_ops}")
+        return self.cycles_coefficient * float(n_ops) ** self.cycles_exponent
+
+    def samples_per_second(self, spn: SPN) -> float:
+        """Peak batch-inference throughput on *spn* (all cores busy)."""
+        datapath = build_datapath(spn)
+        n_ops = (
+            datapath.count(HWOp.ADD)
+            + datapath.count(HWOp.MUL)
+            + datapath.count(HWOp.CONST_MUL)
+            + datapath.count(HWOp.LOOKUP)
+        )
+        total_cycles_per_second = self.n_cores * self.frequency_hz
+        return total_cycles_per_second / self.cycles_per_sample(n_ops)
+
+
+#: The baseline of [8]/Fig. 6.  k and p pinned by the NIPS20 (1.21x)
+#: and NIPS80 (2.46x) speedup anchors; see module docstring.
+XEON_E5_2680_V3 = CpuModel(
+    name="xeon-e5-2680v3",
+    n_cores=12,
+    frequency_hz=2.5e9,
+    cycles_coefficient=0.0676,
+    cycles_exponent=1.294,
+)

@@ -1,0 +1,87 @@
+"""System model of the prior-work AWS F1 implementation [8].
+
+The F1 system differs from this work's HBM system in exactly the ways
+the paper's §III-A motivation lists:
+
+* **Soft DDR controllers** consume logic and degrade the clock, so
+  core count trades off against controller count.  For NIPS80 only two
+  accelerators fit (§V-D), versus eight on the HBM platform.
+* **Per-queue DMA limits**: the F1 shell's XDMA engine exposes four
+  queues of ~3 GiB/s each, so a single core's transfer stream is
+  capped well below the link rate.
+* **Aggregate PCIe**: the shell sustains a lower weighted capacity
+  than the QDMA-class engine of the XUP-VVH host (calibrated 7.55
+  GiB/s vs 9.38 GiB/s).
+
+End-to-end throughput is the minimum of the aggregate-PCIe bound, the
+sum of per-core DMA-queue bounds, and the sum of per-core compute
+rates — the same structure as the HBM runtime model, with F1
+constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ReproError
+from repro.units import GIB
+
+__all__ = ["F1SystemModel", "AWS_F1_SYSTEM"]
+
+
+@dataclass(frozen=True)
+class F1SystemModel:
+    """Analytic end-to-end model of the [8] F1 system."""
+
+    name: str
+    #: Accelerator clock in Hz after place-and-route.
+    clock_hz: float
+    #: Weighted aggregate DMA capacity in bytes/s (h2d + w*d2h).
+    weighted_pcie_capacity: float
+    #: Relative engine cost of device-to-host bytes.
+    d2h_weight: float
+    #: Per-DMA-queue (hence per-core) bandwidth in bytes/s.
+    per_queue_bandwidth: float
+    #: Cores that fit per benchmark (resource/controller trade-off,
+    #: Table I context and §V-D: NIPS80 fits only two cores).
+    cores_by_benchmark: Dict[str, int]
+
+    def n_cores(self, benchmark: str) -> int:
+        """Deployable core count for *benchmark*."""
+        try:
+            return self.cores_by_benchmark[benchmark]
+        except KeyError:
+            raise ReproError(
+                f"no F1 core count recorded for benchmark {benchmark!r}"
+            )
+
+    def samples_per_second(
+        self, benchmark: str, input_bytes: int, result_bytes: int
+    ) -> float:
+        """End-to-end samples/s including host transfers (Fig. 6)."""
+        cores = self.n_cores(benchmark)
+        weighted_per_sample = input_bytes + self.d2h_weight * result_bytes
+        pcie_bound = self.weighted_pcie_capacity / weighted_per_sample
+        queue_bound = cores * self.per_queue_bandwidth / input_bytes
+        compute_bound = cores * self.clock_hz  # II=1 pipelines
+        return min(pcie_bound, queue_bound, compute_bound)
+
+
+#: Calibrated constants: the 7.55 GiB/s aggregate reproduces the
+#: paper's ~1.24-1.25x HBM-vs-F1 speedups on NIPS10..NIPS40; the 3
+#: GiB/s queue limit with two cores reproduces the 1.5x NIPS80 gap.
+AWS_F1_SYSTEM = F1SystemModel(
+    name="aws-f1",
+    clock_hz=250e6,
+    weighted_pcie_capacity=7.55 * GIB,
+    d2h_weight=0.8,
+    per_queue_bandwidth=3.0 * GIB,
+    cores_by_benchmark={
+        "NIPS10": 4,
+        "NIPS20": 4,
+        "NIPS30": 4,
+        "NIPS40": 4,
+        "NIPS80": 2,
+    },
+)

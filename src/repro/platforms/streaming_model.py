@@ -1,0 +1,38 @@
+"""Model of the 100G in-network streaming architecture [7].
+
+§V-D compares the HBM architecture's NIPS80 throughput against the
+group's streaming design, which feeds replicated SPN cores directly
+from a 100G network MAC with no memory accesses at all.  Its rate is
+simply the network line rate divided by the per-sample wire bytes —
+the paper derives 140,748,580 samples/s for NIPS80 from the measured
+99.078 Gbit/s MAC throughput and 88 bytes per sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+__all__ = ["StreamingModel", "STREAMING_100G"]
+
+
+@dataclass(frozen=True)
+class StreamingModel:
+    """Line-rate streaming inference (network-attached cores)."""
+
+    name: str
+    #: Sustained MAC throughput in bits/s (measured in [7]).
+    line_rate_bits: float
+
+    def samples_per_second(self, bytes_per_sample: int) -> float:
+        """Line-rate-bound samples/s for a given wire format."""
+        if bytes_per_sample < 1:
+            raise ReproError(
+                f"bytes_per_sample must be >= 1, got {bytes_per_sample}"
+            )
+        return self.line_rate_bits / (8.0 * bytes_per_sample)
+
+
+#: The measured 99.078 Gbit/s of [7].
+STREAMING_100G = StreamingModel(name="streaming-100g", line_rate_bits=99.078e9)

@@ -1,0 +1,131 @@
+"""Bounded FIFO channels with backpressure.
+
+Channels are how model components (load units, memory controllers, DMA
+engines) hand tokens to each other.  A bounded channel blocks producers
+when full and consumers when empty — exactly the behaviour of the AXI
+stream FIFOs in the hardware the models stand in for.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, Event
+
+__all__ = ["Channel", "ClosedChannelError"]
+
+
+class ClosedChannelError(SimulationError):
+    """Raised into getters when a channel is closed and drained."""
+
+
+class Channel:
+    """A bounded FIFO between simulation processes.
+
+    ``put`` and ``get`` return events to yield on.  Items are delivered
+    in FIFO order to getters in FIFO order (no overtaking).  Closing the
+    channel lets producers signal end-of-stream: pending and future
+    ``get`` calls fail with :class:`ClosedChannelError` once the buffer
+    is drained.
+
+    Parameters
+    ----------
+    env:
+        The owning engine.
+    capacity:
+        Maximum buffered items; ``None`` means unbounded (producers never
+        block).
+    name:
+        Label used in error messages and probes.
+    """
+
+    def __init__(self, env: Engine, capacity: Optional[int] = None, name: str = "channel"):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"channel capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+        self._closed = False
+        self.total_put = 0
+        self.total_got = 0
+
+    # -- inspection -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._closed
+
+    @property
+    def full(self) -> bool:
+        """True when a ``put`` would block."""
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    # -- operations ----------------------------------------------------------------
+    def put(self, item: Any) -> Event:
+        """Enqueue *item*; the returned event triggers when accepted."""
+        if self._closed:
+            raise ClosedChannelError(f"put on closed channel {self.name!r}")
+        event = Event(self.env)
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed(None)
+            self.total_put += 1
+            self.total_got += 1
+        elif not self.full:
+            self._items.append(item)
+            event.succeed(None)
+            self.total_put += 1
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Dequeue one item; the returned event triggers with it."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+            self.total_got += 1
+            self._admit_putters()
+        elif self._putters and self.capacity == 0:
+            pass  # capacity 0 disallowed by constructor; kept for clarity
+        elif self._closed:
+            event.fail(ClosedChannelError(f"get on closed channel {self.name!r}"))
+        else:
+            self._getters.append(event)
+        return event
+
+    def close(self) -> None:
+        """Mark end-of-stream.
+
+        Buffered items remain retrievable; blocked and future getters
+        beyond the buffered items fail with :class:`ClosedChannelError`.
+        Blocked putters fail immediately.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        while self._putters:
+            event, _ = self._putters.popleft()
+            event.fail(ClosedChannelError(f"channel {self.name!r} closed under putter"))
+        while self._getters:
+            # No buffered items can exist while getters wait.
+            getter = self._getters.popleft()
+            getter.fail(ClosedChannelError(f"channel {self.name!r} closed"))
+
+    # -- internals -----------------------------------------------------------------
+    def _admit_putters(self) -> None:
+        while self._putters and not self.full:
+            event, item = self._putters.popleft()
+            self._items.append(item)
+            event.succeed(None)
+            self.total_put += 1

@@ -1,0 +1,106 @@
+"""Measurement probes for simulation models.
+
+Probes are intentionally dumb accumulators: models call them at event
+boundaries and experiments read them afterwards.  Keeping measurement
+out of the models themselves means a model's timing behaviour never
+depends on whether it is being observed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.sim.engine import Engine
+
+__all__ = ["Counter", "ThroughputProbe", "UtilizationProbe"]
+
+
+class Counter:
+    """A named monotonically-increasing event counter."""
+
+    def __init__(self, name: str = "counter"):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increase the counter; *amount* must be non-negative."""
+        if amount < 0:
+            raise ValueError(f"counter decrement not allowed ({amount})")
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.value = 0
+
+
+class ThroughputProbe:
+    """Accumulates (time, bytes-or-items) samples and reports rates."""
+
+    def __init__(self, env: Engine, name: str = "throughput"):
+        self.env = env
+        self.name = name
+        self.total = 0.0
+        self._first_time: float = None  # type: ignore[assignment]
+        self._last_time: float = 0.0
+
+    def record(self, amount: float) -> None:
+        """Record *amount* units transferred at the current sim time."""
+        if amount < 0:
+            raise ValueError(f"negative throughput sample {amount}")
+        now = self.env.now
+        if self._first_time is None:
+            self._first_time = now
+        self._last_time = now
+        self.total += amount
+
+    def rate(self) -> float:
+        """Average units/second over the observation window.
+
+        Returns 0.0 before two distinct timestamps have been seen.
+        """
+        if self._first_time is None:
+            return 0.0
+        span = self._last_time - self._first_time
+        if span <= 0.0:
+            return 0.0
+        return self.total / span
+
+    def rate_over(self, duration: float) -> float:
+        """Units/second assuming the transfers span *duration* seconds."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        return self.total / duration
+
+
+class UtilizationProbe:
+    """Tracks busy/idle intervals of a served component."""
+
+    def __init__(self, env: Engine, name: str = "utilization"):
+        self.env = env
+        self.name = name
+        self._busy_since: float = None  # type: ignore[assignment]
+        self._busy_total = 0.0
+        self._intervals: List[Tuple[float, float]] = []
+
+    def busy(self) -> None:
+        """Mark the component busy from now (idempotent)."""
+        if self._busy_since is None:
+            self._busy_since = self.env.now
+
+    def idle(self) -> None:
+        """Mark the component idle from now (idempotent)."""
+        if self._busy_since is not None:
+            interval = (self._busy_since, self.env.now)
+            self._intervals.append(interval)
+            self._busy_total += interval[1] - interval[0]
+            self._busy_since = None
+
+    def utilization(self, over: float = None) -> float:  # type: ignore[assignment]
+        """Busy fraction over *over* seconds (default: time since t=0)."""
+        busy = self._busy_total
+        if self._busy_since is not None:
+            busy += self.env.now - self._busy_since
+        window = over if over is not None else self.env.now
+        if window <= 0:
+            return 0.0
+        return min(1.0, busy / window)

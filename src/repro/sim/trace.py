@@ -1,0 +1,143 @@
+"""Span tracing for simulation runs.
+
+A :class:`Tracer` records named spans (begin/end in simulated time) on
+named tracks — "pe0 compute", "dma h2d", ... — and renders them as a
+text timeline, making overlap behaviour *visible*: the paper's §IV-B
+claim ("one thread will be able to perform data transfers for block
+n+1, while another thread is waiting for the FPGA accelerator") shows
+up directly as overlapping spans on the DMA and PE tracks.
+
+Tracing is strictly observational: models never change behaviour when
+traced (the tracer only records timestamps it is handed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One traced interval on a track."""
+
+    track: str
+    label: str
+    begin: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated seconds."""
+        return self.end - self.begin
+
+
+class Tracer:
+    """Records spans against an engine's clock."""
+
+    def __init__(self, env: Engine):
+        self.env = env
+        self.spans: List[Span] = []
+        self._open: Dict[tuple, float] = {}
+
+    # -- recording -----------------------------------------------------------
+    def begin(self, track: str, label: str) -> None:
+        """Open a span on *track* at the current simulated time."""
+        key = (track, label)
+        if key in self._open:
+            raise SimulationError(f"span {key} already open")
+        self._open[key] = self.env.now
+
+    def end(self, track: str, label: str) -> None:
+        """Close the matching open span at the current time."""
+        key = (track, label)
+        begin = self._open.pop(key, None)
+        if begin is None:
+            raise SimulationError(f"span {key} was never opened")
+        self.spans.append(Span(track, label, begin, self.env.now))
+
+    def record(self, track: str, label: str, begin: float, end: float) -> None:
+        """Record a completed span directly."""
+        if end < begin:
+            raise SimulationError(f"span ends before it begins ({begin} > {end})")
+        self.spans.append(Span(track, label, begin, end))
+
+    # -- analysis ----------------------------------------------------------------
+    def tracks(self) -> List[str]:
+        """Track names in first-appearance order."""
+        seen: List[str] = []
+        for span in self.spans:
+            if span.track not in seen:
+                seen.append(span.track)
+        return seen
+
+    def busy_time(self, track: str) -> float:
+        """Union length of all spans on *track* (overlaps merged)."""
+        intervals = sorted(
+            (s.begin, s.end) for s in self.spans if s.track == track
+        )
+        total = 0.0
+        current_begin: Optional[float] = None
+        current_end = 0.0
+        for begin, end in intervals:
+            if current_begin is None or begin > current_end:
+                if current_begin is not None:
+                    total += current_end - current_begin
+                current_begin, current_end = begin, end
+            else:
+                current_end = max(current_end, end)
+        if current_begin is not None:
+            total += current_end - current_begin
+        return total
+
+    def overlap_time(self, track_a: str, track_b: str) -> float:
+        """Simulated time during which both tracks have an open span."""
+        def merged(track):
+            intervals = sorted(
+                (s.begin, s.end) for s in self.spans if s.track == track
+            )
+            out = []
+            for begin, end in intervals:
+                if out and begin <= out[-1][1]:
+                    out[-1] = (out[-1][0], max(out[-1][1], end))
+                else:
+                    out.append((begin, end))
+            return out
+
+        total = 0.0
+        for a0, a1 in merged(track_a):
+            for b0, b1 in merged(track_b):
+                total += max(0.0, min(a1, b1) - max(a0, b0))
+        return total
+
+    # -- rendering ------------------------------------------------------------------
+    def timeline(self, width: int = 72, until: Optional[float] = None) -> str:
+        """Render all tracks as an aligned ASCII Gantt chart."""
+        if not self.spans:
+            return "(no spans recorded)"
+        horizon = until if until is not None else max(s.end for s in self.spans)
+        if horizon <= 0:
+            raise SimulationError("cannot render a zero-length timeline")
+        tracks = self.tracks()
+        name_width = max(len(t) for t in tracks)
+        lines = [
+            f"timeline 0 .. {horizon * 1e6:.1f} us "
+            f"({width} columns, '#' = busy)"
+        ]
+        for track in tracks:
+            cells = [" "] * width
+            for span in self.spans:
+                if span.track != track:
+                    continue
+                first = int(span.begin / horizon * width)
+                last = int(min(span.end, horizon) / horizon * width)
+                for column in range(first, max(first + 1, last)):
+                    if column < width:
+                        cells[column] = "#"
+            lines.append(f"{track.rjust(name_width)} |{''.join(cells)}|")
+        return "\n".join(lines)

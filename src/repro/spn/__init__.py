@@ -1,0 +1,85 @@
+"""Sum-Product Network core library.
+
+Implements the model class the paper accelerates: *Mixed* Sum-Product
+Networks (Molina et al., AAAI 2018) whose leaves are univariate
+histograms, plus Gaussian and categorical leaves for generality.
+
+The package provides:
+
+* node types and a validated graph container (:mod:`repro.spn.nodes`,
+  :mod:`repro.spn.graph`),
+* vectorised log-domain batch inference and marginal queries
+  (:mod:`repro.spn.inference`),
+* an SPFlow-compatible textual serialisation (:mod:`repro.spn.text_format`),
+* LearnSPN-style structure learning over histogram leaves
+  (:mod:`repro.spn.learning`),
+* random structure generation (:mod:`repro.spn.random_gen`),
+* the deterministic NIPS10..NIPS80 benchmark networks used throughout
+  the paper's evaluation (:mod:`repro.spn.nips`), and
+* structural statistics consumed by the hardware compiler
+  (:mod:`repro.spn.stats`).
+"""
+
+from repro.spn.nodes import (
+    CategoricalLeaf,
+    GaussianLeaf,
+    HistogramLeaf,
+    Node,
+    ProductNode,
+    SumNode,
+)
+from repro.spn.graph import SPN
+from repro.spn.inference import (
+    MISSING_VALUE,
+    likelihood,
+    log_likelihood,
+    log_likelihood_with_missing,
+    marginal_log_likelihood,
+)
+from repro.spn.text_format import dumps, loads, dump, load
+from repro.spn.learning import LearnSPNConfig, learn_spn
+from repro.spn.random_gen import random_spn
+from repro.spn.nips import NIPS_BENCHMARKS, nips_spn, nips_benchmark
+from repro.spn.stats import SPNStats, compute_stats
+from repro.spn.mpe import max_log_likelihood, mpe
+from repro.spn.sampling import sample
+from repro.spn.em import em_step, fit_em
+from repro.spn.queries import RangeBox, expectation, probability_of_box
+from repro.spn.transform import contract, prune
+
+__all__ = [
+    "Node",
+    "SumNode",
+    "ProductNode",
+    "HistogramLeaf",
+    "GaussianLeaf",
+    "CategoricalLeaf",
+    "SPN",
+    "log_likelihood",
+    "likelihood",
+    "marginal_log_likelihood",
+    "log_likelihood_with_missing",
+    "MISSING_VALUE",
+    "dumps",
+    "loads",
+    "dump",
+    "load",
+    "LearnSPNConfig",
+    "learn_spn",
+    "random_spn",
+    "NIPS_BENCHMARKS",
+    "nips_spn",
+    "nips_benchmark",
+    "SPNStats",
+    "compute_stats",
+    "max_log_likelihood",
+    "mpe",
+    "sample",
+    "em_step",
+    "fit_em",
+    "RangeBox",
+    "probability_of_box",
+    "expectation",
+    "prune",
+    "contract",
+]

@@ -1,0 +1,174 @@
+"""Vectorised log-domain batch inference.
+
+Inference on a valid SPN is one bottom-up pass: leaves evaluate their
+log-density on their variable's column, product nodes add child
+log-values, and sum nodes compute a log-sum-exp of weighted children.
+The pass is vectorised over the *batch* dimension — exactly the
+embarrassingly parallel structure the paper's accelerator exploits —
+so a batch of N samples costs one numpy op per node instead of N.
+
+Marginal queries (integrating out a subset of variables) follow the
+standard SPN rule: a marginalised leaf evaluates to probability 1
+(log 0.0), which a bottom-up pass then propagates.
+
+All public functions accept data as a ``(batch, n_variables)`` float
+array whose column *i* holds variable *i*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SPNStructureError
+from repro.spn.graph import SPN
+from repro.spn.nodes import LeafNode, ProductNode, SumNode
+
+__all__ = [
+    "log_likelihood",
+    "likelihood",
+    "marginal_log_likelihood",
+    "log_likelihood_with_missing",
+    "MISSING_VALUE",
+    "node_log_values",
+]
+
+#: Sentinel feature value meaning "this feature is missing" in
+#: :func:`log_likelihood_with_missing`.  The hardware flow reserves
+#: the all-ones byte for it (255 is outside every benchmark's count
+#: range), so missing-feature queries ship over the same wire format.
+MISSING_VALUE = 255.0
+
+
+def _as_batch(data: np.ndarray, n_variables: int) -> np.ndarray:
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim == 1:
+        data = data[np.newaxis, :]
+    if data.ndim != 2:
+        raise SPNStructureError(f"data must be 2-D (batch, vars), got ndim={data.ndim}")
+    if data.shape[1] < n_variables:
+        raise SPNStructureError(
+            f"data has {data.shape[1]} columns but the SPN scope needs {n_variables}"
+        )
+    return data
+
+
+def _logsumexp_weighted(child_lls: np.ndarray, log_weights: np.ndarray) -> np.ndarray:
+    """Stable log(sum_i w_i * exp(ll_i)) along axis 1."""
+    shifted = child_lls + log_weights[np.newaxis, :]
+    peak = np.max(shifted, axis=1, keepdims=True)
+    # A batch row where every child is -inf stays -inf (peak -inf).
+    with np.errstate(invalid="ignore"):
+        out = peak[:, 0] + np.log(np.sum(np.exp(shifted - peak), axis=1))
+    out = np.where(np.isneginf(peak[:, 0]), -np.inf, out)
+    return out
+
+
+def node_log_values(
+    spn: SPN,
+    data: np.ndarray,
+    marginalized: Optional[Sequence[int]] = None,
+) -> Dict[int, np.ndarray]:
+    """Bottom-up pass returning the log-value of *every* node.
+
+    Used by inference, by the hardware functional model (which compares
+    per-node values between float64 and the emulated FPGA arithmetic),
+    and by tests.
+
+    Parameters
+    ----------
+    spn:
+        The network to evaluate.
+    data:
+        ``(batch, n_variables)`` array; ``data[:, v]`` is variable *v*.
+    marginalized:
+        Variable indices to integrate out; their leaves contribute
+        log 1 = 0.
+
+    Returns
+    -------
+    Mapping from node id to a ``(batch,)`` array of log-values.
+    """
+    # Leaves index columns by their variable id, so the data must span
+    # the maximum variable index, not just len(scope).
+    data = _as_batch(data, max(spn.scope) + 1 if spn.scope else 0)
+    marg = frozenset(marginalized or ())
+    unknown = marg - set(spn.scope)
+    if unknown:
+        raise SPNStructureError(f"marginalized variables {sorted(unknown)} not in scope")
+    batch = data.shape[0]
+    values: Dict[int, np.ndarray] = {}
+    for node in spn:
+        if isinstance(node, LeafNode):
+            if node.variable in marg:
+                values[node.id] = np.zeros(batch, dtype=np.float64)
+            else:
+                values[node.id] = node.log_density(data[:, node.variable])
+        elif isinstance(node, ProductNode):
+            acc = values[node.children[0].id].copy()
+            for child in node.children[1:]:
+                acc += values[child.id]
+            values[node.id] = acc
+        elif isinstance(node, SumNode):
+            child_lls = np.stack([values[c.id] for c in node.children], axis=1)
+            values[node.id] = _logsumexp_weighted(child_lls, node.log_weights)
+        else:  # pragma: no cover - graph validation rules this out
+            raise SPNStructureError(f"unknown node type {type(node).__name__}")
+    return values
+
+
+def log_likelihood(spn: SPN, data: np.ndarray) -> np.ndarray:
+    """Joint log-likelihood of each batch row under the SPN."""
+    return node_log_values(spn, data)[spn.root.id]
+
+
+def likelihood(spn: SPN, data: np.ndarray) -> np.ndarray:
+    """Joint likelihood (linear domain) of each batch row."""
+    return np.exp(log_likelihood(spn, data))
+
+
+def marginal_log_likelihood(
+    spn: SPN, data: np.ndarray, marginalized: Sequence[int]
+) -> np.ndarray:
+    """Log-likelihood with *marginalized* variables integrated out.
+
+    This is the tractable-marginal property that motivates SPNs: the
+    query costs exactly one bottom-up pass regardless of which subset is
+    marginalised.
+    """
+    return node_log_values(spn, data, marginalized=marginalized)[spn.root.id]
+
+
+def log_likelihood_with_missing(
+    spn: SPN, data: np.ndarray, *, missing_value: float = MISSING_VALUE
+) -> np.ndarray:
+    """Log-likelihood with **per-sample** missing features.
+
+    Entries equal to *missing_value* are marginalised individually —
+    different rows may miss different features, which is the
+    "uncertainties like missing features" capability the paper's
+    background attributes to SPNs (§II-A).  Unlike
+    :func:`marginal_log_likelihood` (one variable subset for the whole
+    batch), the mask here is elementwise; the cost is still a single
+    vectorised bottom-up pass.
+    """
+    data = _as_batch(np.asarray(data, dtype=np.float64), max(spn.scope) + 1)
+    missing = data == missing_value
+    batch = data.shape[0]
+    values: Dict[int, np.ndarray] = {}
+    for node in spn:
+        if isinstance(node, LeafNode):
+            dens = node.log_density(data[:, node.variable])
+            values[node.id] = np.where(missing[:, node.variable], 0.0, dens)
+        elif isinstance(node, ProductNode):
+            acc = values[node.children[0].id].copy()
+            for child in node.children[1:]:
+                acc += values[child.id]
+            values[node.id] = acc
+        elif isinstance(node, SumNode):
+            child_lls = np.stack([values[c.id] for c in node.children], axis=1)
+            values[node.id] = _logsumexp_weighted(child_lls, node.log_weights)
+        else:  # pragma: no cover - graph validation rules this out
+            raise SPNStructureError(f"unknown node type {type(node).__name__}")
+    return values[spn.root.id]

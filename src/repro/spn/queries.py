@@ -1,0 +1,185 @@
+"""Advanced tractable queries: range probabilities and expectations.
+
+The paper's related work (§VI) highlights SPNs powering *cardinality
+estimation and approximate query processing* (DeepDB [15]).  Those
+applications run exactly two query types, both tractable on valid
+SPNs and both implemented here:
+
+* **range (box) probability** — ``P(l_v <= X_v < u_v for all v)``:
+  each leaf integrates its density over its variable's interval, then
+  one bottom-up pass combines the masses.  A database range-selection
+  selectivity estimate is precisely this query.
+* **expectation** — ``E[X_v]`` (optionally conditioned on a range
+  box): moments propagate bottom-up through mixtures, and
+  decomposability routes the moment through the one product child
+  owning the variable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SPNStructureError
+from repro.spn.graph import SPN
+from repro.spn.nodes import (
+    CategoricalLeaf,
+    GaussianLeaf,
+    HistogramLeaf,
+    LeafNode,
+    ProductNode,
+    SumNode,
+)
+
+__all__ = ["RangeBox", "probability_of_box", "expectation"]
+
+#: variable -> (lower, upper) half-open bounds; missing variables are
+#: unconstrained.
+RangeBox = Dict[int, Tuple[float, float]]
+
+
+def _leaf_interval_mass(leaf: LeafNode, lower: float, upper: float) -> float:
+    """P(lower <= X < upper) under one leaf's distribution."""
+    if upper <= lower:
+        return 0.0
+    if isinstance(leaf, HistogramLeaf):
+        # Clip the interval to each bin and accumulate density * width.
+        lo = np.maximum(leaf.breaks[:-1], lower)
+        hi = np.minimum(leaf.breaks[1:], upper)
+        overlap = np.maximum(hi - lo, 0.0)
+        return float(np.sum(leaf.densities * overlap))
+    if isinstance(leaf, CategoricalLeaf):
+        categories = np.arange(leaf.n_categories)
+        inside = (categories >= lower) & (categories < upper)
+        return float(leaf.probabilities[inside].sum())
+    if isinstance(leaf, GaussianLeaf):
+        z_hi = (upper - leaf.mean) / (leaf.stdev * math.sqrt(2.0))
+        z_lo = (lower - leaf.mean) / (leaf.stdev * math.sqrt(2.0))
+        return float(0.5 * (math.erf(z_hi) - math.erf(z_lo)))
+    raise SPNStructureError(f"no interval rule for leaf type {type(leaf).__name__}")
+
+
+def _leaf_restricted_moment(
+    leaf: LeafNode, lower: float, upper: float
+) -> Tuple[float, float]:
+    """(mass, first moment) of the leaf restricted to [lower, upper)."""
+    if isinstance(leaf, HistogramLeaf):
+        lo = np.maximum(leaf.breaks[:-1], lower)
+        hi = np.minimum(leaf.breaks[1:], upper)
+        overlap = np.maximum(hi - lo, 0.0)
+        masses = leaf.densities * overlap
+        centres = np.where(overlap > 0, (lo + hi) / 2.0, 0.0)
+        return float(masses.sum()), float((masses * centres).sum())
+    if isinstance(leaf, CategoricalLeaf):
+        categories = np.arange(leaf.n_categories, dtype=np.float64)
+        inside = (categories >= lower) & (categories < upper)
+        masses = np.where(inside, leaf.probabilities, 0.0)
+        return float(masses.sum()), float((masses * categories).sum())
+    if isinstance(leaf, GaussianLeaf):
+        mass = _leaf_interval_mass(leaf, lower, upper)
+        mu, sigma = leaf.mean, leaf.stdev
+        # Truncated-normal first moment: mu*mass - sigma^2*(phi(b)-phi(a)).
+        def pdf(x):
+            if not math.isfinite(x):
+                return 0.0
+            z = (x - mu) / sigma
+            return math.exp(-0.5 * z * z) / (sigma * math.sqrt(2 * math.pi))
+
+        moment = mu * mass - sigma**2 * (pdf(upper) - pdf(lower))
+        return mass, moment
+    raise SPNStructureError(f"no moment rule for leaf type {type(leaf).__name__}")
+
+
+def probability_of_box(spn: SPN, box: RangeBox) -> float:
+    """Joint probability of the (half-open) range *box*.
+
+    Unconstrained variables integrate to 1 (marginalised).  This is
+    the DeepDB-style selectivity query; cost is one bottom-up pass.
+    """
+    unknown = set(box) - set(spn.scope)
+    if unknown:
+        raise SPNStructureError(f"box constrains variables {sorted(unknown)} not in scope")
+    values: Dict[int, float] = {}
+    for node in spn:
+        if isinstance(node, LeafNode):
+            if node.variable in box:
+                lower, upper = box[node.variable]
+                values[node.id] = _leaf_interval_mass(node, lower, upper)
+            else:
+                values[node.id] = 1.0
+        elif isinstance(node, ProductNode):
+            out = 1.0
+            for child in node.children:
+                out *= values[child.id]
+            values[node.id] = out
+        elif isinstance(node, SumNode):
+            values[node.id] = float(
+                sum(w * values[c.id] for w, c in zip(node.weights, node.children))
+            )
+        else:  # pragma: no cover
+            raise SPNStructureError(f"unknown node type {type(node).__name__}")
+    return values[spn.root.id]
+
+
+def expectation(
+    spn: SPN, variable: int, box: Optional[RangeBox] = None
+) -> float:
+    """``E[X_variable]`` (conditioned on *box* when given).
+
+    Propagates (mass, moment) pairs bottom-up: products multiply the
+    masses and route the moment through the child owning the variable;
+    sums mix both linearly; the result is moment / mass.
+    """
+    if variable not in spn.scope:
+        raise SPNStructureError(f"variable {variable} not in SPN scope")
+    box = dict(box or {})
+    unknown = set(box) - set(spn.scope)
+    if unknown:
+        raise SPNStructureError(f"box constrains variables {sorted(unknown)} not in scope")
+
+    mass: Dict[int, float] = {}
+    moment: Dict[int, float] = {}
+    scope_of: Dict[int, frozenset] = {}
+    for node in spn:
+        if isinstance(node, LeafNode):
+            scope_of[node.id] = frozenset((node.variable,))
+            lower, upper = box.get(node.variable, (-np.inf, np.inf))
+            if node.variable == variable:
+                m, first = _leaf_restricted_moment(node, lower, upper)
+                mass[node.id] = m
+                moment[node.id] = first
+            else:
+                mass[node.id] = _leaf_interval_mass(node, lower, upper)
+                moment[node.id] = 0.0
+        elif isinstance(node, ProductNode):
+            scope_of[node.id] = frozenset().union(*(scope_of[c.id] for c in node.children))
+            total_mass = 1.0
+            for child in node.children:
+                total_mass *= mass[child.id]
+            mass[node.id] = total_mass
+            owner_moment = 0.0
+            for child in node.children:
+                if variable in scope_of[child.id]:
+                    rest = 1.0
+                    for sibling in node.children:
+                        if sibling is not child:
+                            rest *= mass[sibling.id]
+                    owner_moment = moment[child.id] * rest
+                    break
+            moment[node.id] = owner_moment
+        elif isinstance(node, SumNode):
+            scope_of[node.id] = scope_of[node.children[0].id]
+            mass[node.id] = float(
+                sum(w * mass[c.id] for w, c in zip(node.weights, node.children))
+            )
+            moment[node.id] = float(
+                sum(w * moment[c.id] for w, c in zip(node.weights, node.children))
+            )
+        else:  # pragma: no cover
+            raise SPNStructureError(f"unknown node type {type(node).__name__}")
+    total = mass[spn.root.id]
+    if total <= 0:
+        raise SPNStructureError("conditioning box has zero probability")
+    return moment[spn.root.id] / total

@@ -1,0 +1,108 @@
+"""Structural statistics of an SPN.
+
+The hardware compiler, the resource model and the platform performance
+models all consume the same handful of numbers about a network: how
+many adders and multipliers the arithmetic tree needs, how many
+histogram-table entries the leaves hold, and how deep the pipeline is.
+Computing them once here keeps every consumer consistent.
+
+Operator-count conventions (matching the hardware mapping of the
+prior-work generator the paper builds on):
+
+* an ``n``-ary sum node maps to ``n`` constant multipliers (the mixture
+  weights) and ``n - 1`` adders;
+* an ``n``-ary product node maps to ``n - 1`` multipliers;
+* a histogram leaf maps to one lookup table with ``n_bins`` entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.spn.graph import SPN
+from repro.spn.nodes import (
+    CategoricalLeaf,
+    GaussianLeaf,
+    HistogramLeaf,
+    LeafNode,
+    ProductNode,
+    SumNode,
+)
+
+__all__ = ["SPNStats", "compute_stats"]
+
+
+@dataclass(frozen=True)
+class SPNStats:
+    """Aggregate structural statistics of one SPN."""
+
+    #: Network name (copied from the SPN).
+    name: str
+    #: Number of random variables in the network scope.
+    n_variables: int
+    #: Total node count.
+    n_nodes: int
+    #: Number of sum nodes.
+    n_sums: int
+    #: Number of product nodes.
+    n_products: int
+    #: Number of leaves of any type.
+    n_leaves: int
+    #: Number of histogram leaves.
+    n_histograms: int
+    #: Hardware adders implied by the sum nodes.
+    n_adders: int
+    #: Hardware multipliers implied by sums (weights) and products.
+    n_multipliers: int
+    #: Total histogram table entries across all histogram leaves.
+    n_table_entries: int
+    #: Longest root-to-leaf path (edges); lower bound on pipeline depth.
+    depth: int
+    #: Maximum fan-in over all internal nodes.
+    max_fanin: int
+
+    @property
+    def n_arithmetic_ops(self) -> int:
+        """Adders plus multipliers — the datapath's arithmetic volume."""
+        return self.n_adders + self.n_multipliers
+
+
+def compute_stats(spn: SPN) -> SPNStats:
+    """Compute :class:`SPNStats` for *spn* in one traversal."""
+    n_sums = n_products = n_leaves = n_histograms = 0
+    n_adders = n_multipliers = n_table_entries = 0
+    max_fanin = 0
+    for node in spn:
+        if isinstance(node, SumNode):
+            n_sums += 1
+            fanin = len(node.children)
+            n_adders += fanin - 1
+            n_multipliers += fanin  # weight multipliers
+            max_fanin = max(max_fanin, fanin)
+        elif isinstance(node, ProductNode):
+            n_products += 1
+            fanin = len(node.children)
+            n_multipliers += fanin - 1
+            max_fanin = max(max_fanin, fanin)
+        elif isinstance(node, LeafNode):
+            n_leaves += 1
+            if isinstance(node, HistogramLeaf):
+                n_histograms += 1
+                n_table_entries += node.n_bins
+            elif isinstance(node, CategoricalLeaf):
+                n_table_entries += node.n_categories
+    return SPNStats(
+        name=spn.name,
+        n_variables=spn.n_variables,
+        n_nodes=len(spn),
+        n_sums=n_sums,
+        n_products=n_products,
+        n_leaves=n_leaves,
+        n_histograms=n_histograms,
+        n_adders=n_adders,
+        n_multipliers=n_multipliers,
+        n_table_entries=n_table_entries,
+        depth=spn.depth(),
+        max_fanin=max_fanin,
+    )

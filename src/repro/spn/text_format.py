@@ -1,0 +1,269 @@
+"""SPFlow-compatible textual SPN serialisation.
+
+The paper's hardware generator consumes "a textual description ...
+compatible with the SPFlow library", i.e. the equation-style string
+format produced by SPFlow's ``spn_to_str_equation``:
+
+* histogram leaf  — ``Histogram(V0|[0.0,1.0,2.0];[0.25,0.75])``
+* gaussian leaf   — ``Gaussian(V3|0.5;1.25)``
+* categorical leaf— ``Categorical(V1|[0.2,0.3,0.5])``
+* product node    — ``(<child> * <child> * ...)``
+* sum node        — ``(0.3*<child> + 0.7*<child> + ...)``
+
+This module provides :func:`dumps`/:func:`loads` (plus file variants)
+with a hand-written tokenizer and recursive-descent parser, so SPNs can
+round-trip between training (e.g. :mod:`repro.spn.learning`) and the
+hardware compiler exactly as in the paper's toolflow.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Sequence, TextIO, Tuple
+
+import numpy as np
+
+from repro.errors import SPNFormatError
+from repro.spn.graph import SPN
+from repro.spn.nodes import (
+    CategoricalLeaf,
+    GaussianLeaf,
+    HistogramLeaf,
+    Node,
+    ProductNode,
+    SumNode,
+)
+
+__all__ = ["dumps", "loads", "dump", "load"]
+
+
+# ---------------------------------------------------------------------------
+# serialisation
+# ---------------------------------------------------------------------------
+
+def _format_float(value: float) -> str:
+    """Compact but lossless float formatting (repr round-trips)."""
+    return repr(float(value))
+
+
+def _format_vector(values: Sequence[float]) -> str:
+    return "[" + ",".join(_format_float(v) for v in values) + "]"
+
+
+def _node_to_str(node: Node, out: List[str]) -> None:
+    if isinstance(node, HistogramLeaf):
+        out.append(
+            f"Histogram(V{node.variable}|{_format_vector(node.breaks)};"
+            f"{_format_vector(node.densities)})"
+        )
+    elif isinstance(node, GaussianLeaf):
+        out.append(
+            f"Gaussian(V{node.variable}|{_format_float(node.mean)};"
+            f"{_format_float(node.stdev)})"
+        )
+    elif isinstance(node, CategoricalLeaf):
+        out.append(f"Categorical(V{node.variable}|{_format_vector(node.probabilities)})")
+    elif isinstance(node, ProductNode):
+        out.append("(")
+        for index, child in enumerate(node.children):
+            if index:
+                out.append(" * ")
+            _node_to_str(child, out)
+        out.append(")")
+    elif isinstance(node, SumNode):
+        out.append("(")
+        for index, (child, weight) in enumerate(zip(node.children, node.weights)):
+            if index:
+                out.append(" + ")
+            out.append(f"{_format_float(weight)}*")
+            _node_to_str(child, out)
+        out.append(")")
+    else:
+        raise SPNFormatError(f"cannot serialise node type {type(node).__name__}")
+
+
+def dumps(spn: SPN) -> str:
+    """Serialise *spn* to the SPFlow equation string."""
+    out: List[str] = []
+    _node_to_str(spn.root, out)
+    return "".join(out)
+
+
+def dump(spn: SPN, fileobj: TextIO) -> None:
+    """Write the SPFlow equation string for *spn* to *fileobj*."""
+    fileobj.write(dumps(spn))
+    fileobj.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+
+class _Parser:
+    """Recursive-descent parser over the equation grammar.
+
+    Grammar (whitespace insignificant)::
+
+        spn      := node
+        node     := leaf | composite
+        composite:= '(' term (('*' term)* | ('+' term)*) ')'
+        term     := number '*' node      -- inside sums
+                  | node                 -- inside products
+        leaf     := NAME '(' 'V' int '|' params ')'
+        params   := vector (';' vector|number)* | number (';' number)*
+        vector   := '[' number (',' number)* ']'
+    """
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    # -- low-level helpers ---------------------------------------------------
+    def error(self, message: str) -> SPNFormatError:
+        context = self.text[max(0, self.pos - 20): self.pos + 20]
+        return SPNFormatError(f"{message} at offset {self.pos} (near {context!r})")
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        self.skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}")
+        self.pos += 1
+
+    def accept(self, char: str) -> bool:
+        if self.peek() == char:
+            self.pos += 1
+            return True
+        return False
+
+    def parse_number(self) -> float:
+        self.skip_ws()
+        start = self.pos
+        if self.pos < len(self.text) and self.text[self.pos] in "+-":
+            self.pos += 1
+        seen_digit = False
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isdigit() or self.text[self.pos] == "."
+        ):
+            seen_digit = seen_digit or self.text[self.pos].isdigit()
+            self.pos += 1
+        if self.pos < len(self.text) and self.text[self.pos] in "eE":
+            self.pos += 1
+            if self.pos < len(self.text) and self.text[self.pos] in "+-":
+                self.pos += 1
+            while self.pos < len(self.text) and self.text[self.pos].isdigit():
+                self.pos += 1
+        if not seen_digit:
+            raise self.error("expected a number")
+        try:
+            return float(self.text[start: self.pos])
+        except ValueError:
+            raise self.error(f"malformed number {self.text[start:self.pos]!r}")
+
+    def parse_name(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos].isalpha():
+            self.pos += 1
+        if start == self.pos:
+            raise self.error("expected a leaf type name")
+        return self.text[start: self.pos]
+
+    def parse_vector(self) -> List[float]:
+        self.expect("[")
+        values = [self.parse_number()]
+        while self.accept(","):
+            values.append(self.parse_number())
+        self.expect("]")
+        return values
+
+    # -- grammar -------------------------------------------------------------
+    def parse_node(self) -> Node:
+        char = self.peek()
+        if char == "(":
+            return self.parse_composite()
+        if char.isalpha():
+            return self.parse_leaf()
+        raise self.error("expected '(' or a leaf")
+
+    def parse_composite(self) -> Node:
+        self.expect("(")
+        first_weight: float = None  # type: ignore[assignment]
+        # Sum terms start with a weight; product terms with a node.
+        char = self.peek()
+        if char and (char.isdigit() or char in "+-."):
+            first_weight = self.parse_number()
+            self.expect("*")
+        first_child = self.parse_node()
+        if first_weight is not None:
+            children = [first_child]
+            weights = [first_weight]
+            while self.accept("+"):
+                weights.append(self.parse_number())
+                self.expect("*")
+                children.append(self.parse_node())
+            self.expect(")")
+            if len(children) == 1:
+                # A one-term "sum" is legal SPFlow output; preserve it.
+                return SumNode(children, weights)
+            return SumNode(children, weights)
+        children = [first_child]
+        while self.accept("*"):
+            children.append(self.parse_node())
+        self.expect(")")
+        if len(children) == 1:
+            return children[0]
+        return ProductNode(children)
+
+    def parse_leaf(self) -> Node:
+        name = self.parse_name()
+        self.expect("(")
+        self.skip_ws()
+        if self.peek() != "V":
+            raise self.error("expected variable reference 'V<int>'")
+        self.pos += 1
+        variable = int(self.parse_number())
+        self.expect("|")
+        if name == "Histogram":
+            breaks = self.parse_vector()
+            self.expect(";")
+            densities = self.parse_vector()
+            self.expect(")")
+            return HistogramLeaf(variable, breaks, densities)
+        if name == "Gaussian":
+            mean = self.parse_number()
+            self.expect(";")
+            stdev = self.parse_number()
+            self.expect(")")
+            return GaussianLeaf(variable, mean, stdev)
+        if name == "Categorical":
+            probs = self.parse_vector()
+            self.expect(")")
+            return CategoricalLeaf(variable, probs)
+        raise self.error(f"unknown leaf type {name!r}")
+
+    def parse(self) -> Node:
+        node = self.parse_node()
+        self.skip_ws()
+        if self.pos != len(self.text):
+            raise self.error("trailing characters after SPN expression")
+        return node
+
+
+def loads(text: str, name: str = "spn", validate: bool = True) -> SPN:
+    """Parse an SPFlow equation string into a validated :class:`SPN`."""
+    if not text or not text.strip():
+        raise SPNFormatError("empty SPN description")
+    root = _Parser(text.strip()).parse()
+    return SPN(root, name=name, validate=validate)
+
+
+def load(fileobj: TextIO, name: str = "spn", validate: bool = True) -> SPN:
+    """Parse an SPFlow equation string from a file object."""
+    return loads(fileobj.read(), name=name, validate=validate)

@@ -1,0 +1,108 @@
+"""Structure transformations: pruning, contraction, normal form.
+
+The hardware generator benefits from smaller, shallower networks —
+every removed node is an operator, every removed level is pipeline
+depth.  These transformations are the standard pre-compilation
+clean-ups:
+
+* :func:`prune` removes sum children whose mixture weight is below a
+  threshold (re-normalising the rest) — negligible-probability
+  branches cost full hardware but contribute nothing measurable;
+* :func:`contract` collapses nested same-type nodes (a sum feeding a
+  sum merges into one weighted sum; products merge likewise) and
+  drops single-child internals — the alternating "normal form" the
+  balanced-tree lowering prefers.
+
+Both return new SPNs and preserve the represented distribution up to
+the documented pruning mass (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import SPNStructureError
+from repro.spn.graph import SPN
+from repro.spn.nodes import LeafNode, Node, ProductNode, SumNode
+
+__all__ = ["prune", "contract"]
+
+
+def _rebuild(spn: SPN, build) -> SPN:
+    """Bottom-up reconstruction helper: build(node, new_children)."""
+    rebuilt: Dict[int, Node] = {}
+    for node in spn:
+        children = [rebuilt[c.id] for c in node.children]
+        rebuilt[node.id] = build(node, children)
+    return SPN(rebuilt[spn.root.id], name=spn.name)
+
+
+def prune(spn: SPN, *, weight_threshold: float = 1e-3) -> SPN:
+    """Drop sum children with weight below *weight_threshold*.
+
+    Surviving weights are re-normalised; at least one child is always
+    kept (the heaviest).  The total variation distance introduced is
+    bounded by the dropped mass per sum node.
+    """
+    if not 0.0 <= weight_threshold < 1.0:
+        raise SPNStructureError(
+            f"weight_threshold must be in [0, 1), got {weight_threshold}"
+        )
+
+    def build(node: Node, children: List[Node]) -> Node:
+        if isinstance(node, SumNode):
+            keep = [
+                (child, weight)
+                for child, weight in zip(children, node.weights)
+                if weight >= weight_threshold
+            ]
+            if not keep:
+                heaviest = int(np.argmax(node.weights))
+                keep = [(children[heaviest], 1.0)]
+            return SumNode([c for c, _ in keep], [w for _, w in keep])
+        if isinstance(node, ProductNode):
+            return ProductNode(children)
+        return node  # leaves are reused as-is
+
+    return _rebuild(spn, build)
+
+
+def contract(spn: SPN) -> SPN:
+    """Collapse nested same-type nodes and single-child internals.
+
+    * ``Sum(w1*Sum(v1*a, v2*b), w2*c)`` becomes
+      ``Sum(w1*v1*a, w1*v2*b, w2*c)``;
+    * ``Product(Product(a, b), c)`` becomes ``Product(a, b, c)``;
+    * single-child sums/products forward their child (a one-term sum's
+      weight is 1 after normalisation).
+    """
+
+    def build(node: Node, children: List[Node]) -> Node:
+        if isinstance(node, LeafNode):
+            return node
+        if isinstance(node, ProductNode):
+            flattened: List[Node] = []
+            for child in children:
+                if isinstance(child, ProductNode):
+                    flattened.extend(child.children)
+                else:
+                    flattened.append(child)
+            if len(flattened) == 1:
+                return flattened[0]
+            return ProductNode(flattened)
+        if isinstance(node, SumNode):
+            terms: List[Tuple[Node, float]] = []
+            for child, weight in zip(children, node.weights):
+                if isinstance(child, SumNode):
+                    for grandchild, inner in zip(child.children, child.weights):
+                        terms.append((grandchild, weight * inner))
+                else:
+                    terms.append((child, weight))
+            if len(terms) == 1:
+                return terms[0][0]
+            return SumNode([c for c, _ in terms], [w for _, w in terms])
+        raise SPNStructureError(f"unknown node type {type(node).__name__}")
+
+    return _rebuild(spn, build)

@@ -1,0 +1,35 @@
+"""The 100G in-network streaming architecture of [7].
+
+§V-D compares the HBM design against the group's streaming variant:
+SPN cores fed directly from a 100G network MAC, no memory accesses at
+all.  This package models that system as a discrete-event pipeline —
+Ethernet MAC ingress → sample dispatcher → replicated streaming cores
+→ egress — so the comparison point (140.7 M NIPS80 samples/s at line
+rate) *emerges* from frame-level simulation rather than being quoted.
+
+It also answers the design question [7] poses: how much core
+replication does line rate require for a given SPN?
+"""
+
+from repro.streaming.mac import EthernetMac, FRAME_OVERHEAD_BYTES
+from repro.streaming.system import (
+    StreamingResult,
+    StreamingSystem,
+    required_replicas,
+)
+from repro.streaming.multilink import (
+    MultiLinkBufferedNode,
+    MultiLinkNodeResult,
+    max_links_for_hbm,
+)
+
+__all__ = [
+    "EthernetMac",
+    "FRAME_OVERHEAD_BYTES",
+    "StreamingSystem",
+    "StreamingResult",
+    "required_replicas",
+    "MultiLinkBufferedNode",
+    "MultiLinkNodeResult",
+    "max_links_for_hbm",
+]

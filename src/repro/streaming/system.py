@@ -1,0 +1,170 @@
+"""The streaming inference pipeline: MAC → dispatcher → cores → egress.
+
+Ingress frames carry packed samples; a round-robin dispatcher feeds
+replicated streaming SPN cores (each the same II=1 pipeline as the
+HBM accelerator's datapath, minus all memory machinery); results
+stream out through the egress MAC.  Backpressure is real: when the
+cores can't keep up, the ingress stalls and the achieved rate drops
+below line rate — which is how the replication requirement shows up.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import RuntimeConfigError
+from repro.sim.channel import Channel
+from repro.sim.engine import Engine
+from repro.streaming.mac import EthernetMac
+
+__all__ = ["StreamingSystem", "StreamingResult", "required_replicas"]
+
+
+def required_replicas(
+    bytes_per_sample: int,
+    core_clock_hz: float,
+    *,
+    line_rate_bits: float = 100e9,
+    payload_efficiency: float = 0.99078,
+) -> int:
+    """Cores needed to sustain line rate for a given wire format.
+
+    The ingress delivers ``payload_rate / bytes_per_sample`` samples/s;
+    each core retires one sample per cycle.
+    """
+    if bytes_per_sample < 1:
+        raise RuntimeConfigError(f"bytes_per_sample must be >= 1, got {bytes_per_sample}")
+    if core_clock_hz <= 0:
+        raise RuntimeConfigError(f"core clock must be positive, got {core_clock_hz}")
+    sample_rate = line_rate_bits * payload_efficiency / (8.0 * bytes_per_sample)
+    return max(1, math.ceil(sample_rate / core_clock_hz))
+
+
+@dataclass(frozen=True)
+class StreamingResult:
+    """Outcome of one streaming-system run."""
+
+    n_samples: int
+    elapsed_seconds: float
+    n_cores: int
+    line_rate_bits: float
+    payload_efficiency: float
+    bytes_per_sample: int
+
+    @property
+    def samples_per_second(self) -> float:
+        """Achieved inference throughput."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.n_samples / self.elapsed_seconds
+
+    @property
+    def line_rate_samples_per_second(self) -> float:
+        """The ingress-imposed ceiling."""
+        return (
+            self.line_rate_bits
+            * self.payload_efficiency
+            / (8.0 * self.bytes_per_sample)
+        )
+
+    @property
+    def line_rate_fraction(self) -> float:
+        """Achieved rate as a fraction of the line-rate ceiling."""
+        return self.samples_per_second / self.line_rate_samples_per_second
+
+
+class StreamingSystem:
+    """DES model of the replicated in-network inference pipeline."""
+
+    def __init__(
+        self,
+        *,
+        bytes_per_sample: int,
+        n_cores: int,
+        core_clock_hz: float = 225e6,
+        line_rate_bits: float = 100e9,
+    ):
+        if bytes_per_sample < 1:
+            raise RuntimeConfigError(
+                f"bytes_per_sample must be >= 1, got {bytes_per_sample}"
+            )
+        if n_cores < 1:
+            raise RuntimeConfigError(f"n_cores must be >= 1, got {n_cores}")
+        if core_clock_hz <= 0:
+            raise RuntimeConfigError(f"core clock must be positive, got {core_clock_hz}")
+        self.env = Engine()
+        self.bytes_per_sample = int(bytes_per_sample)
+        self.n_cores = int(n_cores)
+        self.core_clock_hz = float(core_clock_hz)
+        self.ingress = EthernetMac(self.env, line_rate_bits=line_rate_bits, name="rx")
+        self.egress = EthernetMac(self.env, line_rate_bits=line_rate_bits, name="tx")
+        self.samples_per_frame = max(
+            1, self.ingress.frame_payload // self.bytes_per_sample
+        )
+
+    def run(self, n_samples: int) -> StreamingResult:
+        """Push *n_samples* through the pipeline; returns the result."""
+        if n_samples < 1:
+            raise RuntimeConfigError(f"n_samples must be >= 1, got {n_samples}")
+        env = self.env
+        # Shallow per-core input queues: little on-chip buffering, so
+        # slow cores genuinely backpressure the ingress.
+        queues = [
+            Channel(env, capacity=2, name=f"core{i}-in") for i in range(self.n_cores)
+        ]
+        results = Channel(env, capacity=None, name="results")
+
+        def ingress_process():
+            remaining = n_samples
+            target = 0
+            while remaining > 0:
+                chunk = min(self.samples_per_frame, remaining)
+                yield self.ingress.send_frame(chunk * self.bytes_per_sample)
+                yield queues[target].put(chunk)
+                target = (target + 1) % self.n_cores
+                remaining -= chunk
+            for queue in queues:
+                queue.close()
+
+        def core_process(index: int):
+            from repro.sim.channel import ClosedChannelError
+
+            while True:
+                try:
+                    chunk = yield queues[index].get()
+                except ClosedChannelError:
+                    return
+                yield env.timeout(chunk / self.core_clock_hz)  # II = 1
+                yield results.put(chunk)
+
+        def egress_process():
+            done = 0
+            pending = 0
+            result_bytes = 8  # one float64 per sample, as on the HBM path
+            per_frame = max(1, self.egress.frame_payload // result_bytes)
+            while done < n_samples:
+                chunk = yield results.get()
+                pending += chunk
+                while pending >= per_frame:
+                    yield self.egress.send_frame(per_frame * result_bytes)
+                    pending -= per_frame
+                    done += per_frame
+                if done + pending >= n_samples and pending:
+                    yield self.egress.send_frame(pending * result_bytes)
+                    done += pending
+                    pending = 0
+
+        env.process(ingress_process(), name="ingress")
+        for index in range(self.n_cores):
+            env.process(core_process(index), name=f"core{index}")
+        sink = env.process(egress_process(), name="egress")
+        env.run(until_event=sink)
+        return StreamingResult(
+            n_samples=n_samples,
+            elapsed_seconds=env.now,
+            n_cores=self.n_cores,
+            line_rate_bits=self.ingress.line_rate_bytes * 8.0,
+            payload_efficiency=self.ingress.payload_efficiency,
+            bytes_per_sample=self.bytes_per_sample,
+        )

@@ -1,0 +1,123 @@
+"""Dataset utilities and accelerator sample encodings.
+
+The accelerator consumes samples as packed single-byte feature vectors
+and produces one IEEE-754 double (the log-likelihood) per sample — the
+paper's NIPS10 example: "the input consists of 10 single-byte values.
+The result is a single double-precision value", i.e. 144 bits in
+flight per sample.  :func:`encode_samples`/:func:`decode_results`
+implement exactly that wire format so the simulated device moves real
+bytes, and byte counts in the performance models are grounded in the
+same code the functional path uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "Dataset",
+    "encode_samples",
+    "decode_results",
+    "batch_iterator",
+    "train_test_split",
+    "RESULT_BYTES",
+]
+
+#: Bytes per inference result (one IEEE-754 double log-likelihood).
+RESULT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named (rows, variables) data matrix with provenance metadata."""
+
+    name: str
+    data: np.ndarray
+
+    def __post_init__(self):
+        if self.data.ndim != 2:
+            raise ReproError(f"dataset {self.name!r} must be 2-D, got {self.data.ndim}-D")
+
+    @property
+    def n_rows(self) -> int:
+        """Number of samples."""
+        return self.data.shape[0]
+
+    @property
+    def n_variables(self) -> int:
+        """Number of feature columns."""
+        return self.data.shape[1]
+
+    @property
+    def sample_bytes(self) -> int:
+        """Input bytes per sample on the accelerator wire (1 B/feature)."""
+        return self.n_variables
+
+    @property
+    def transfer_bits_per_sample(self) -> int:
+        """Total bits moved per sample: input bytes plus the f64 result."""
+        return 8 * (self.sample_bytes + RESULT_BYTES)
+
+
+def encode_samples(data: np.ndarray) -> bytes:
+    """Pack a ``(batch, n)`` count matrix into the device byte stream.
+
+    Values must fit a single unsigned byte; rows are laid out
+    back-to-back with no padding, matching the Load Unit's expectation
+    of a dense linear read.
+    """
+    data = np.asarray(data)
+    if data.ndim != 2:
+        raise ReproError(f"encode_samples needs a 2-D array, got {data.ndim}-D")
+    if np.any(data < 0) or np.any(data > 255):
+        raise ReproError("sample features must fit a single byte (0..255)")
+    if not np.allclose(data, np.rint(np.asarray(data, dtype=np.float64))):
+        raise ReproError("sample features must be integral for byte encoding")
+    return np.ascontiguousarray(data, dtype=np.uint8).tobytes()
+
+
+def decode_results(payload: bytes, n_samples: Optional[int] = None) -> np.ndarray:
+    """Unpack the device's result stream of float64 log-likelihoods."""
+    if len(payload) % RESULT_BYTES:
+        raise ReproError(
+            f"result payload of {len(payload)} bytes is not a multiple of {RESULT_BYTES}"
+        )
+    out = np.frombuffer(payload, dtype=np.float64)
+    if n_samples is not None and len(out) != n_samples:
+        raise ReproError(f"expected {n_samples} results, got {len(out)}")
+    return out
+
+
+def batch_iterator(
+    data: np.ndarray, batch_size: int
+) -> Iterator[np.ndarray]:
+    """Yield contiguous row batches of at most *batch_size* rows.
+
+    Views, not copies — the guide's "be easy on the memory" rule; the
+    encoder copies once when packing bytes.
+    """
+    if batch_size < 1:
+        raise ReproError(f"batch_size must be >= 1, got {batch_size}")
+    data = np.asarray(data)
+    for start in range(0, data.shape[0], batch_size):
+        yield data[start: start + batch_size]
+
+
+def train_test_split(
+    data: np.ndarray, test_fraction: float = 0.2, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Shuffle rows and split into (train, test) by *test_fraction*."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ReproError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    data = np.asarray(data)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(data.shape[0])
+    cut = int(round(data.shape[0] * (1.0 - test_fraction)))
+    if cut == 0 or cut == data.shape[0]:
+        raise ReproError("split produced an empty train or test partition")
+    return data[order[:cut]], data[order[cut:]]

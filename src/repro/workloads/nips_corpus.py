@@ -1,0 +1,99 @@
+"""Synthetic stand-in for the UCI NIPS bag-of-words corpus.
+
+The real corpus holds ~1500 NIPS papers with per-document counts for
+~12k words; the paper's benchmarks keep only the *n* most frequent
+words (n = 10..80).  We cannot download it here, so this module
+synthesises data with the properties that matter downstream:
+
+* **Zipfian marginals** — frequent words have large, long-tailed
+  counts; rare words are mostly zero.  This fixes the histogram bin
+  counts (hence BRAM/LUT-memory table sizes) realistically.
+* **Topic structure** — documents come from a small number of latent
+  topics that modulate word rates, producing the row-cluster structure
+  that LearnSPN's k-means step discovers (hence sum nodes).
+* **Within-topic correlation blocks** — words co-occur in groups,
+  producing the dependency components that the independence test
+  discovers (hence product-node splits).
+
+Counts are single-byte values (0..255) exactly as the accelerator's
+input format requires (the paper: "the input consists of n single-byte
+values" per sample).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["NipsCorpusConfig", "synthesize_nips_corpus"]
+
+
+@dataclass(frozen=True)
+class NipsCorpusConfig:
+    """Parameters of the synthetic NIPS bag-of-words generator."""
+
+    #: Number of word variables (the "n" in NIPS-n).
+    n_words: int
+    #: Number of documents (rows) to synthesise.
+    n_documents: int = 1500
+    #: Latent topic count controlling row-cluster structure.
+    n_topics: int = 4
+    #: Zipf exponent of the word-frequency ranking.
+    zipf_exponent: float = 1.1
+    #: Mean count of the most frequent word in its active topics.
+    top_word_rate: float = 24.0
+    #: Words per correlated co-occurrence block.
+    block_size: int = 5
+    #: Multiplier applied to a block's rates when its topic is active.
+    topic_boost: float = 3.0
+    #: PRNG seed; the paper's benchmarks are generated with seed 2022.
+    seed: int = 2022
+
+    def __post_init__(self):
+        if self.n_words < 1:
+            raise ReproError(f"n_words must be >= 1, got {self.n_words}")
+        if self.n_documents < 1:
+            raise ReproError(f"n_documents must be >= 1, got {self.n_documents}")
+        if self.n_topics < 1:
+            raise ReproError(f"n_topics must be >= 1, got {self.n_topics}")
+        if self.block_size < 1:
+            raise ReproError(f"block_size must be >= 1, got {self.block_size}")
+
+
+def synthesize_nips_corpus(config: NipsCorpusConfig) -> np.ndarray:
+    """Generate a ``(n_documents, n_words)`` uint8 count matrix.
+
+    The generative process: each document draws a topic; each word
+    belongs to one co-occurrence block, each block is boosted in one
+    topic; word counts are Poisson with rate = Zipf base rate x boost
+    x per-document length factor, clipped to the single-byte range.
+    """
+    rng = np.random.default_rng(config.seed)
+    n = config.n_words
+
+    # Zipfian base rates: word k has rate ~ top_rate / (k+1)^s.
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    base_rates = config.top_word_rate / ranks**config.zipf_exponent
+
+    # Assign words to co-occurrence blocks and blocks to topics.
+    block_of_word = np.arange(n) // config.block_size
+    n_blocks = int(block_of_word.max()) + 1
+    topic_of_block = rng.integers(0, config.n_topics, size=n_blocks)
+
+    # Per-document topic and verbosity.
+    topics = rng.integers(0, config.n_topics, size=config.n_documents)
+    length_factor = rng.gamma(shape=4.0, scale=0.25, size=config.n_documents)
+
+    # Rate matrix: boost blocks whose topic matches the document topic.
+    boost = np.where(
+        topic_of_block[block_of_word][np.newaxis, :] == topics[:, np.newaxis],
+        config.topic_boost,
+        1.0,
+    )
+    rates = base_rates[np.newaxis, :] * boost * length_factor[:, np.newaxis]
+    counts = rng.poisson(rates)
+    return np.minimum(counts, 255).astype(np.uint8)

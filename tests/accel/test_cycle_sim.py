@@ -1,0 +1,112 @@
+"""Register-level pipeline verification via the cycle simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.cycle_sim import CycleSimulation, simulate_cycles
+from repro.compiler import build_datapath, schedule_datapath
+from repro.compiler.interpreter import extract_lookup_tables, interpret_datapath
+from repro.compiler.operators import CFP_LIBRARY, FLOAT64_LIBRARY
+from repro.errors import CompilerError
+from repro.spn import random_spn
+
+
+def _setup(seed=10, n_vars=5, n_bins=8, library=CFP_LIBRARY):
+    spn = random_spn(n_vars, depth=3, n_bins=n_bins, seed=seed)
+    datapath = build_datapath(spn)
+    tables = extract_lookup_tables(datapath, spn)
+    rng = np.random.default_rng(seed)
+    samples = rng.integers(0, n_bins, size=(30, n_vars))
+    return spn, datapath, tables, samples, library
+
+
+def test_first_result_after_exactly_pipeline_depth():
+    _, datapath, tables, samples, library = _setup()
+    schedule = schedule_datapath(datapath, library)
+    _, cycles = simulate_cycles(datapath, library, tables, samples)
+    assert cycles[0] == schedule.depth
+
+
+def test_initiation_interval_is_one():
+    """One result per cycle once the pipeline is full — the II=1 claim
+    every throughput number in the paper rests on."""
+    _, datapath, tables, samples, library = _setup(seed=11)
+    _, cycles = simulate_cycles(datapath, library, tables, samples)
+    gaps = np.diff(cycles)
+    assert np.all(gaps == 1)
+
+
+def test_results_match_functional_interpreter():
+    """Balancing registers must keep concurrent samples aligned: with
+    30 samples in flight, every output equals the reference."""
+    _, datapath, tables, samples, library = _setup(seed=12)
+    results, _ = simulate_cycles(datapath, library, tables, samples)
+    reference = interpret_datapath(datapath, samples, tables)
+    np.testing.assert_allclose(results, reference, rtol=1e-12)
+
+
+def test_order_preserved():
+    _, datapath, tables, samples, library = _setup(seed=13)
+    results, _ = simulate_cycles(datapath, library, tables, samples)
+    reference = interpret_datapath(datapath, samples, tables)
+    # Strict order: first-in first-out.
+    np.testing.assert_allclose(results, reference)
+    assert len(results) == len(samples)
+
+
+def test_deeper_library_longer_fill_same_ii():
+    _, datapath, tables, samples, _ = _setup(seed=14)
+    cfp_results, cfp_cycles = simulate_cycles(datapath, CFP_LIBRARY, tables, samples)
+    f64_results, f64_cycles = simulate_cycles(
+        datapath, FLOAT64_LIBRARY, tables, samples
+    )
+    assert f64_cycles[0] > cfp_cycles[0]
+    assert np.all(np.diff(f64_cycles) == 1)
+    np.testing.assert_allclose(cfp_results, f64_results, rtol=1e-12)
+
+
+def test_bubbles_between_samples_tolerated():
+    """Gaps in the input stream must not corrupt alignment."""
+    _, datapath, tables, samples, library = _setup(seed=15)
+    sim = CycleSimulation(datapath, library, tables)
+    outputs = []
+    for index in range(len(samples)):
+        out = sim.step(samples[index])
+        if out is not None:
+            outputs.append(out)
+        out = sim.step(None)  # bubble every other cycle
+        if out is not None:
+            outputs.append(out)
+    # Drain.
+    for _ in range(sim.schedule.depth + 2):
+        out = sim.step(None)
+        if out is not None:
+            outputs.append(out)
+    reference = interpret_datapath(datapath, samples, tables)
+    np.testing.assert_allclose(outputs, reference, rtol=1e-12)
+
+
+def test_invalid_samples_rejected():
+    _, datapath, tables, _, library = _setup(seed=16)
+    with pytest.raises(CompilerError):
+        simulate_cycles(datapath, library, tables, np.zeros(5))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_pipeline_invariants_property(seed):
+    """Depth-exact fill, II=1 and value correctness for any structure."""
+    spn = random_spn(4, depth=3, n_bins=4, seed=seed)
+    datapath = build_datapath(spn)
+    tables = extract_lookup_tables(datapath, spn)
+    schedule = schedule_datapath(datapath, CFP_LIBRARY)
+    rng = np.random.default_rng(seed)
+    samples = rng.integers(0, 4, size=(10, 4))
+    results, cycles = simulate_cycles(datapath, CFP_LIBRARY, tables, samples)
+    assert cycles[0] == schedule.depth
+    assert np.all(np.diff(cycles) == 1)
+    np.testing.assert_allclose(
+        results, interpret_datapath(datapath, samples, tables), rtol=1e-10
+    )

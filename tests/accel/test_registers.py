@@ -1,0 +1,96 @@
+"""Unit tests for the AXI4-Lite register file model."""
+
+import pytest
+
+from repro.accel.registers import (
+    CONFIG_REGISTERS,
+    INPUT_ADDR,
+    MODE,
+    N_SAMPLES,
+    RESULT_ADDR,
+    STATUS,
+    ExecutionMode,
+    RegisterFile,
+)
+from repro.errors import RuntimeConfigError
+
+
+@pytest.fixture
+def regs():
+    return RegisterFile(
+        {
+            "n_variables": 10,
+            "sample_bytes": 10,
+            "result_bytes": 8,
+            "pipeline_depth": 34,
+            "format_bits": 36,
+            "interface_width_bits": 512,
+            "clock_mhz": 225,
+        }
+    )
+
+
+def test_job_parameters_roundtrip(regs):
+    regs.set_job(0x1000, 0x2000, 12345)
+    assert regs.job_parameters() == (0x1000, 0x2000, 12345)
+
+
+def test_64bit_addresses_accepted(regs):
+    """The paper widened the control registers to 64 bit for HBM."""
+    big = (1 << 40) | 0x123
+    regs.write(INPUT_ADDR, big)
+    assert regs.read(INPUT_ADDR) == big
+
+
+def test_values_beyond_64bit_rejected(regs):
+    with pytest.raises(RuntimeConfigError):
+        regs.write(INPUT_ADDR, 1 << 64)
+
+
+def test_config_registers_need_readout_mode(regs):
+    with pytest.raises(RuntimeConfigError):
+        regs.read(CONFIG_REGISTERS["n_variables"])
+    regs.set_mode(ExecutionMode.CONFIG_READOUT)
+    assert regs.read(CONFIG_REGISTERS["n_variables"]) == 10
+
+
+def test_read_configuration_restores_mode(regs):
+    config = regs.read_configuration()
+    assert config["clock_mhz"] == 225
+    assert config["pipeline_depth"] == 34
+    assert regs.mode is ExecutionMode.INFERENCE
+
+
+def test_config_registers_read_only(regs):
+    with pytest.raises(RuntimeConfigError):
+        regs.write(CONFIG_REGISTERS["clock_mhz"], 1)
+
+
+def test_status_read_only(regs):
+    with pytest.raises(RuntimeConfigError):
+        regs.write(STATUS, 1)
+
+
+def test_busy_flag(regs):
+    assert not regs.busy
+    regs.set_busy(True)
+    assert regs.busy
+    regs.set_busy(False)
+    assert not regs.busy
+
+
+def test_unaligned_access_rejected(regs):
+    with pytest.raises(RuntimeConfigError):
+        regs.read(0x03)
+
+
+def test_unknown_register_rejected(regs):
+    with pytest.raises(RuntimeConfigError):
+        regs.read(0xF8)
+    with pytest.raises(RuntimeConfigError):
+        regs.write(0xF8, 0)
+
+
+def test_missing_config_keys_rejected():
+    with pytest.raises(RuntimeConfigError):
+        RegisterFile({"n_variables": 10})

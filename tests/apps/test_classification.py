@@ -1,0 +1,97 @@
+"""Tests for the uncertainty-aware SPN classifier."""
+
+import numpy as np
+import pytest
+
+from repro.apps import SPNClassifier
+from repro.errors import ReproError
+
+
+def _two_class_data(seed=0, rows=400, n_vars=5):
+    """Two well-separated count distributions."""
+    rng = np.random.default_rng(seed)
+    low = rng.poisson(1.0, size=(rows, n_vars))
+    high = rng.poisson(6.0, size=(rows, n_vars))
+    data = np.concatenate([low, high]).astype(np.float64)
+    labels = np.concatenate([np.zeros(rows), np.ones(rows)]).astype(int)
+    return data, labels
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    data, labels = _two_class_data()
+    return SPNClassifier.fit(data, labels, seed=1), data, labels
+
+
+def test_fit_builds_one_spn_per_class(classifier):
+    clf, _, _ = classifier
+    assert clf.classes == [0, 1]
+    assert set(clf.class_spns) == {0, 1}
+
+
+def test_high_accuracy_on_separable_classes(classifier):
+    clf, data, labels = classifier
+    assert clf.accuracy(data, labels) > 0.95
+
+
+def test_posteriors_normalised(classifier):
+    clf, data, _ = classifier
+    proba = clf.predict_proba(data[:50])
+    assert proba.shape == (50, 2)
+    np.testing.assert_allclose(proba.sum(axis=1), 1.0, rtol=1e-9)
+    assert np.all(proba >= 0)
+
+
+def test_predict_matches_argmax_posterior(classifier):
+    clf, data, _ = classifier
+    proba = clf.predict_proba(data[:100])
+    np.testing.assert_array_equal(
+        clf.predict(data[:100]), np.argmax(proba, axis=1)
+    )
+
+
+def test_priors_reflect_class_balance():
+    data, labels = _two_class_data(rows=300)
+    # Make class 1 three times as common.
+    data = np.concatenate([data, data[labels == 1], data[labels == 1]])
+    labels = np.concatenate([labels, np.ones(300, int), np.ones(300, int)])
+    clf = SPNClassifier.fit(data, labels, seed=2)
+    assert np.exp(clf.log_priors[1]) == pytest.approx(0.75, abs=0.01)
+
+
+def test_out_of_domain_scored_lower(classifier):
+    clf, data, _ = classifier
+    foreign = np.full((100, 5), 40.0)  # counts far beyond training
+    in_domain = clf.marginal_log_likelihood(data[:100]).mean()
+    out_domain = clf.marginal_log_likelihood(foreign).mean()
+    assert out_domain < in_domain - 5.0
+
+
+def test_out_of_domain_mask_flags_foreign(classifier):
+    clf, data, _ = classifier
+    foreign = np.full((100, 5), 40.0)
+    flags = clf.out_of_domain_mask(foreign, calibration=data)
+    assert flags.mean() > 0.9
+    self_flags = clf.out_of_domain_mask(
+        data, calibration=data, threshold_quantile=0.01
+    )
+    assert self_flags.mean() < 0.05
+
+
+def test_out_of_domain_mask_requires_calibration(classifier):
+    clf, data, _ = classifier
+    with pytest.raises(ReproError):
+        clf.out_of_domain_mask(data)
+    with pytest.raises(ReproError):
+        clf.out_of_domain_mask(data, calibration=data, threshold_quantile=1.5)
+
+
+def test_single_class_rejected():
+    data = np.zeros((10, 3))
+    with pytest.raises(ReproError):
+        SPNClassifier.fit(data, np.zeros(10, int))
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ReproError):
+        SPNClassifier.fit(np.zeros((10, 3)), np.zeros(7, int))

@@ -1,0 +1,178 @@
+"""Unit and property tests for the Custom Floating Point emulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import CustomFloat, Rounding
+from repro.errors import ArithmeticConfigError
+
+
+class TestConfig:
+    def test_bit_width(self):
+        assert CustomFloat(8, 23).bits == 32
+        assert CustomFloat(10, 25).bits == 36
+
+    @pytest.mark.parametrize("e,m", [(1, 10), (12, 10), (8, 0), (8, 53)])
+    def test_invalid_configs_rejected(self, e, m):
+        with pytest.raises(ArithmeticConfigError):
+            CustomFloat(e, m)
+
+    def test_invalid_rounding_rejected(self):
+        with pytest.raises(ArithmeticConfigError):
+            CustomFloat(8, 23, rounding="truncate")  # type: ignore[arg-type]
+
+    def test_range_endpoints(self):
+        fmt = CustomFloat(4, 3)
+        # bias 7: exponent code 0 reserved for zero, so normals span
+        # exponents -6..8; max mantissa 1.875.
+        assert fmt.smallest_positive == pytest.approx(2.0**-6)
+        assert fmt.largest == pytest.approx(1.875 * 2.0**8)
+
+    def test_min_normal_distinct_from_zero_encoding(self):
+        fmt = CustomFloat(3, 2)
+        tiny = fmt.smallest_positive
+        assert fmt.encode(np.array([tiny]))[0] != 0
+        assert fmt.decode(fmt.encode(np.array([tiny])))[0] == tiny
+
+
+class TestQuantise:
+    def test_exact_values_unchanged(self):
+        fmt = CustomFloat(8, 23)
+        exact = np.array([0.0, 1.0, -2.0, 0.5, 1.5, 0.75])
+        np.testing.assert_array_equal(fmt.quantize(exact), exact)
+
+    def test_matches_float32_on_normals(self):
+        """cfp(8,23) round-nearest-even is exactly IEEE binary32 on
+        normal values — a strong cross-check of the emulation."""
+        fmt = CustomFloat(8, 23)
+        rng = np.random.default_rng(0)
+        values = rng.uniform(-1e30, 1e30, size=2000)
+        values = np.concatenate([values, rng.uniform(-1, 1, size=2000)])
+        np.testing.assert_array_equal(
+            fmt.quantize(values), values.astype(np.float32).astype(np.float64)
+        )
+
+    def test_underflow_flushes_to_zero(self):
+        fmt = CustomFloat(4, 3)
+        tiny = fmt.smallest_positive / 4.0
+        assert fmt.quantize(np.array([tiny]))[0] == 0.0
+
+    def test_overflow_saturates(self):
+        fmt = CustomFloat(4, 3)
+        assert fmt.quantize(np.array([1e30]))[0] == fmt.largest
+        assert fmt.quantize(np.array([-1e30]))[0] == -fmt.largest
+
+    def test_nan_and_inf_saturate(self):
+        fmt = CustomFloat(4, 3)
+        out = fmt.quantize(np.array([np.nan, np.inf, -np.inf]))
+        assert out[0] == fmt.largest
+        assert out[1] == fmt.largest
+        assert out[2] == -fmt.largest
+
+    def test_scalar_input_returns_scalar_shape(self):
+        fmt = CustomFloat(8, 23)
+        out = fmt.quantize(0.1)
+        assert np.ndim(out) == 0
+
+    def test_idempotent(self):
+        fmt = CustomFloat(5, 7)
+        rng = np.random.default_rng(3)
+        values = rng.uniform(-100, 100, size=500)
+        once = fmt.quantize(values)
+        np.testing.assert_array_equal(fmt.quantize(once), once)
+
+    def test_rounding_carry_bumps_exponent(self):
+        fmt = CustomFloat(8, 2)  # mantissa steps of 0.25
+        # 1.9375 rounds to 2.0, requiring an exponent carry.
+        assert fmt.quantize(np.array([1.9375]))[0] == 2.0
+
+
+class TestRoundingSchemes:
+    def test_truncate_never_exceeds_magnitude(self):
+        fmt = CustomFloat(8, 4, rounding=Rounding.TRUNCATE)
+        rng = np.random.default_rng(5)
+        values = rng.uniform(0.001, 1000, size=1000)
+        out = fmt.quantize(values)
+        assert np.all(out <= values)
+
+    def test_away_from_zero_never_below_magnitude(self):
+        fmt = CustomFloat(8, 4, rounding=Rounding.AWAY_FROM_ZERO)
+        rng = np.random.default_rng(6)
+        values = rng.uniform(0.001, 1000, size=1000)
+        out = fmt.quantize(values)
+        assert np.all(out >= values)
+
+    def test_nearest_even_breaks_ties_to_even(self):
+        fmt = CustomFloat(8, 2)
+        # 1.125 is exactly between 1.0 and 1.25; even mantissa wins (1.0).
+        assert fmt.quantize(np.array([1.125]))[0] == 1.0
+        # 1.375 between 1.25 and 1.5 -> 1.5 (mantissa 0b10 even).
+        assert fmt.quantize(np.array([1.375]))[0] == 1.5
+
+    def test_nearest_error_bounded_by_half_ulp(self):
+        fmt = CustomFloat(8, 10)
+        rng = np.random.default_rng(7)
+        values = rng.uniform(1.0, 2.0, size=2000)  # fixed binade
+        out = fmt.quantize(values)
+        ulp = 2.0**-10
+        assert np.max(np.abs(out - values)) <= ulp / 2 + 1e-15
+
+
+class TestOperators:
+    def test_add_requantises(self):
+        fmt = CustomFloat(8, 4)
+        a = fmt.quantize(np.array([1.0]))
+        b = fmt.quantize(np.array([1.0 / 64.0]))
+        # Exact sum 1.015625 needs 6 mantissa bits; with 4 it rounds.
+        out = fmt.add(a, b)
+        assert out[0] == fmt.quantize(np.array([1.015625]))[0]
+
+    def test_mul_requantises(self):
+        fmt = CustomFloat(8, 3)
+        a = np.array([1.125])
+        out = fmt.mul(a, a)  # 1.265625 needs 6 bits
+        assert out[0] == fmt.quantize(np.array([1.265625]))[0]
+
+
+class TestEncodeDecode:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        e=st.integers(3, 10),
+        m=st.integers(2, 30),
+        seed=st.integers(0, 1000),
+    )
+    def test_encode_decode_roundtrip(self, e, m, seed):
+        fmt = CustomFloat(e, m)
+        rng = np.random.default_rng(seed)
+        span = min(fmt.largest, 1e20)
+        values = rng.uniform(-span, span, size=64)
+        quantised = fmt.quantize(values)
+        np.testing.assert_array_equal(fmt.decode(fmt.encode(quantised)), quantised)
+
+    def test_encode_fits_declared_bits(self):
+        fmt = CustomFloat(6, 9)
+        rng = np.random.default_rng(11)
+        values = rng.uniform(-100, 100, size=200)
+        bits = fmt.encode(values)
+        assert np.all(bits < (1 << fmt.bits))
+
+    def test_zero_encodes_as_zero_word(self):
+        fmt = CustomFloat(8, 23)
+        assert fmt.encode(np.array([0.0]))[0] == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    value=st.floats(
+        min_value=1e-300, max_value=1e300, allow_nan=False, allow_infinity=False
+    )
+)
+def test_quantisation_relative_error_bound(value):
+    """Nearest rounding keeps relative error within 2^-(m+1) in range."""
+    fmt = CustomFloat(11, 20)
+    if value > fmt.largest or value < fmt.smallest_positive * 2:
+        return
+    out = float(fmt.quantize(np.array([value]))[0])
+    assert abs(out - value) / value <= 2.0**-21 * (1 + 1e-12)

@@ -1,0 +1,85 @@
+"""Cross-format property tests: invariants every format must satisfy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import FLOAT32, PAPER_CFP, PAPER_LNS, CustomFloat, Posit
+
+#: Formats under test, with a positive-only flag (LNS cannot represent
+#: negatives).
+FORMATS = [
+    (PAPER_CFP, False),
+    (CustomFloat(6, 9), False),
+    (FLOAT32, False),
+    (Posit(12, 1), False),
+    (PAPER_LNS, True),
+]
+
+_ids = [fmt.name for fmt, _ in FORMATS]
+
+
+@pytest.mark.parametrize("fmt,positive_only", FORMATS, ids=_ids)
+def test_quantisation_idempotent(fmt, positive_only):
+    rng = np.random.default_rng(1)
+    values = rng.uniform(1e-6 if positive_only else -1e3, 1e3, size=500)
+    once = fmt.quantize(values)
+    np.testing.assert_array_equal(fmt.quantize(once), once)
+
+
+@pytest.mark.parametrize("fmt,positive_only", FORMATS, ids=_ids)
+def test_quantisation_monotone(fmt, positive_only):
+    """x <= y implies q(x) <= q(y): rounding must preserve order, or
+    comparisons computed in hardware would disagree with software."""
+    rng = np.random.default_rng(2)
+    values = np.sort(rng.uniform(1e-6 if positive_only else -1e3, 1e3, size=1000))
+    quantised = fmt.quantize(values)
+    assert np.all(np.diff(quantised) >= 0)
+
+
+@pytest.mark.parametrize("fmt,positive_only", FORMATS, ids=_ids)
+def test_zero_maps_to_zero(fmt, positive_only):
+    assert fmt.quantize(np.array([0.0]))[0] == 0.0
+
+
+@pytest.mark.parametrize("fmt,positive_only", FORMATS, ids=_ids)
+def test_operators_commute(fmt, positive_only):
+    rng = np.random.default_rng(3)
+    a = fmt.quantize(rng.uniform(1e-4, 10.0, size=200))
+    b = fmt.quantize(rng.uniform(1e-4, 10.0, size=200))
+    np.testing.assert_array_equal(fmt.add(a, b), fmt.add(b, a))
+    np.testing.assert_array_equal(fmt.mul(a, b), fmt.mul(b, a))
+
+
+@pytest.mark.parametrize("fmt,positive_only", FORMATS, ids=_ids)
+def test_mul_by_one_identity(fmt, positive_only):
+    rng = np.random.default_rng(4)
+    values = fmt.quantize(rng.uniform(1e-4, 100.0, size=200))
+    np.testing.assert_allclose(
+        fmt.mul(values, np.ones_like(values)), values, rtol=1e-6
+    )
+
+
+@pytest.mark.parametrize("fmt,positive_only", FORMATS, ids=_ids)
+def test_representable_set_closed_under_quantize(fmt, positive_only):
+    rng = np.random.default_rng(5)
+    values = fmt.quantize(rng.uniform(1e-4, 1.0, size=300))
+    assert np.all(fmt.representable(values))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    x=st.floats(min_value=1e-20, max_value=1e20, allow_nan=False),
+    y=st.floats(min_value=1e-20, max_value=1e20, allow_nan=False),
+)
+def test_cfp_add_bounds_property(x, y):
+    """Quantised add lies within one ULP-scale factor of the exact sum."""
+    fmt = PAPER_CFP
+    a = float(fmt.quantize(np.array([x]))[0])
+    b = float(fmt.quantize(np.array([y]))[0])
+    if a == 0 or b == 0:
+        return
+    out = float(fmt.add(np.array([a]), np.array([b]))[0])
+    exact = a + b
+    assert abs(out - exact) <= exact * 2.0**-24

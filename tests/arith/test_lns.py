@@ -1,0 +1,159 @@
+"""Unit and property tests for the Logarithmic Number System."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import LogNumberSystem
+from repro.errors import ArithmeticConfigError
+
+
+class TestConfig:
+    def test_bit_width_includes_zero_flag(self):
+        assert LogNumberSystem(10, 21).bits == 32
+
+    @pytest.mark.parametrize("i,f", [(1, 10), (17, 10), (8, 0), (8, 41)])
+    def test_invalid_configs_rejected(self, i, f):
+        with pytest.raises(ArithmeticConfigError):
+            LogNumberSystem(i, f)
+
+    def test_range(self):
+        fmt = LogNumberSystem(8, 10)
+        assert fmt.smallest_positive == pytest.approx(2.0**-128)
+        assert fmt.largest == pytest.approx(2.0 ** (128 - 2.0**-10))
+
+
+class TestQuantise:
+    def test_powers_of_two_exact(self):
+        fmt = LogNumberSystem(8, 12)
+        values = np.array([1.0, 0.5, 0.25, 2.0, 2.0**-100])
+        np.testing.assert_array_equal(fmt.quantize(values), values)
+
+    def test_zero_stays_zero(self):
+        fmt = LogNumberSystem(8, 12)
+        assert fmt.quantize(np.array([0.0]))[0] == 0.0
+
+    def test_negative_rejected(self):
+        fmt = LogNumberSystem(8, 12)
+        with pytest.raises(ArithmeticConfigError):
+            fmt.quantize(np.array([-1.0]))
+
+    def test_idempotent(self):
+        fmt = LogNumberSystem(8, 14)
+        rng = np.random.default_rng(1)
+        values = rng.uniform(1e-9, 1e9, size=400)
+        once = fmt.quantize(values)
+        np.testing.assert_array_equal(fmt.quantize(once), once)
+
+    def test_relative_error_bound(self):
+        """LNS quantisation has uniform *relative* precision: the log is
+        rounded to f fractional bits, so rel err <= 2^(2^-(f+1)) - 1."""
+        fmt = LogNumberSystem(10, 16)
+        rng = np.random.default_rng(2)
+        values = rng.uniform(1e-30, 1e30, size=2000)
+        out = fmt.quantize(values)
+        bound = 2.0 ** (2.0**-17) - 1.0
+        rel = np.abs(out - values) / values
+        assert np.max(rel) <= bound * (1 + 1e-9)
+
+    def test_scalar_shape(self):
+        fmt = LogNumberSystem(8, 12)
+        assert np.ndim(fmt.quantize(0.3)) == 0
+
+
+class TestMul:
+    def test_exact_on_powers_of_two(self):
+        fmt = LogNumberSystem(8, 12)
+        out = fmt.mul(np.array([0.5]), np.array([0.25]))
+        assert out[0] == 0.125
+
+    def test_zero_annihilates(self):
+        fmt = LogNumberSystem(8, 12)
+        assert fmt.mul(np.array([0.0]), np.array([0.7]))[0] == 0.0
+        assert fmt.mul(np.array([0.7]), np.array([0.0]))[0] == 0.0
+
+    def test_mul_is_exact_on_grid(self):
+        """Multiplying two grid values adds their fixed-point logs —
+        no rounding error at all (the LNS selling point)."""
+        fmt = LogNumberSystem(10, 12)
+        rng = np.random.default_rng(3)
+        a = fmt.quantize(rng.uniform(1e-6, 1e6, size=300))
+        b = fmt.quantize(rng.uniform(1e-6, 1e6, size=300))
+        out = fmt.mul(a, b)
+        expected = np.exp2(np.log2(a) + np.log2(b))
+        np.testing.assert_allclose(out, expected, rtol=1e-12)
+
+    def test_underflow_saturates_to_min(self):
+        fmt = LogNumberSystem(4, 4)  # tiny range: logs in [-8, 8)
+        out = fmt.mul(np.array([2.0**-7]), np.array([2.0**-7]))
+        assert out[0] == pytest.approx(fmt.smallest_positive)
+
+
+class TestAdd:
+    def test_identity_with_zero(self):
+        fmt = LogNumberSystem(8, 12)
+        assert fmt.add(np.array([0.0]), np.array([0.3125]))[0] == 0.3125
+        assert fmt.add(np.array([0.3125]), np.array([0.0]))[0] == 0.3125
+        assert fmt.add(np.array([0.0]), np.array([0.0]))[0] == 0.0
+
+    def test_equal_operands_double(self):
+        fmt = LogNumberSystem(8, 16)
+        out = fmt.add(np.array([0.25]), np.array([0.25]))
+        assert out[0] == pytest.approx(0.5, rel=1e-4)
+
+    def test_commutative(self):
+        fmt = LogNumberSystem(8, 14)
+        rng = np.random.default_rng(4)
+        a = fmt.quantize(rng.uniform(1e-6, 1.0, size=200))
+        b = fmt.quantize(rng.uniform(1e-6, 1.0, size=200))
+        np.testing.assert_array_equal(fmt.add(a, b), fmt.add(b, a))
+
+    def test_accuracy_against_exact_sum(self):
+        fmt = LogNumberSystem(10, 21, table_address_bits=10)
+        rng = np.random.default_rng(5)
+        a = fmt.quantize(rng.uniform(1e-8, 1.0, size=500))
+        b = fmt.quantize(rng.uniform(1e-8, 1.0, size=500))
+        out = fmt.add(a, b)
+        rel = np.abs(out - (a + b)) / (a + b)
+        # Interpolated phi keeps relative error within a few grid ULPs
+        # (ULP at f=21 is 2^-21 in the log, ~3.3e-7 relative; the
+        # linear interpolation over 1024 segments adds a few more).
+        assert np.max(rel) < 2e-5
+
+    def test_widely_spread_operands_return_larger(self):
+        fmt = LogNumberSystem(10, 16)
+        big = np.array([1.0])
+        tiny = np.array([2.0**-200])
+        # The difference exceeds the phi table range: result == big.
+        assert fmt.add(big, tiny)[0] == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        la=st.floats(min_value=-60, max_value=0),
+        lb=st.floats(min_value=-60, max_value=0),
+    )
+    def test_add_bounded_between_max_and_sum(self, la, lb):
+        """a+b in LNS lies in [max(a,b), quantize(a+b)*(1+eps)]."""
+        fmt = LogNumberSystem(10, 18)
+        a = float(fmt.quantize(2.0**la))
+        b = float(fmt.quantize(2.0**lb))
+        out = float(fmt.add(np.array([a]), np.array([b]))[0])
+        assert out >= max(a, b) * (1 - 1e-9)
+        assert out <= (a + b) * (1 + 1e-4)
+
+
+class TestPhi:
+    def test_phi_at_zero_is_one(self):
+        fmt = LogNumberSystem(8, 16)
+        assert fmt.phi(np.array([0.0]))[0] == pytest.approx(1.0, abs=2e-5)
+
+    def test_phi_monotone_decreasing(self):
+        fmt = LogNumberSystem(8, 16)
+        d = np.linspace(0, 20, 500)
+        out = fmt.phi(d)
+        assert np.all(np.diff(out) <= 1e-12)
+
+    def test_phi_clamps_to_zero_beyond_table(self):
+        fmt = LogNumberSystem(8, 10)
+        assert fmt.phi(np.array([1000.0]))[0] == 0.0

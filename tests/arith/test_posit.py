@@ -1,0 +1,100 @@
+"""Unit tests for posit quantisation."""
+
+import numpy as np
+import pytest
+
+from repro.arith import Posit
+from repro.errors import ArithmeticConfigError
+
+
+class TestConfig:
+    @pytest.mark.parametrize("n,es", [(2, 0), (33, 1), (8, 7), (8, 9)])
+    def test_invalid_configs_rejected(self, n, es):
+        with pytest.raises(ArithmeticConfigError):
+            Posit(n, es)
+
+    def test_range_symmetric(self):
+        p = Posit(8, 0)
+        assert p.largest == pytest.approx(2.0**6)
+        assert p.smallest_positive == pytest.approx(2.0**-6)
+
+    def test_useed_scales_range(self):
+        p = Posit(8, 1)  # useed = 4
+        assert p.largest == pytest.approx(4.0**6)
+
+
+class TestKnownEncodings:
+    def test_posit8_0_values_near_one(self):
+        p = Posit(8, 0)
+        # Around 1.0, posit<8,0> has 5 fraction bits: step 1/32.
+        assert p.quantize(np.array([1.0]))[0] == 1.0
+        assert p.quantize(np.array([1.0 + 1 / 32]))[0] == pytest.approx(1.0 + 1 / 32)
+
+    def test_posit_table_is_sorted_unique(self):
+        p = Posit(10, 1)
+        values = p._values
+        assert np.all(np.diff(values) > 0)
+
+    def test_exact_positive_count(self):
+        p = Posit(6, 0)
+        # 2^(n-1) - 1 positive patterns.
+        assert len(p._values) == 31
+
+    def test_tapered_precision(self):
+        """Relative step near 1.0 is finer than near the extremes."""
+        p = Posit(12, 1)
+        values = p._values
+        mid = np.searchsorted(values, 1.0)
+        step_mid = (values[mid + 1] - values[mid]) / values[mid]
+        step_top = (values[-1] - values[-2]) / values[-2]
+        assert step_mid < step_top
+
+
+class TestQuantise:
+    def test_idempotent(self):
+        p = Posit(12, 1)
+        rng = np.random.default_rng(0)
+        values = rng.uniform(1e-6, 1e6, size=500)
+        once = p.quantize(values)
+        np.testing.assert_array_equal(p.quantize(once), once)
+
+    def test_rounds_to_nearest_table_value(self):
+        p = Posit(8, 0)
+        table = p._values
+        rng = np.random.default_rng(1)
+        values = rng.uniform(table[0], table[-1], size=300)
+        out = p.quantize(values)
+        for v, o in zip(values, out):
+            best = table[np.argmin(np.abs(table - v))]
+            assert abs(o - v) <= abs(best - v) * (1 + 1e-12) + 1e-15
+
+    def test_negative_values_mirrored(self):
+        p = Posit(10, 1)
+        pos = p.quantize(np.array([0.3]))
+        neg = p.quantize(np.array([-0.3]))
+        assert neg[0] == -pos[0]
+
+    def test_zero_exact(self):
+        assert Posit(8, 1).quantize(np.array([0.0]))[0] == 0.0
+
+    def test_saturation(self):
+        p = Posit(8, 0)
+        assert p.quantize(np.array([1e30]))[0] == p.largest
+        assert p.quantize(np.array([1e-30]))[0] == p.smallest_positive
+
+    def test_nan_inf_saturate(self):
+        p = Posit(8, 0)
+        out = p.quantize(np.array([np.inf, np.nan]))
+        assert out[0] == p.largest
+        assert out[1] == p.largest
+
+    def test_wide_posit_analytic_path(self):
+        p = Posit(32, 2)
+        assert p._values is None
+        values = np.array([1.0, 0.5, 3.14159, 1e-10])
+        out = p.quantize(values)
+        rel = np.abs(out - values) / values
+        # 32-bit posits have >= 20 fraction bits near 1.0.
+        assert np.max(rel[:3]) < 1e-6
+        out_again = p.quantize(out)
+        np.testing.assert_allclose(out_again, out, rtol=1e-12)

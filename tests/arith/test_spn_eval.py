@@ -1,0 +1,101 @@
+"""Tests for format-semantics SPN evaluation and error analysis."""
+
+import numpy as np
+import pytest
+
+from repro.arith import (
+    FLOAT32,
+    FLOAT64,
+    PAPER_CFP,
+    PAPER_LNS,
+    CustomFloat,
+    compare_formats_on_spn,
+    evaluate_spn_in_format,
+    max_relative_error,
+    relative_errors,
+)
+from repro.errors import ReproError
+from repro.spn import log_likelihood, random_spn
+
+
+@pytest.fixture(scope="module")
+def spn_and_data():
+    spn = random_spn(8, depth=3, n_bins=8, seed=99)
+    rng = np.random.default_rng(99)
+    data = rng.integers(0, 8, size=(200, 8)).astype(float)
+    return spn, data
+
+
+def test_float64_format_matches_reference(spn_and_data):
+    spn, data = spn_and_data
+    reference = log_likelihood(spn, data)
+    got = evaluate_spn_in_format(spn, data, FLOAT64)
+    # Same arithmetic, different association order: near-exact.
+    np.testing.assert_allclose(got, reference, rtol=1e-12)
+
+
+def test_paper_cfp_accurate_on_random_spn(spn_and_data):
+    spn, data = spn_and_data
+    reference = log_likelihood(spn, data)
+    got = evaluate_spn_in_format(spn, data, PAPER_CFP)
+    assert max_relative_error(reference, got) < 1e-5
+
+
+def test_paper_lns_accurate_on_random_spn(spn_and_data):
+    spn, data = spn_and_data
+    reference = log_likelihood(spn, data)
+    got = evaluate_spn_in_format(spn, data, PAPER_LNS)
+    assert max_relative_error(reference, got) < 1e-4
+
+
+def test_narrow_format_underflows_deep_products():
+    """A format with too little exponent range must underflow — the
+    failure mode [4]'s format exploration guards against."""
+    spn = random_spn(40, depth=2, n_bins=16, seed=5)
+    rng = np.random.default_rng(5)
+    data = rng.integers(0, 16, size=(50, 40)).astype(float)
+    narrow = CustomFloat(exponent_bits=5, mantissa_bits=10)
+    linear = evaluate_spn_in_format(spn, data, narrow, return_linear=True)
+    assert np.any(linear == 0.0)
+
+
+def test_compare_formats_report_fields(spn_and_data):
+    spn, data = spn_and_data
+    reports = compare_formats_on_spn(spn, data, [PAPER_CFP, FLOAT32])
+    assert [r.format_name for r in reports] == [PAPER_CFP.name, "float32"]
+    for report in reports:
+        assert report.n_samples == len(data)
+        assert report.max_log_error >= report.mean_log_error >= 0
+        assert 0.0 <= report.underflow_fraction <= 1.0
+
+
+def test_acceptable_threshold(spn_and_data):
+    spn, data = spn_and_data
+    report = compare_formats_on_spn(spn, data, [PAPER_CFP])[0]
+    assert report.acceptable()
+
+
+def test_underflowing_format_not_acceptable():
+    spn = random_spn(40, depth=2, n_bins=16, seed=5)
+    rng = np.random.default_rng(5)
+    data = rng.integers(0, 16, size=(50, 40)).astype(float)
+    report = compare_formats_on_spn(spn, data, [CustomFloat(5, 10)])[0]
+    assert not report.acceptable()
+    assert report.underflow_fraction > 0
+
+
+def test_relative_errors_zero_reference_uses_absolute():
+    out = relative_errors(np.array([0.0, 2.0]), np.array([0.5, 3.0]))
+    assert out[0] == pytest.approx(0.5)
+    assert out[1] == pytest.approx(0.5)
+
+
+def test_relative_errors_shape_mismatch_rejected():
+    with pytest.raises(ReproError):
+        relative_errors(np.zeros(3), np.zeros(4))
+
+
+def test_evaluate_1d_input(spn_and_data):
+    spn, data = spn_and_data
+    out = evaluate_spn_in_format(spn, data[0], PAPER_CFP)
+    assert out.shape == (1,)

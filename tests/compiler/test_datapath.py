@@ -1,0 +1,127 @@
+"""Unit tests for SPN-to-datapath lowering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import HWOp, build_datapath
+from repro.compiler.datapath import Datapath, DatapathNode
+from repro.errors import CompilerError
+from repro.spn import (
+    SPN,
+    GaussianLeaf,
+    HistogramLeaf,
+    ProductNode,
+    SumNode,
+    compute_stats,
+    random_spn,
+)
+
+
+def _hist(var, bins=4):
+    masses = np.full(bins, 1.0 / bins)
+    return HistogramLeaf(var, np.arange(bins + 1, dtype=float), masses)
+
+
+def test_single_leaf_becomes_input_plus_lookup():
+    dp = build_datapath(SPN(_hist(0, bins=8)))
+    assert dp.count(HWOp.INPUT) == 1
+    assert dp.count(HWOp.LOOKUP) == 1
+    assert dp.nodes[dp.output].op is HWOp.LOOKUP
+    assert dp.total_table_entries == 8
+
+
+def test_product_becomes_mul_tree():
+    spn = SPN(ProductNode([_hist(v) for v in range(5)]))
+    dp = build_datapath(spn)
+    assert dp.count(HWOp.MUL) == 4  # n-1 for n=5
+    assert dp.count(HWOp.LOOKUP) == 5
+    assert dp.count(HWOp.CONST_MUL) == 0
+
+
+def test_sum_becomes_weight_muls_plus_add_tree():
+    spn = SPN(SumNode([_hist(0), _hist(0), _hist(0)], [1, 1, 1]))
+    dp = build_datapath(spn)
+    assert dp.count(HWOp.CONST_MUL) == 3
+    assert dp.count(HWOp.ADD) == 2
+    consts = [n.constant for n in dp.nodes if n.op is HWOp.CONST_MUL]
+    assert consts == pytest.approx([1 / 3] * 3)
+
+
+def test_balanced_tree_depth_is_logarithmic():
+    spn = SPN(ProductNode([_hist(v) for v in range(16)]))
+    dp = build_datapath(spn)
+    # Depth of the mul tree = log2(16) = 4 levels; verify via longest
+    # input chain.
+    depth = {i: 0 for i in range(len(dp.nodes))}
+    for node in dp.nodes:
+        if node.inputs:
+            depth[node.index] = 1 + max(depth[i] for i in node.inputs)
+    # INPUT -> LOOKUP -> 4 MUL levels = 5.
+    assert depth[dp.output] == 5
+
+
+def test_input_taps_shared_per_variable():
+    # Two leaves on the same variable share one INPUT tap.
+    spn = SPN(SumNode([_hist(0), _hist(0)], [0.5, 0.5]))
+    dp = build_datapath(spn)
+    assert dp.count(HWOp.INPUT) == 1
+    assert dp.n_inputs == 1
+
+
+def test_shared_spn_subgraph_stays_shared():
+    shared = _hist(1)
+    a = ProductNode([_hist(0), shared])
+    b = ProductNode([_hist(2), shared])
+    spn = SPN(SumNode([a, b], [0.5, 0.5]), validate=False)
+    dp = build_datapath(spn)
+    # 4 leaves in the SPN but only 3 distinct lookup instances.
+    assert dp.count(HWOp.LOOKUP) == 3
+
+
+def test_gaussian_leaf_discretised():
+    spn = SPN(GaussianLeaf(0, 0.0, 1.0))
+    dp = build_datapath(spn)
+    assert dp.count(HWOp.LOOKUP) == 1
+    assert dp.total_table_entries == 64
+
+
+def test_operator_counts_match_spn_stats():
+    spn = random_spn(12, depth=4, seed=3)
+    stats = compute_stats(spn)
+    dp = build_datapath(spn)
+    assert dp.count(HWOp.ADD) == stats.n_adders
+    assert dp.count(HWOp.CONST_MUL) + dp.count(HWOp.MUL) == stats.n_multipliers
+    assert dp.count(HWOp.LOOKUP) == stats.n_leaves
+    assert dp.total_table_entries == stats.n_table_entries
+
+
+def test_topological_invariant_enforced():
+    nodes = [
+        DatapathNode(index=0, op=HWOp.INPUT, variable=0),
+        DatapathNode(index=1, op=HWOp.LOOKUP, inputs=(2,)),  # forward ref
+        DatapathNode(index=2, op=HWOp.LOOKUP, inputs=(0,)),
+    ]
+    with pytest.raises(CompilerError):
+        Datapath(nodes, output=1)
+
+
+def test_dense_indexing_enforced():
+    nodes = [DatapathNode(index=5, op=HWOp.INPUT, variable=0)]
+    with pytest.raises(CompilerError):
+        Datapath(nodes, output=0)
+
+
+def test_empty_datapath_rejected():
+    with pytest.raises(CompilerError):
+        Datapath([], output=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), n_vars=st.integers(1, 12))
+def test_lowering_always_topological(seed, n_vars):
+    spn = random_spn(n_vars, depth=3, seed=seed)
+    dp = build_datapath(spn)  # constructor enforces the invariants
+    assert dp.nodes[dp.output] is dp.nodes[-1] or dp.output < len(dp)
+    assert dp.n_inputs == n_vars

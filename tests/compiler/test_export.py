@@ -1,0 +1,81 @@
+"""Tests for netlist export/import and design reports."""
+
+import json
+
+import pytest
+
+from repro.compiler import build_datapath, compile_core, compose_design
+from repro.compiler.export import (
+    datapath_from_json,
+    datapath_to_dot,
+    datapath_to_json,
+    design_report,
+)
+from repro.compiler.operators import HWOp
+from repro.errors import CompilerError
+from repro.platforms.specs import XUPVVH_HBM_PLATFORM
+from repro.spn import nips_spn, random_spn
+
+
+@pytest.fixture(scope="module")
+def datapath():
+    return build_datapath(random_spn(6, depth=3, n_bins=5, seed=41))
+
+
+class TestJsonNetlist:
+    def test_round_trip_preserves_structure(self, datapath):
+        again = datapath_from_json(datapath_to_json(datapath))
+        assert len(again) == len(datapath)
+        assert again.output == datapath.output
+        for a, b in zip(again.nodes, datapath.nodes):
+            assert a.op is b.op
+            assert a.inputs == b.inputs
+            assert a.variable == b.variable
+            assert a.table_entries == b.table_entries
+            assert a.constant == pytest.approx(b.constant) if b.constant else a.constant is None
+
+    def test_json_is_valid_and_versioned(self, datapath):
+        doc = json.loads(datapath_to_json(datapath))
+        assert doc["version"] == 1
+        assert len(doc["nodes"]) == len(datapath)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(CompilerError):
+            datapath_from_json("{not json")
+
+    def test_wrong_version_rejected(self, datapath):
+        doc = json.loads(datapath_to_json(datapath))
+        doc["version"] = 99
+        with pytest.raises(CompilerError):
+            datapath_from_json(json.dumps(doc))
+
+    def test_bad_op_rejected(self, datapath):
+        doc = json.loads(datapath_to_json(datapath))
+        doc["nodes"][0]["op"] = "frobnicate"
+        with pytest.raises(CompilerError):
+            datapath_from_json(json.dumps(doc))
+
+
+class TestDot:
+    def test_dot_contains_all_nodes_and_edges(self, datapath):
+        dot = datapath_to_dot(datapath)
+        assert dot.startswith("digraph")
+        assert dot.count("label=") == len(datapath) + 1  # + output marker
+        n_edges = sum(len(n.inputs) for n in datapath.nodes) + 1
+        assert dot.count("->") == n_edges
+
+    def test_lookup_label_shows_table_depth(self, datapath):
+        dot = datapath_to_dot(datapath)
+        assert "LUT[" in dot
+
+
+class TestDesignReport:
+    def test_report_mentions_key_quantities(self):
+        core = compile_core(nips_spn("NIPS10"), "cfp")
+        design = compose_design(core, 4, XUPVVH_HBM_PLATFORM)
+        report = design_report(design)
+        assert "NIPS10x4" in report
+        assert "225.0 MHz" in report
+        assert "pipeline depth" in report
+        assert "dsp" in report
+        assert "%" in report

@@ -1,0 +1,95 @@
+"""Unit tests for pipeline scheduling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import (
+    CFP_LIBRARY,
+    FLOAT64_LIBRARY,
+    HWOp,
+    build_datapath,
+    schedule_datapath,
+)
+from repro.spn import SPN, HistogramLeaf, ProductNode, SumNode, random_spn
+
+
+def _hist(var, bins=4):
+    masses = np.full(bins, 1.0 / bins)
+    return HistogramLeaf(var, np.arange(bins + 1, dtype=float), masses)
+
+
+def test_single_lookup_depth():
+    dp = build_datapath(SPN(_hist(0)))
+    sched = schedule_datapath(dp, CFP_LIBRARY)
+    assert sched.depth == CFP_LIBRARY.latency(HWOp.LOOKUP)
+    assert sched.balance_registers == 0
+
+
+def test_product_chain_depth():
+    spn = SPN(ProductNode([_hist(0), _hist(1)]))
+    dp = build_datapath(spn)
+    sched = schedule_datapath(dp, CFP_LIBRARY)
+    expected = CFP_LIBRARY.latency(HWOp.LOOKUP) + CFP_LIBRARY.latency(HWOp.MUL)
+    assert sched.depth == expected
+
+
+def test_initiation_interval_is_one():
+    dp = build_datapath(random_spn(8, depth=3, seed=1))
+    sched = schedule_datapath(dp, CFP_LIBRARY)
+    assert sched.initiation_interval == 1
+    assert sched.samples_per_cycle == 1.0
+
+
+def test_balanced_inputs_need_no_registers():
+    # A perfectly balanced product tree over same-latency leaves has
+    # zero slack anywhere.
+    spn = SPN(ProductNode([_hist(v) for v in range(4)]))
+    dp = build_datapath(spn)
+    sched = schedule_datapath(dp, CFP_LIBRARY)
+    assert sched.balance_registers == 0
+
+
+def test_unbalanced_tree_counts_slack():
+    # 3 inputs: the odd leaf skips one mul level and needs balancing
+    # registers equal to one MUL latency.
+    spn = SPN(ProductNode([_hist(0), _hist(1), _hist(2)]))
+    dp = build_datapath(spn)
+    sched = schedule_datapath(dp, CFP_LIBRARY)
+    assert sched.balance_registers == CFP_LIBRARY.latency(HWOp.MUL)
+
+
+def test_deeper_latency_library_gives_deeper_pipeline():
+    dp = build_datapath(random_spn(10, depth=3, seed=5))
+    shallow = schedule_datapath(dp, CFP_LIBRARY)
+    deep = schedule_datapath(dp, FLOAT64_LIBRARY)
+    assert deep.depth > shallow.depth
+    assert deep.balance_registers >= shallow.balance_registers
+
+
+def test_ready_follows_start_plus_latency():
+    dp = build_datapath(random_spn(6, depth=3, seed=7))
+    sched = schedule_datapath(dp, CFP_LIBRARY)
+    for node in dp.nodes:
+        assert (
+            sched.ready_stage[node.index]
+            == sched.start_stage[node.index] + CFP_LIBRARY.latency(node.op)
+        )
+
+
+def test_no_operator_starts_before_inputs_ready():
+    dp = build_datapath(random_spn(9, depth=4, seed=11))
+    sched = schedule_datapath(dp, CFP_LIBRARY)
+    for node in dp.nodes:
+        for source in node.inputs:
+            assert sched.start_stage[node.index] >= sched.ready_stage[source]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), n_vars=st.integers(1, 10))
+def test_depth_equals_critical_path(seed, n_vars):
+    dp = build_datapath(random_spn(n_vars, depth=3, seed=seed))
+    sched = schedule_datapath(dp, CFP_LIBRARY)
+    assert sched.depth == max(sched.ready_stage)
+    assert sched.depth == sched.ready_stage[dp.output]

@@ -1,0 +1,98 @@
+"""Structural checks on the emitted Verilog."""
+
+import re
+
+import pytest
+
+from repro.compiler import build_datapath
+from repro.compiler.operators import CFP_LIBRARY, FLOAT64_LIBRARY, HWOp
+from repro.compiler.verilog import datapath_to_verilog
+from repro.errors import CompilerError
+from repro.spn import SPN, HistogramLeaf, ProductNode, SumNode, nips_spn, random_spn
+
+
+@pytest.fixture(scope="module")
+def verilog_and_datapath():
+    datapath = build_datapath(random_spn(6, depth=3, n_bins=5, seed=8))
+    return datapath_to_verilog(datapath, CFP_LIBRARY), datapath
+
+
+def test_module_endmodule_balance(verilog_and_datapath):
+    text, _ = verilog_and_datapath
+    assert len(re.findall(r"^\s*module\s", text, re.M)) == len(
+        re.findall(r"^\s*endmodule", text, re.M)
+    )
+
+
+def test_one_instance_per_non_input_operator(verilog_and_datapath):
+    text, datapath = verilog_and_datapath
+    instances = re.findall(r"^\s*spn_(lookup|mul|const_mul|add) #", text, re.M)
+    expected = sum(1 for n in datapath.nodes if n.op is not HWOp.INPUT)
+    assert len(instances) == expected
+
+
+def test_wires_declared_before_used(verilog_and_datapath):
+    text, _ = verilog_and_datapath
+    declared = set(re.findall(r"wire \[\d+:\d+\] (\w+);", text))
+    used = set(re.findall(r"\.(?:a|b|d)\((\w+)\)", text))
+    wire_uses = {u for u in used if u.startswith("w")}
+    assert wire_uses <= declared
+
+
+def test_feature_ports_match_variables(verilog_and_datapath):
+    text, datapath = verilog_and_datapath
+    ports = set(re.findall(r"input \[7:0\] (feature_v\d+)", text))
+    variables = {
+        f"feature_v{n.variable}" for n in datapath.nodes if n.op is HWOp.INPUT
+    }
+    assert ports == variables
+
+
+def test_result_assigned_from_output_wire(verilog_and_datapath):
+    text, datapath = verilog_and_datapath
+    assert f"assign result = w{datapath.output};" in text
+
+
+def test_balancing_delays_emitted_where_slack_exists():
+    # A 3-ary product has one leaf skipping a mul level -> slack.
+    spn = SPN(
+        ProductNode(
+            [
+                HistogramLeaf(v, [0.0, 1.0, 2.0], [0.5, 0.5])
+                for v in range(3)
+            ]
+        )
+    )
+    text = datapath_to_verilog(build_datapath(spn), CFP_LIBRARY)
+    assert "spn_delay" in text
+    stages = re.search(r"spn_delay #\(\.WIDTH\(\d+\), \.STAGES\((\d+)\)\)", text)
+    assert stages and int(stages.group(1)) == CFP_LIBRARY.latency(HWOp.MUL)
+
+
+def test_latencies_follow_library():
+    datapath = build_datapath(random_spn(4, depth=2, n_bins=4, seed=2))
+    cfp = datapath_to_verilog(datapath, CFP_LIBRARY)
+    f64 = datapath_to_verilog(datapath, FLOAT64_LIBRARY)
+    assert ".LAT(2))" in cfp or ".LAT(2)," in cfp
+    assert ".LAT(9)" in f64  # float64 mul latency
+
+
+def test_const_mul_carries_coefficient_bits(verilog_and_datapath):
+    text, datapath = verilog_and_datapath
+    coeffs = re.findall(r"\.COEFF\(64'h([0-9a-f]{16})\)", text)
+    expected = sum(1 for n in datapath.nodes if n.op is HWOp.CONST_MUL)
+    assert len(coeffs) == expected
+    assert any(int(c, 16) != 0 for c in coeffs)
+
+
+def test_nips_benchmark_emits(tmp_path):
+    text = datapath_to_verilog(build_datapath(nips_spn("NIPS10")), CFP_LIBRARY)
+    out = tmp_path / "nips10.v"
+    out.write_text(text)
+    assert out.stat().st_size > 10_000
+
+
+def test_invalid_width_rejected():
+    datapath = build_datapath(random_spn(3, depth=2, seed=1))
+    with pytest.raises(CompilerError):
+        datapath_to_verilog(datapath, CFP_LIBRARY, width=0)

@@ -1,0 +1,69 @@
+"""Tests for the design-choice ablation studies."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    format_ablation,
+    run_block_size_ablation,
+    run_crossbar_ablation,
+    run_thread_ablation,
+)
+from repro.units import KIB, MIB
+
+
+@pytest.fixture(scope="module")
+def block():
+    return run_block_size_ablation(
+        benchmark="NIPS10",
+        n_cores=2,
+        block_sizes=(64 * KIB, 1 * MIB, 4 * MIB),
+        n_samples=1_000_000,
+    )
+
+
+@pytest.fixture(scope="module")
+def threads():
+    return run_thread_ablation(
+        core_counts=(1, 6), thread_counts=(1, 2), samples_per_core=800_000
+    )
+
+
+class TestBlockSizeAblation:
+    def test_tiny_blocks_hurt(self, block):
+        """64 KiB blocks pay the dispatch overhead ~16x as often."""
+        rates = dict(zip(block.block_bytes, block.samples_per_second))
+        assert rates[64 * KIB] < 0.75 * rates[1 * MIB]
+
+    def test_paper_block_size_near_optimal(self, block):
+        """The paper's 1 MiB block is within ~10% of the best swept."""
+        rates = dict(zip(block.block_bytes, block.samples_per_second))
+        assert rates[1 * MIB] >= 0.90 * max(rates.values())
+
+
+class TestThreadAblation:
+    def test_second_thread_helps_one_core(self, threads):
+        assert threads[1][2] > 1.2 * threads[1][1]
+
+    def test_second_thread_irrelevant_at_six_cores(self, threads):
+        assert threads[6][2] < 1.10 * threads[6][1]
+
+
+class TestCrossbarAblation:
+    def test_crossbar_always_costs(self):
+        result = run_crossbar_ablation()
+        for size, (direct, routed) in result.items():
+            assert routed < direct
+
+    def test_loss_shrinks_with_request_size(self):
+        result = run_crossbar_ablation(request_sizes=(16 * KIB, 1 * MIB))
+        losses = {
+            size: 1 - routed / direct for size, (direct, routed) in result.items()
+        }
+        assert losses[1 * MIB] < losses[16 * KIB]
+
+
+def test_format_combines_all_tables(block, threads):
+    text = format_ablation(block, threads, run_crossbar_ablation())
+    assert "block size" in text
+    assert "control threads" in text
+    assert "crossbar" in text

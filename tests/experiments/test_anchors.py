@@ -1,0 +1,65 @@
+"""§V-B text anchors: the quoted throughput numbers must emerge from
+the simulated system (DESIGN.md experiment id *text-v-b*)."""
+
+import pytest
+
+from repro.compiler import compile_core, compose_design
+from repro.host import InferenceJobConfig, InferenceRuntime, SimulatedDevice
+from repro.platforms.specs import XUPVVH_HBM_PLATFORM
+from repro.spn import nips_benchmark
+from repro.units import GIB
+
+
+def _rate(benchmark, n_cores, threads=1, samples_per_core=1_500_000):
+    bench = nips_benchmark(benchmark)
+    core = compile_core(bench.spn, "cfp")
+    device = SimulatedDevice(compose_design(core, n_cores, XUPVVH_HBM_PLATFORM))
+    runtime = InferenceRuntime(device, InferenceJobConfig(threads_per_pe=threads))
+    return runtime.run_timing_only(samples_per_core * n_cores)
+
+
+def test_nips10_single_core_anchor():
+    """Paper: 133,139,305 samples/s with one accelerator."""
+    stats = _rate("NIPS10", 1)
+    assert stats.samples_per_second == pytest.approx(133_139_305, rel=0.05)
+
+
+def test_nips10_single_core_bandwidth():
+    """Paper: one NIPS10 core requires ~2.23 GiB/s of bandwidth."""
+    stats = _rate("NIPS10", 1)
+    gib = stats.samples_per_second * 18 / GIB
+    assert gib == pytest.approx(2.23, rel=0.06)
+
+
+def test_nips10_five_core_anchor():
+    """Paper: 614,654,595 samples/s with five accelerators."""
+    stats = _rate("NIPS10", 5)
+    assert stats.samples_per_second == pytest.approx(614_654_595, rel=0.08)
+
+
+def test_nips10_five_core_moves_ten_gib():
+    """Paper: the 5-core run needs ~10.3 GiB/s of PCIe traffic."""
+    stats = _rate("NIPS10", 5)
+    gib = stats.samples_per_second * 18 / GIB
+    assert gib == pytest.approx(10.3, rel=0.08)
+
+
+def test_nips80_eight_core_anchor():
+    """Paper: 116,565,604 samples/s for NIPS80 (8 cores)."""
+    stats = _rate("NIPS80", 8, samples_per_core=400_000)
+    assert stats.samples_per_second == pytest.approx(116_565_604, rel=0.05)
+
+
+def test_extra_threads_only_help_below_four_cores():
+    """Paper §V-B: more than one control thread only improves
+    performance for fewer than four accelerators."""
+    small_gain = (
+        _rate("NIPS10", 2, threads=2).samples_per_second
+        / _rate("NIPS10", 2, threads=1).samples_per_second
+    )
+    large_gain = (
+        _rate("NIPS10", 6, threads=2).samples_per_second
+        / _rate("NIPS10", 6, threads=1).samples_per_second
+    )
+    assert small_gain > 1.25
+    assert large_gain < 1.10

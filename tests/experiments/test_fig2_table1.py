@@ -1,0 +1,91 @@
+"""Tests for the Fig. 2 and Table I experiment harnesses."""
+
+import pytest
+
+from repro.experiments import PAPER, format_fig2, format_table1, run_fig2, run_table1
+from repro.units import KIB, MIB
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return run_fig2(n_requests=16)
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1()
+
+
+class TestFig2:
+    def test_plateau_matches_paper(self, fig2):
+        assert fig2.plateau_gib == pytest.approx(PAPER.hbm_channel_gib, rel=0.05)
+
+    def test_saturation_at_one_mib(self, fig2):
+        assert fig2.saturation_bytes == PAPER.hbm_saturation_bytes
+
+    def test_configurations_equivalent(self, fig2):
+        """Fig. 2's second insight: conversion costs no bandwidth."""
+        for native, converted in zip(fig2.native_450mhz, fig2.converted_225mhz):
+            assert abs(native - converted) / native < 0.04
+
+    def test_des_matches_analytic(self, fig2):
+        for measured, analytic in zip(fig2.native_450mhz, fig2.analytic_native):
+            assert measured == pytest.approx(analytic, rel=0.03)
+
+    def test_monotone_series(self, fig2):
+        assert list(fig2.native_450mhz) == sorted(fig2.native_450mhz)
+
+    def test_format_contains_series(self, fig2):
+        text = format_fig2(fig2)
+        assert "Fig. 2" in text
+        assert "450MHz native" in text
+        assert "1024 KiB" in text
+
+
+class TestTable1:
+    @pytest.mark.parametrize(
+        "column,tolerance",
+        [
+            ("luts_logic_k", 0.15),
+            ("luts_mem_k", 0.10),
+            ("registers_k", 0.10),
+            ("bram", 0.10),
+        ],
+    )
+    def test_new_columns_within_tolerance(self, table1, column, tolerance):
+        for name, design in table1.new_designs.items():
+            got = getattr(table1.as_row(design), column)
+            ref = getattr(PAPER.table1_new[name], column)
+            assert got == pytest.approx(ref, rel=tolerance), (name, column)
+
+    def test_new_dsp_shape(self, table1):
+        """DSP is the loosest column (structure-dependent); the shape —
+        monotone growth, right magnitude — must hold."""
+        got = [table1.as_row(table1.new_designs[n]).dsp for n in table1.new_designs]
+        ref = [PAPER.table1_new[n].dsp for n in table1.new_designs]
+        assert got == sorted(got)
+        for g, r in zip(got, ref):
+            assert g == pytest.approx(r, rel=0.40)
+
+    def test_old_columns_within_tolerance(self, table1):
+        for name, design in table1.old_designs.items():
+            got = table1.as_row(design)
+            ref = PAPER.table1_old[name]
+            assert got.luts_logic_k == pytest.approx(ref.luts_logic_k, rel=0.10)
+            assert got.registers_k == pytest.approx(ref.registers_k, rel=0.10)
+
+    def test_headline_resource_reduction(self, table1):
+        """Paper: this work needs roughly a third of the DSPs and far
+        fewer logic LUTs/registers than [8]."""
+        for name in table1.new_designs:
+            new = table1.as_row(table1.new_designs[name])
+            old = table1.as_row(table1.old_designs[name])
+            assert 2.5 < old.dsp / new.dsp < 3.5
+            assert old.luts_logic_k > 1.8 * new.luts_logic_k
+            assert old.registers_k > 1.7 * new.registers_k
+            assert old.bram > 2.5 * new.bram
+
+    def test_format_mentions_both_platforms(self, table1):
+        text = format_table1(table1)
+        assert "this work" in text
+        assert "prior work" in text

@@ -1,0 +1,51 @@
+"""Tests for the number-format design-space study."""
+
+import pytest
+
+from repro.experiments.format_comparison import (
+    format_format_comparison,
+    run_format_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_format_comparison(benchmark="NIPS10", n_samples=400)
+
+
+def test_adopted_cfp_is_acceptable(study):
+    cfp = next(r for r in study if r.format_name.startswith("cfp(10,25"))
+    assert cfp.acceptable
+    assert cfp.max_log_error < 1e-6
+
+
+def test_lns_trades_dsps_for_luts(study):
+    """[11]'s headline: LNS multipliers need no DSPs."""
+    cfp = next(r for r in study if r.format_name.startswith("cfp(10,25"))
+    lns = next(r for r in study if r.format_name.startswith("lns"))
+    assert lns.dsp < 0.2 * cfp.dsp
+    assert lns.luts_logic_k > cfp.luts_logic_k
+
+
+def test_narrow_exponents_underflow(study):
+    narrow = next(r for r in study if r.format_name.startswith("cfp(6,12"))
+    assert not narrow.acceptable
+    assert narrow.underflow_fraction > 0
+
+
+def test_float32_costs_most_dsps(study):
+    f32 = next(r for r in study if r.format_name == "float32")
+    others = [r.dsp for r in study if r.dsp is not None and r.format_name != "float32"]
+    assert f32.dsp > max(others)
+
+
+def test_posit_has_library_costs(study):
+    posit = next(r for r in study if r.format_name.startswith("posit"))
+    assert posit.dsp is not None
+    assert posit.acceptable  # 32-bit posit accuracy suffices
+
+
+def test_formatting(study):
+    text = format_format_comparison(study, benchmark="NIPS10")
+    assert "design space" in text
+    assert "cfp(10,25" in text

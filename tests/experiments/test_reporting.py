@@ -1,0 +1,79 @@
+"""Tests for reporting helpers and the paper-reference table."""
+
+import math
+
+import pytest
+
+from repro.experiments import PAPER, format_series, format_table, geometric_mean
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 22.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_large_numbers_comma_separated(self):
+        text = format_table(["rate"], [[133_139_305.0]])
+        assert "133,139,305" in text
+
+    def test_column_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        text = format_series("x", [1, 2], {"y1": [10, 20], "y2": [30, 40]})
+        assert "y1" in text and "y2" in text
+        assert "40" in text
+
+
+class TestPaperReference:
+    def test_fig6_hbm_matches_quoted_anchors(self):
+        """The derived Fig. 6 HBM series must pass through the two
+        directly quoted anchor measurements."""
+        assert PAPER.fig6_hbm["NIPS10"] == pytest.approx(
+            PAPER.nips10_five_core_rate, rel=0.001
+        )
+        assert PAPER.fig6_hbm["NIPS80"] == pytest.approx(PAPER.nips80_rate, rel=0.001)
+
+    def test_fig6_cpu_consistent_with_quoted_speedups(self):
+        assert PAPER.fig6_hbm["NIPS20"] / PAPER.fig6_cpu["NIPS20"] == pytest.approx(
+            PAPER.speedup_vs_cpu_nips20
+        )
+        assert PAPER.fig6_hbm["NIPS80"] / PAPER.fig6_cpu["NIPS80"] == pytest.approx(
+            PAPER.speedup_vs_cpu_max
+        )
+
+    def test_fig6_gpu_series_honours_quoted_bounds(self):
+        ratios = [PAPER.fig6_hbm[n] / PAPER.fig6_gpu[n] for n in PAPER.fig6_gpu]
+        assert max(ratios) == pytest.approx(PAPER.speedup_vs_gpu_max, rel=0.01)
+        assert geometric_mean(ratios) == pytest.approx(
+            PAPER.speedup_vs_gpu_geomean, rel=0.05
+        )
+
+    def test_fig6_f1_series_honours_quoted_bounds(self):
+        ratios = [PAPER.fig6_hbm[n] / PAPER.fig6_f1[n] for n in PAPER.fig6_f1]
+        assert max(ratios) == pytest.approx(PAPER.speedup_vs_f1_max, rel=0.05)
+        assert geometric_mean(ratios) == pytest.approx(
+            PAPER.speedup_vs_f1_geomean, rel=0.03
+        )
+
+    def test_nips10_bits_per_sample(self):
+        assert PAPER.nips10_bits_per_sample == 144
+
+    def test_table1_rows_complete(self):
+        assert set(PAPER.table1_new) == set(PAPER.table1_old) == {
+            "NIPS10", "NIPS20", "NIPS30", "NIPS40",
+        }
+
+    def test_streaming_numbers_self_consistent(self):
+        """140,748,580 samples/s follows from 99.078 Gbit/s / 88 B."""
+        derived = PAPER.streaming_line_rate_gbit * 1e9 / (8 * 88)
+        assert derived == pytest.approx(PAPER.streaming_nips80_rate, rel=1e-4)

@@ -1,0 +1,72 @@
+"""Tests for the roofline analysis."""
+
+import pytest
+
+from repro.experiments.roofline import format_roofline, run_roofline
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_roofline()
+
+
+def test_intensity_grows_with_benchmark_size(points):
+    """Broad trend: larger SPNs pack more ops per transferred byte
+    (exact monotonicity depends on learned structure density)."""
+    intensities = [p.intensity for p in points]
+    assert intensities[-1] > intensities[0]
+    assert max(intensities) == intensities[-1]
+
+
+def test_intensity_is_low_single_digits(points):
+    """The paper's premise: SPN inference has low arithmetic intensity
+    (~10 ops/byte, far left of a GPU's ridge point)."""
+    for point in points:
+        assert point.intensity < 20
+
+
+def test_gpu_always_compute_bound(points):
+    """The V100 ridge sits near 19 ops/B (~17 Gop/s / 900 GB/s x1000);
+    every benchmark lands left of it -> the GPU never reaches its
+    bandwidth, matching the paper's 'unsuitable' verdict."""
+    for point in points:
+        samples, memory_bound = point.bounds["Tesla V100"]
+        assert not memory_bound  # compute(effective)-bound
+        assert samples < 150e6
+
+
+def test_fpga_bound_far_above_measured(points):
+    """The FPGA's spatial datapath makes its compute roof enormous:
+    the roofline bound must exceed the measured end-to-end rates by a
+    wide margin (PCIe, not the roofline, is the wall)."""
+    measured = {"NIPS10": 614e6, "NIPS80": 116.6e6}
+    for point in points:
+        if point.benchmark in measured:
+            bound, _ = point.bounds["HBM FPGA (8 cores)"]
+            assert bound > 2.5 * measured[point.benchmark]
+
+
+def test_nips80_fpga_memory_bound(points):
+    """The largest benchmark saturates its HBM channels before its
+    pipelines — visible as the only 'mem' entry in the FPGA column."""
+    nips80 = next(p for p in points if p.benchmark == "NIPS80")
+    _, memory_bound = nips80.bounds["HBM FPGA (8 cores)"]
+    assert memory_bound
+
+
+def test_roofline_tracks_v100_model(points):
+    """Roofline bounds should approximate the calibrated V100 model
+    (same physics, independent formulation)."""
+    from repro.platforms.gpu_model import TESLA_V100
+    from repro.spn import nips_spn
+
+    for point in points:
+        bound, _ = point.bounds["Tesla V100"]
+        model = TESLA_V100.samples_per_second(nips_spn(point.benchmark))
+        assert bound == pytest.approx(model, rel=0.45)
+
+
+def test_formatting(points):
+    text = format_roofline(points)
+    assert "Roofline" in text
+    assert "(mem)" in text

@@ -1,0 +1,80 @@
+"""Error-path and robustness tests for the simulated devices."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_core, compose_design
+from repro.errors import AllocationError, MemoryModelError, RuntimeConfigError
+from repro.host import InferenceJobConfig, InferenceRuntime, SimulatedDevice
+from repro.platforms.specs import XUPVVH_HBM_PLATFORM
+from repro.spn import random_spn
+
+
+@pytest.fixture()
+def device():
+    spn = random_spn(4, depth=2, n_bins=4, seed=5)
+    return SimulatedDevice(compose_design(compile_core(spn, "cfp"), 2, XUPVVH_HBM_PLATFORM))
+
+
+def test_copy_beyond_capacity_rejected(device):
+    capacity = device.memories[0].capacity
+
+    def proc():
+        yield device.copy_to_device(0, capacity - 2, b"toolong")
+
+    with pytest.raises(MemoryModelError):
+        device.env.run(until_event=device.env.process(proc()))
+
+
+def test_allocation_exhaustion_surfaces(device):
+    block = device.memory_manager.allocator(0)
+    block.alloc(block.capacity)  # fill the PE's HBM slice completely
+    with pytest.raises(AllocationError):
+        device.alloc(0, 1)
+
+
+def test_free_wrong_address_rejected(device):
+    with pytest.raises(AllocationError):
+        device.free(0, 0x5000)
+
+
+def test_pe_configuration_bad_index(device):
+    with pytest.raises(RuntimeConfigError):
+        device.pe_configuration(9)
+
+
+def test_runtime_zero_samples_rejected(device):
+    runtime = InferenceRuntime(device)
+    with pytest.raises(RuntimeConfigError):
+        runtime.run_timing_only(0)
+    with pytest.raises(RuntimeConfigError):
+        runtime.run_on_device_only(-5)
+
+
+def test_runtime_survives_multiple_engine_reuse(device):
+    """Repeated runs on one device share the engine; time accumulates
+    monotonically and statistics stay per-run."""
+    runtime = InferenceRuntime(device, InferenceJobConfig(block_bytes=2048))
+    first = runtime.run_timing_only(10_000)
+    t_after_first = device.env.now
+    second = runtime.run_timing_only(10_000)
+    assert device.env.now > t_after_first
+    assert first.n_samples == second.n_samples == 10_000
+    assert second.elapsed_seconds == pytest.approx(first.elapsed_seconds, rel=0.2)
+
+
+def test_single_sample_run(device):
+    runtime = InferenceRuntime(device)
+    stats = runtime.run_timing_only(1)
+    assert stats.n_samples == 1
+    assert stats.n_blocks == 1
+    assert stats.elapsed_seconds > 0
+
+
+def test_block_smaller_than_sample_still_works(device):
+    # block_bytes=1 with 4-byte samples -> one sample per block.
+    runtime = InferenceRuntime(device, InferenceJobConfig(block_bytes=1))
+    data = np.random.default_rng(1).integers(0, 4, size=(7, 4)).astype(np.uint8)
+    results, stats = runtime.run(data)
+    assert stats.n_blocks == 7
+    assert len(results) == 7

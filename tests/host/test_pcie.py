@@ -1,0 +1,82 @@
+"""Unit tests for the PCIe DMA engine model."""
+
+import pytest
+
+from repro.errors import RuntimeConfigError
+from repro.host import DmaEngine
+from repro.platforms.specs import (
+    PCIE_GEN3_X16,
+    PCIE_GEN4_X16,
+    PCIE_GEN5_X16,
+    PCIE_GEN6_X16,
+)
+from repro.sim import Engine
+from repro.units import GIB, MIB
+
+
+def _run_transfer(spec, n_bytes, to_device=True, repeats=1):
+    env = Engine()
+    dma = DmaEngine(env, spec)
+
+    def proc():
+        for _ in range(repeats):
+            if to_device:
+                yield dma.copy_to_device(n_bytes)
+            else:
+                yield dma.copy_from_device(n_bytes)
+
+    env.run(until_event=env.process(proc()))
+    return env.now, dma
+
+
+def test_large_h2d_rate_matches_weighted_capacity():
+    elapsed, _ = _run_transfer(PCIE_GEN3_X16, 256 * MIB)
+    rate = 256 * MIB / elapsed
+    assert rate == pytest.approx(PCIE_GEN3_X16.weighted_capacity, rel=0.01)
+
+
+def test_d2h_cheaper_than_h2d():
+    """D2H bytes cost d2h_weight of engine time."""
+    h2d, _ = _run_transfer(PCIE_GEN3_X16, 64 * MIB, to_device=True)
+    d2h, _ = _run_transfer(PCIE_GEN3_X16, 64 * MIB, to_device=False)
+    assert d2h < h2d
+    # Removing setup latency, the ratio approaches the weight.
+    setup = PCIE_GEN3_X16.transfer_setup_latency
+    assert (d2h - setup) / (h2d - setup) == pytest.approx(
+        PCIE_GEN3_X16.d2h_weight, rel=0.02
+    )
+
+
+def test_setup_latency_dominates_tiny_transfers():
+    elapsed, _ = _run_transfer(PCIE_GEN3_X16, 64)
+    assert elapsed >= PCIE_GEN3_X16.transfer_setup_latency
+
+
+def test_generations_scale_roughly_2x():
+    rates = []
+    for spec in (PCIE_GEN3_X16, PCIE_GEN4_X16, PCIE_GEN5_X16, PCIE_GEN6_X16):
+        elapsed, _ = _run_transfer(spec, 256 * MIB)
+        rates.append(256 * MIB / elapsed)
+    for slower, faster in zip(rates, rates[1:]):
+        assert faster / slower == pytest.approx(2.0, rel=0.05)
+
+
+def test_bound_samples_per_second_anchors():
+    """The calibrated weighted capacity reproduces both paper anchors."""
+    nips10 = PCIE_GEN3_X16.bound_samples_per_second(10, 8)
+    assert nips10 == pytest.approx(614_654_595, rel=0.01)
+    nips80 = PCIE_GEN3_X16.bound_samples_per_second(80, 8)
+    assert nips80 == pytest.approx(116_565_604, rel=0.01)
+
+
+def test_byte_accounting():
+    _, dma = _run_transfer(PCIE_GEN3_X16, 1 * MIB, to_device=True, repeats=3)
+    assert dma.bytes_to_device == 3 * MIB
+    assert dma.bytes_from_device == 0
+
+
+def test_invalid_transfer_rejected():
+    env = Engine()
+    dma = DmaEngine(env)
+    with pytest.raises(RuntimeConfigError):
+        dma.copy_to_device(0)

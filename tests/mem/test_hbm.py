@@ -1,0 +1,156 @@
+"""Unit tests for the HBM channel/subsystem models."""
+
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.mem import HBMChannel, HBMSubsystem, channel_throughput, run_channel_benchmark
+from repro.platforms.specs import HBM_XUPVVH
+from repro.sim import Engine
+from repro.units import GIB, KIB, MIB
+
+
+class TestChannelThroughputCurve:
+    def test_monotone_in_request_size(self):
+        sizes = [4 * KIB, 16 * KIB, 64 * KIB, 256 * KIB, 1 * MIB, 4 * MIB]
+        rates = [channel_throughput(s) for s in sizes]
+        assert rates == sorted(rates)
+
+    def test_plateau_near_12_gib(self):
+        """Fig. 2's plateau: ~12 GiB/s combined at >= 1 MiB requests."""
+        assert channel_throughput(1 * MIB) / GIB == pytest.approx(12.0, rel=0.05)
+        assert channel_throughput(4 * MIB) / GIB == pytest.approx(12.0, rel=0.02)
+
+    def test_saturation_knee_at_one_mib(self):
+        """Beyond 1 MiB "no further performance improvements" (§II-B)."""
+        at_knee = channel_throughput(1 * MIB)
+        beyond = channel_throughput(4 * MIB)
+        assert (beyond - at_knee) / at_knee < 0.05
+
+    def test_small_requests_much_slower(self):
+        assert channel_throughput(4 * KIB) < 0.2 * channel_throughput(1 * MIB)
+
+    def test_smartconnect_config_equivalent(self):
+        """Fig. 2's second insight: the 225 MHz x 512 bit attachment
+        performs the same as the native 450 MHz connection."""
+        for size in (64 * KIB, 1 * MIB):
+            native = channel_throughput(size)
+            converted = channel_throughput(size, use_smartconnect=True)
+            assert abs(native - converted) / native < 0.04
+
+    def test_crossbar_costs_performance(self):
+        assert channel_throughput(64 * KIB, crossbar=True) < channel_throughput(64 * KIB)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(MemoryModelError):
+            channel_throughput(0)
+
+
+class TestDesMatchesAnalytic:
+    @pytest.mark.parametrize("size", [4 * KIB, 64 * KIB, 1 * MIB])
+    def test_des_equals_closed_form(self, size):
+        analytic = channel_throughput(size)
+        measured = run_channel_benchmark(size, n_requests=32).throughput
+        assert measured == pytest.approx(analytic, rel=0.02)
+
+
+class TestHBMChannelDes:
+    def test_transfer_counts_bytes(self):
+        env = Engine()
+        channel = HBMChannel(env)
+
+        def proc():
+            yield channel.transfer(4096, is_write=False)
+            yield channel.transfer(8192, is_write=True)
+
+        done = env.process(proc())
+        env.run(until_event=done)
+        assert channel.bytes_read == 4096
+        assert channel.bytes_written == 8192
+
+    def test_requests_serialised_on_one_channel(self):
+        env = Engine()
+        channel = HBMChannel(env)
+        times = []
+
+        def proc(tag):
+            yield channel.transfer(1 * MIB)
+            times.append((tag, env.now))
+
+        env.process(proc("a"))
+        env.process(proc("b"))
+        env.run()
+        # Second completes roughly one transfer-time after the first.
+        assert times[1][1] == pytest.approx(2 * times[0][1], rel=0.01)
+
+    def test_invalid_transfer_rejected(self):
+        env = Engine()
+        with pytest.raises(MemoryModelError):
+            HBMChannel(env).transfer(0)
+
+
+class TestHBMSubsystem:
+    def test_geometry(self):
+        env = Engine()
+        hbm = HBMSubsystem(env)
+        assert len(hbm.channels) == 32
+        assert hbm.spec.channel_capacity_bytes == HBM_XUPVVH.capacity_bytes // 32
+
+    def test_channel_for_address_slices_linearly(self):
+        env = Engine()
+        hbm = HBMSubsystem(env)
+        slice_bytes = hbm.spec.channel_capacity_bytes
+        assert hbm.channel_for_address(0) == 0
+        assert hbm.channel_for_address(slice_bytes) == 1
+        assert hbm.channel_for_address(31 * slice_bytes) == 31
+
+    def test_out_of_range_address_rejected(self):
+        env = Engine()
+        hbm = HBMSubsystem(env)
+        with pytest.raises(MemoryModelError):
+            hbm.channel_for_address(HBM_XUPVVH.capacity_bytes)
+
+    def test_foreign_channel_needs_crossbar(self):
+        env = Engine()
+        hbm = HBMSubsystem(env, crossbar=False)
+        slice_bytes = hbm.spec.channel_capacity_bytes
+        with pytest.raises(MemoryModelError):
+            hbm.transfer(port=0, address=slice_bytes, n_bytes=64)
+
+    def test_crossbar_allows_foreign_access(self):
+        env = Engine()
+        hbm = HBMSubsystem(env, crossbar=True)
+        slice_bytes = hbm.spec.channel_capacity_bytes
+
+        def proc():
+            yield hbm.transfer(port=0, address=slice_bytes, n_bytes=4096)
+
+        done = env.process(proc())
+        env.run(until_event=done)
+        assert hbm.channels[1].bytes_read == 4096
+
+    def test_channel_spanning_transfer_rejected(self):
+        env = Engine()
+        hbm = HBMSubsystem(env)
+        slice_bytes = hbm.spec.channel_capacity_bytes
+        with pytest.raises(MemoryModelError):
+            hbm.transfer(port=0, address=slice_bytes - 32, n_bytes=64)
+
+    def test_channels_are_independent(self):
+        """The architectural bet (§II-B): per-channel performance does
+        not degrade when other channels are busy."""
+        def run(n_channels):
+            env = Engine()
+            hbm = HBMSubsystem(env)
+            slice_bytes = hbm.spec.channel_capacity_bytes
+
+            def proc(ch):
+                for _ in range(4):
+                    yield hbm.transfer(ch, ch * slice_bytes, 1 * MIB)
+
+            done = env.all_of(
+                [env.process(proc(c)) for c in range(n_channels)]
+            )
+            env.run(until_event=done)
+            return env.now
+
+        assert run(8) == pytest.approx(run(1), rel=1e-9)

@@ -1,0 +1,58 @@
+"""Tests for the explicit HBM refresh model."""
+
+import pytest
+
+from repro.mem.hbm import (
+    HBMChannel,
+    PROTOCOL_EFFICIENCY,
+    REFRESH_PROTOCOL_EFFICIENCY,
+    TREFI_SECONDS,
+    TRFC_SECONDS,
+)
+from repro.sim import Engine
+from repro.units import GIB, MIB
+
+
+def _run(explicit, size=1 * MIB, n=48):
+    env = Engine()
+    channel = HBMChannel(env, 0, explicit_refresh=explicit)
+
+    def proc():
+        for _ in range(n):
+            yield channel.transfer(size)
+
+    env.run(until_event=env.process(proc()))
+    return n * size / env.now, channel
+
+
+def test_constants_consistent():
+    """The folded efficiency must equal protocol x refresh losses."""
+    derived = PROTOCOL_EFFICIENCY * (1.0 - TRFC_SECONDS / TREFI_SECONDS)
+    assert derived == pytest.approx(REFRESH_PROTOCOL_EFFICIENCY, rel=1e-3)
+
+
+def test_explicit_matches_folded_steady_state():
+    folded, _ = _run(False)
+    explicit, _ = _run(True)
+    assert explicit == pytest.approx(folded, rel=0.01)
+
+
+def test_refresh_rate_tracks_trefi():
+    _, channel = _run(True)
+    elapsed = channel.env.now
+    expected = elapsed / TREFI_SECONDS
+    assert channel.refresh_count == pytest.approx(expected, rel=0.05)
+
+
+def test_refresh_occupies_expected_fraction():
+    """Refresh stalls should consume ~TRFC/TREFI (= ~8.5%) of channel
+    time at saturation — the §V-D remark that refresh matters at peak
+    rates."""
+    _, channel = _run(True)
+    stall_fraction = channel.refresh_count * TRFC_SECONDS / channel.env.now
+    assert stall_fraction == pytest.approx(TRFC_SECONDS / TREFI_SECONDS, rel=0.06)
+
+
+def test_no_refresh_counter_without_explicit_mode():
+    _, channel = _run(False)
+    assert channel.refresh_count == 0

@@ -1,0 +1,202 @@
+"""Unit tests for bounded FIFO channels."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Channel, ClosedChannelError, Engine
+
+
+def test_put_then_get_delivers_item():
+    eng = Engine()
+    chan = Channel(eng, capacity=4)
+    seen = []
+
+    def producer(env):
+        yield chan.put("x")
+
+    def consumer(env):
+        item = yield chan.get()
+        seen.append(item)
+
+    eng.process(producer(eng))
+    eng.process(consumer(eng))
+    eng.run()
+    assert seen == ["x"]
+
+
+def test_get_before_put_blocks_until_item():
+    eng = Engine()
+    chan = Channel(eng, capacity=1)
+    seen = []
+
+    def consumer(env):
+        item = yield chan.get()
+        seen.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(3.0)
+        yield chan.put("late")
+
+    eng.process(consumer(eng))
+    eng.process(producer(eng))
+    eng.run()
+    assert seen == [(3.0, "late")]
+
+
+def test_bounded_channel_backpressures_producer():
+    eng = Engine()
+    chan = Channel(eng, capacity=2)
+    times = []
+
+    def producer(env):
+        for i in range(4):
+            yield chan.put(i)
+            times.append(env.now)
+
+    def consumer(env):
+        for _ in range(4):
+            yield env.timeout(10.0)
+            yield chan.get()
+
+    eng.process(producer(eng))
+    eng.process(consumer(eng))
+    eng.run()
+    # First two puts go straight into the buffer at t=0; the third must
+    # wait for the first get at t=10, the fourth for the get at t=20.
+    assert times == [0.0, 0.0, 10.0, 20.0]
+
+
+def test_fifo_ordering_preserved():
+    eng = Engine()
+    chan = Channel(eng, capacity=3)
+    seen = []
+
+    def producer(env):
+        for i in range(10):
+            yield chan.put(i)
+
+    def consumer(env):
+        for _ in range(10):
+            item = yield chan.get()
+            seen.append(item)
+
+    eng.process(producer(eng))
+    eng.process(consumer(eng))
+    eng.run()
+    assert seen == list(range(10))
+
+
+def test_multiple_getters_fifo():
+    eng = Engine()
+    chan = Channel(eng)
+    seen = []
+
+    def consumer(env, tag):
+        item = yield chan.get()
+        seen.append((tag, item))
+
+    def producer(env):
+        yield env.timeout(1.0)
+        yield chan.put("first")
+        yield chan.put("second")
+
+    eng.process(consumer(eng, "g0"))
+    eng.process(consumer(eng, "g1"))
+    eng.process(producer(eng))
+    eng.run()
+    assert seen == [("g0", "first"), ("g1", "second")]
+
+
+def test_unbounded_channel_never_blocks_producer():
+    eng = Engine()
+    chan = Channel(eng, capacity=None)
+    times = []
+
+    def producer(env):
+        for i in range(100):
+            yield chan.put(i)
+        times.append(env.now)
+
+    eng.process(producer(eng))
+    eng.run()
+    assert times == [0.0]
+    assert len(chan) == 100
+
+
+def test_close_drains_then_raises():
+    eng = Engine()
+    chan = Channel(eng, capacity=4)
+    seen = []
+
+    def producer(env):
+        yield chan.put(1)
+        yield chan.put(2)
+        chan.close()
+
+    def consumer(env):
+        seen.append((yield chan.get()))
+        seen.append((yield chan.get()))
+        try:
+            yield chan.get()
+        except ClosedChannelError:
+            seen.append("eos")
+
+    eng.process(producer(eng))
+    eng.process(consumer(eng))
+    eng.run()
+    assert seen == [1, 2, "eos"]
+
+
+def test_close_fails_blocked_getter():
+    eng = Engine()
+    chan = Channel(eng)
+    seen = []
+
+    def consumer(env):
+        try:
+            yield chan.get()
+        except ClosedChannelError:
+            seen.append("closed")
+
+    def closer(env):
+        yield env.timeout(1.0)
+        chan.close()
+
+    eng.process(consumer(eng))
+    eng.process(closer(eng))
+    eng.run()
+    assert seen == ["closed"]
+
+
+def test_put_on_closed_channel_rejected():
+    eng = Engine()
+    chan = Channel(eng)
+    chan.close()
+    with pytest.raises(ClosedChannelError):
+        chan.put(1)
+
+
+def test_zero_capacity_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        Channel(eng, capacity=0)
+
+
+def test_counters_track_traffic():
+    eng = Engine()
+    chan = Channel(eng, capacity=8)
+
+    def producer(env):
+        for i in range(5):
+            yield chan.put(i)
+
+    def consumer(env):
+        for _ in range(3):
+            yield chan.get()
+
+    eng.process(producer(eng))
+    eng.process(consumer(eng))
+    eng.run()
+    assert chan.total_put == 5
+    assert chan.total_got == 3
+    assert len(chan) == 2

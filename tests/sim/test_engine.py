@@ -1,0 +1,318 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine
+from repro.sim.engine import Interrupt
+
+
+def test_empty_run_finishes_at_time_zero():
+    eng = Engine()
+    eng.run()
+    assert eng.now == 0.0
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+    seen = []
+
+    def proc(env):
+        yield env.timeout(2.5)
+        seen.append(env.now)
+
+    eng.process(proc(eng))
+    eng.run()
+    assert seen == [2.5]
+    assert eng.now == 2.5
+
+
+def test_timeout_carries_value():
+    eng = Engine()
+    seen = []
+
+    def proc(env):
+        value = yield env.timeout(1.0, value="payload")
+        seen.append(value)
+
+    eng.process(proc(eng))
+    eng.run()
+    assert seen == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.timeout(-1.0)
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    order = []
+
+    def proc(env, delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    eng.process(proc(eng, 3.0, "c"))
+    eng.process(proc(eng, 1.0, "a"))
+    eng.process(proc(eng, 2.0, "b"))
+    eng.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_fifo_order():
+    eng = Engine()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(5):
+        eng.process(proc(eng, tag))
+    eng.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_process_return_value_propagates_to_waiter():
+    eng = Engine()
+    seen = []
+
+    def child(env):
+        yield env.timeout(1.0)
+        return 42
+
+    def parent(env):
+        result = yield env.process(child(env))
+        seen.append(result)
+
+    eng.process(parent(eng))
+    eng.run()
+    assert seen == [42]
+
+
+def test_run_until_time_stops_clock_exactly():
+    eng = Engine()
+
+    def proc(env):
+        yield env.timeout(10.0)
+
+    eng.process(proc(eng))
+    eng.run(until=4.0)
+    assert eng.now == 4.0
+    eng.run()
+    assert eng.now == 10.0
+
+
+def test_run_until_event_returns_value():
+    eng = Engine()
+
+    def child(env):
+        yield env.timeout(2.0)
+        return "done"
+
+    proc = eng.process(child(eng))
+    assert eng.run(until_event=proc) == "done"
+    assert eng.now == 2.0
+
+
+def test_run_until_event_reraises_failure():
+    eng = Engine()
+
+    def child(env):
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    proc = eng.process(child(eng))
+    with pytest.raises(ValueError, match="boom"):
+        eng.run(until_event=proc)
+
+
+def test_unwaited_process_failure_surfaces():
+    eng = Engine()
+
+    def child(env):
+        yield env.timeout(1.0)
+        raise ValueError("lost")
+
+    eng.process(child(eng))
+    with pytest.raises(ValueError, match="lost"):
+        eng.run()
+
+
+def test_yielding_non_event_is_an_error():
+    eng = Engine()
+
+    def bad(env):
+        yield 17
+
+    eng.process(bad(eng))
+    with pytest.raises(SimulationError, match="must yield Event"):
+        eng.run()
+
+
+def test_event_succeed_twice_rejected():
+    eng = Engine()
+    event = eng.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_waiting_on_already_processed_event():
+    eng = Engine()
+    seen = []
+    event = eng.event()
+    event.succeed("early")
+    eng.run()  # process the event with no waiters
+
+    def late(env):
+        value = yield event
+        seen.append((env.now, value))
+
+    eng.process(late(eng))
+    eng.run()
+    assert seen == [(0.0, "early")]
+
+
+def test_all_of_collects_values_in_order():
+    eng = Engine()
+    seen = []
+
+    def child(env, delay, value):
+        yield env.timeout(delay)
+        return value
+
+    def parent(env):
+        procs = [
+            env.process(child(env, 3.0, "slow")),
+            env.process(child(env, 1.0, "fast")),
+        ]
+        values = yield env.all_of(procs)
+        seen.append((env.now, values))
+
+    eng.process(parent(eng))
+    eng.run()
+    assert seen == [(3.0, ["slow", "fast"])]
+
+
+def test_all_of_empty_triggers_immediately():
+    eng = Engine()
+    seen = []
+
+    def parent(env):
+        values = yield env.all_of([])
+        seen.append(values)
+
+    eng.process(parent(eng))
+    eng.run()
+    assert seen == [[]]
+
+
+def test_any_of_returns_first_index_and_value():
+    eng = Engine()
+    seen = []
+
+    def child(env, delay, value):
+        yield env.timeout(delay)
+        return value
+
+    def parent(env):
+        procs = [
+            env.process(child(env, 3.0, "slow")),
+            env.process(child(env, 1.0, "fast")),
+        ]
+        result = yield env.any_of(procs)
+        seen.append((env.now, result))
+
+    eng.process(parent(eng))
+    eng.run()
+    assert seen == [(1.0, (1, "fast"))]
+
+
+def test_interrupt_wakes_sleeping_process():
+    eng = Engine()
+    seen = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as intr:
+            seen.append((env.now, intr.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(2.0)
+        victim.interrupt("wakeup")
+
+    victim = eng.process(sleeper(eng))
+    eng.process(interrupter(eng, victim))
+    eng.run()
+    assert seen == [(2.0, "wakeup")]
+
+
+def test_interrupt_finished_process_rejected():
+    eng = Engine()
+
+    def quick(env):
+        yield env.timeout(0.0)
+
+    proc = eng.process(quick(eng))
+    eng.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_peek_reports_next_event_time():
+    eng = Engine()
+
+    def proc(env):
+        yield env.timeout(5.0)
+
+    eng.process(proc(eng))
+    # The process-start init event is at t=0.
+    assert eng.peek() == 0.0
+    eng.run()
+    assert eng.peek() == float("inf")
+
+
+def test_nested_processes_compose():
+    eng = Engine()
+    trace = []
+
+    def leaf(env, tag):
+        yield env.timeout(1.0)
+        trace.append(tag)
+        return tag
+
+    def mid(env):
+        a = yield env.process(leaf(env, "a"))
+        b = yield env.process(leaf(env, "b"))
+        return a + b
+
+    def root(env):
+        result = yield env.process(mid(env))
+        trace.append(result)
+
+    eng.process(root(eng))
+    eng.run()
+    assert trace == ["a", "b", "ab"]
+    assert eng.now == 2.0
+
+
+def test_run_until_past_time_rejected():
+    eng = Engine()
+
+    def proc(env):
+        yield env.timeout(5.0)
+
+    eng.process(proc(eng))
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.run(until=1.0)

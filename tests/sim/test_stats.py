@@ -1,0 +1,89 @@
+"""Unit tests for measurement probes."""
+
+import pytest
+
+from repro.sim import Counter, Engine, ThroughputProbe, UtilizationProbe
+
+
+class TestCounter:
+    def test_add_and_reset(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+        counter.reset()
+        assert counter.value == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().add(-1)
+
+
+class TestThroughputProbe:
+    def test_rate_over_window(self):
+        eng = Engine()
+        probe = ThroughputProbe(eng)
+
+        def proc(env):
+            probe.record(100)
+            yield env.timeout(2.0)
+            probe.record(300)
+
+        eng.run(until_event=eng.process(proc(eng)))
+        assert probe.total == 400
+        assert probe.rate() == pytest.approx(200.0)
+
+    def test_rate_zero_before_samples(self):
+        probe = ThroughputProbe(Engine())
+        assert probe.rate() == 0.0
+
+    def test_rate_over_explicit_duration(self):
+        probe = ThroughputProbe(Engine())
+        probe.record(500)
+        assert probe.rate_over(5.0) == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            probe.rate_over(0.0)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputProbe(Engine()).record(-1)
+
+
+class TestUtilizationProbe:
+    def test_busy_idle_cycle(self):
+        eng = Engine()
+        probe = UtilizationProbe(eng)
+
+        def proc(env):
+            probe.busy()
+            yield env.timeout(3.0)
+            probe.idle()
+            yield env.timeout(1.0)
+
+        eng.run(until_event=eng.process(proc(eng)))
+        assert probe.utilization() == pytest.approx(0.75)
+
+    def test_open_interval_counts(self):
+        eng = Engine()
+        probe = UtilizationProbe(eng)
+
+        def proc(env):
+            yield env.timeout(1.0)
+            probe.busy()
+            yield env.timeout(1.0)
+
+        eng.run(until_event=eng.process(proc(eng)))
+        assert probe.utilization() == pytest.approx(0.5)
+
+    def test_idempotent_marks(self):
+        eng = Engine()
+        probe = UtilizationProbe(eng)
+        probe.busy()
+        probe.busy()  # no-op
+        probe.idle()
+        probe.idle()  # no-op
+        assert probe.utilization() == 0.0  # zero elapsed time
+
+    def test_zero_window(self):
+        probe = UtilizationProbe(Engine())
+        assert probe.utilization() == 0.0

@@ -1,0 +1,106 @@
+"""Unit tests for the span tracer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, Tracer
+
+
+def test_begin_end_records_span():
+    eng = Engine()
+    tracer = Tracer(eng)
+
+    def proc(env):
+        tracer.begin("pe0", "job")
+        yield env.timeout(2.0)
+        tracer.end("pe0", "job")
+
+    eng.run(until_event=eng.process(proc(eng)))
+    assert len(tracer.spans) == 1
+    span = tracer.spans[0]
+    assert span.begin == 0.0
+    assert span.end == 2.0
+    assert span.duration == 2.0
+
+
+def test_end_without_begin_rejected():
+    tracer = Tracer(Engine())
+    with pytest.raises(SimulationError):
+        tracer.end("t", "x")
+
+
+def test_double_begin_rejected():
+    tracer = Tracer(Engine())
+    tracer.begin("t", "x")
+    with pytest.raises(SimulationError):
+        tracer.begin("t", "x")
+
+
+def test_record_validates_ordering():
+    tracer = Tracer(Engine())
+    with pytest.raises(SimulationError):
+        tracer.record("t", "x", 2.0, 1.0)
+
+
+def test_busy_time_merges_overlaps():
+    tracer = Tracer(Engine())
+    tracer.record("t", "a", 0.0, 2.0)
+    tracer.record("t", "b", 1.0, 3.0)  # overlapping
+    tracer.record("t", "c", 5.0, 6.0)  # disjoint
+    assert tracer.busy_time("t") == pytest.approx(4.0)
+
+
+def test_overlap_time_between_tracks():
+    tracer = Tracer(Engine())
+    tracer.record("a", "x", 0.0, 4.0)
+    tracer.record("b", "y", 2.0, 6.0)
+    assert tracer.overlap_time("a", "b") == pytest.approx(2.0)
+    assert tracer.overlap_time("b", "a") == pytest.approx(2.0)
+
+
+def test_tracks_in_first_appearance_order():
+    tracer = Tracer(Engine())
+    tracer.record("beta", "x", 0, 1)
+    tracer.record("alpha", "y", 1, 2)
+    tracer.record("beta", "z", 2, 3)
+    assert tracer.tracks() == ["beta", "alpha"]
+
+
+def test_timeline_rendering():
+    tracer = Tracer(Engine())
+    tracer.record("pe0", "j", 0.0, 0.5)
+    tracer.record("dma", "t", 0.5, 1.0)
+    text = tracer.timeline(width=10)
+    lines = text.splitlines()
+    assert len(lines) == 3
+    assert "pe0" in lines[1] and "#" in lines[1]
+    # pe0 busy in the first half only.
+    row = lines[1].split("|")[1]
+    assert row[:5].count("#") == 5
+    assert row[5:].count("#") == 0
+
+
+def test_empty_timeline():
+    tracer = Tracer(Engine())
+    assert "no spans" in tracer.timeline()
+
+
+def test_runtime_tracing_integration():
+    """The runtime's tracer records PE and DMA tracks whose busy times
+    are consistent with the run."""
+    from repro.compiler import compile_core, compose_design
+    from repro.host import InferenceJobConfig, InferenceRuntime, SimulatedDevice
+    from repro.platforms.specs import XUPVVH_HBM_PLATFORM
+    from repro.spn import nips_benchmark
+
+    core = compile_core(nips_benchmark("NIPS10").spn, "cfp")
+    device = SimulatedDevice(compose_design(core, 1, XUPVVH_HBM_PLATFORM))
+    tracer = Tracer(device.env)
+    runtime = InferenceRuntime(
+        device, InferenceJobConfig(threads_per_pe=2), tracer=tracer
+    )
+    stats = runtime.run_timing_only(500_000)
+    assert set(tracer.tracks()) == {"dma h2d", "pe0", "dma d2h"}
+    assert tracer.busy_time("pe0") <= stats.elapsed_seconds * 1.001
+    # Two threads: transfers overlap compute.
+    assert tracer.overlap_time("dma h2d", "pe0") > 0

@@ -1,0 +1,102 @@
+"""Unit and property tests for EM parameter learning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SPNStructureError
+from repro.spn import (
+    SPN,
+    HistogramLeaf,
+    ProductNode,
+    SumNode,
+    em_step,
+    fit_em,
+    log_likelihood,
+    random_spn,
+    sample,
+)
+
+
+def _hist(var, masses):
+    return HistogramLeaf(var, np.arange(len(masses) + 1, dtype=float), masses)
+
+
+def _train_data(seed=0, rows=600, n_vars=4, levels=4):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, levels, size=(rows, n_vars)).astype(float)
+
+
+def test_em_step_returns_new_structure():
+    spn = random_spn(4, depth=3, n_bins=4, seed=1)
+    updated = em_step(spn, _train_data())
+    assert updated is not spn
+    assert len(updated) == len(spn)
+    assert updated.scope == spn.scope
+
+
+def test_em_improves_likelihood():
+    spn = random_spn(4, depth=3, n_bins=4, seed=2)
+    data = _train_data(seed=2)
+    before = log_likelihood(spn, data).mean()
+    after = log_likelihood(em_step(spn, data), data).mean()
+    assert after > before
+
+
+def test_fit_em_history_monotone():
+    spn = random_spn(4, depth=3, n_bins=4, seed=3)
+    data = _train_data(seed=3)
+    _, history = fit_em(spn, data, iterations=6, smoothing=0.01)
+    assert all(b >= a - 1e-9 for a, b in zip(history, history[1:]))
+
+
+def test_em_recovers_mixture_weights():
+    """Data generated from a known mixture: EM should move the weights
+    toward the generating proportions."""
+    a = _hist(0, [1.0, 1e-9])
+    b = _hist(0, [1e-9, 1.0])
+    truth = SPN(SumNode([a, b], [0.2, 0.8]))
+    data = np.floor(sample(truth, 4000, seed=5))
+    start = SPN(SumNode([_hist(0, [1.0, 1e-9]), _hist(0, [1e-9, 1.0])], [0.5, 0.5]))
+    fitted, _ = fit_em(start, data, iterations=10, smoothing=0.01)
+    weights = fitted.root.weights
+    assert weights[1] == pytest.approx(0.8, abs=0.03)
+
+
+def test_em_recovers_histogram_shape():
+    truth = SPN(ProductNode([_hist(0, [0.7, 0.3]), _hist(1, [0.1, 0.9])]))
+    data = np.floor(sample(truth, 6000, seed=6))
+    start = SPN(ProductNode([_hist(0, [0.5, 0.5]), _hist(1, [0.5, 0.5])]))
+    fitted, _ = fit_em(start, data, iterations=3, smoothing=0.01)
+    leaf0 = [n for n in fitted.leaves if n.variable == 0][0]
+    assert leaf0.densities[0] == pytest.approx(0.7, abs=0.03)
+
+
+def test_em_result_remains_valid_spn():
+    spn = random_spn(5, depth=3, n_bins=4, seed=7)
+    fitted, _ = fit_em(spn, _train_data(seed=7, n_vars=5), iterations=2)
+    fitted.validate()
+    ll = log_likelihood(fitted, _train_data(seed=8, n_vars=5))
+    assert np.all(np.isfinite(ll))
+
+
+def test_invalid_inputs_rejected():
+    spn = random_spn(3, depth=2, seed=0)
+    with pytest.raises(SPNStructureError):
+        em_step(spn, np.zeros((0, 3)))
+    with pytest.raises(SPNStructureError):
+        em_step(spn, _train_data(n_vars=3), smoothing=0.0)
+    with pytest.raises(SPNStructureError):
+        fit_em(spn, _train_data(n_vars=3), iterations=0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_em_never_decreases_likelihood_property(seed):
+    spn = random_spn(3, depth=2, n_bins=3, seed=seed)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 3, size=(200, 3)).astype(float)
+    before = log_likelihood(spn, data).mean()
+    after = log_likelihood(em_step(spn, data, smoothing=0.01), data).mean()
+    assert after >= before - 1e-6

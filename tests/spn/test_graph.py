@@ -1,0 +1,129 @@
+"""Unit tests for the SPN graph container and validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SPNStructureError
+from repro.spn import SPN, HistogramLeaf, ProductNode, SumNode
+
+
+def _hist(var):
+    return HistogramLeaf(var, [0.0, 1.0, 2.0], [0.5, 0.5])
+
+
+def _small_spn():
+    left = ProductNode([_hist(0), _hist(1)])
+    right = ProductNode([_hist(0), _hist(1)])
+    return SPN(SumNode([left, right], [0.4, 0.6]), name="small")
+
+
+def test_topological_order_children_first():
+    spn = _small_spn()
+    seen = set()
+    for node in spn:
+        for child in node.children:
+            assert child.id in seen
+        seen.add(node.id)
+
+
+def test_node_counts():
+    spn = _small_spn()
+    assert len(spn) == 7
+    assert len(spn.leaves) == 4
+    assert len(spn.sum_nodes) == 1
+    assert len(spn.product_nodes) == 2
+
+
+def test_scope_and_n_variables():
+    spn = _small_spn()
+    assert spn.scope == (0, 1)
+    assert spn.n_variables == 2
+
+
+def test_depth():
+    assert _small_spn().depth() == 2
+    assert SPN(_hist(0)).depth() == 0
+
+
+def test_shared_subgraph_visited_once():
+    shared = _hist(1)
+    left = ProductNode([_hist(0), shared])
+    right = ProductNode([_hist(0), shared])
+    spn = SPN(SumNode([left, right], [0.5, 0.5]))
+    # 2 roots' products + 1 sum + 2 distinct var-0 leaves + 1 shared leaf
+    assert len(spn) == 6
+
+
+def test_cycle_detected():
+    leaf = _hist(0)
+    prod = ProductNode([leaf])
+    # Force a cycle behind the constructor's back.
+    prod.children.append(prod)
+    with pytest.raises(SPNStructureError, match="cycle"):
+        SPN(prod, validate=False)
+
+
+def test_non_smooth_sum_rejected():
+    bad = SumNode.__new__(SumNode)
+    # Bypass SumNode's constructor checks to build a non-smooth sum.
+    SumNode.__init__(bad, [_hist(0), _hist(1)], [0.5, 0.5])
+    with pytest.raises(SPNStructureError, match="not smooth"):
+        SPN(bad)
+
+
+def test_non_decomposable_product_rejected():
+    bad = ProductNode([_hist(0), _hist(0)])
+    with pytest.raises(SPNStructureError, match="not decomposable"):
+        SPN(bad)
+
+
+def test_validate_false_skips_checks():
+    bad = ProductNode([_hist(0), _hist(0)])
+    spn = SPN(bad, validate=False)
+    assert not spn.is_decomposable()
+    assert spn.is_smooth()
+
+
+def test_is_smooth_flags_bad_sum():
+    bad = SumNode.__new__(SumNode)
+    SumNode.__init__(bad, [_hist(0), _hist(1)], [0.5, 0.5])
+    spn = SPN(bad, validate=False)
+    assert not spn.is_smooth()
+    assert spn.is_decomposable()
+
+
+def test_root_must_be_node():
+    with pytest.raises(SPNStructureError):
+        SPN("not a node")  # type: ignore[arg-type]
+
+
+def test_to_networkx_structure():
+    spn = _small_spn()
+    graph = spn.to_networkx()
+    assert graph.number_of_nodes() == len(spn)
+    assert graph.number_of_edges() == 6
+    root_edges = list(graph.out_edges(spn.root.id, data=True))
+    assert sorted(e[2]["weight"] for e in root_edges) == pytest.approx([0.4, 0.6])
+
+
+def test_to_networkx_is_dag():
+    import networkx as nx
+
+    graph = _small_spn().to_networkx()
+    assert nx.is_directed_acyclic_graph(graph)
+
+
+def test_single_leaf_spn_valid():
+    spn = SPN(_hist(0))
+    assert spn.n_variables == 1
+    assert len(spn) == 1
+
+
+def test_deep_chain_does_not_recurse():
+    # The iterative topological sort must handle graphs deeper than the
+    # Python recursion limit.
+    node = _hist(0)
+    for _ in range(5000):
+        node = SumNode([node], [1.0])
+    spn = SPN(node)
+    assert len(spn) == 5001

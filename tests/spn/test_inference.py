@@ -1,0 +1,172 @@
+"""Unit and property tests for SPN inference."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SPNStructureError
+from repro.spn import (
+    SPN,
+    GaussianLeaf,
+    HistogramLeaf,
+    ProductNode,
+    SumNode,
+    likelihood,
+    log_likelihood,
+    marginal_log_likelihood,
+    random_spn,
+)
+from repro.spn.inference import node_log_values
+
+
+def _hist(var, masses):
+    return HistogramLeaf(var, np.arange(len(masses) + 1, dtype=float), masses)
+
+
+def _two_var_mixture():
+    c0 = ProductNode([_hist(0, [0.8, 0.2]), _hist(1, [0.3, 0.7])])
+    c1 = ProductNode([_hist(0, [0.1, 0.9]), _hist(1, [0.6, 0.4])])
+    return SPN(SumNode([c0, c1], [0.5, 0.5]))
+
+
+def test_hand_computed_likelihood():
+    spn = _two_var_mixture()
+    # P(x0=0, x1=1) = 0.5*0.8*0.7 + 0.5*0.1*0.4 = 0.28 + 0.02 = 0.30
+    got = likelihood(spn, np.array([[0.0, 1.0]]))
+    assert got[0] == pytest.approx(0.30)
+
+
+def test_distribution_sums_to_one():
+    spn = _two_var_mixture()
+    grid = np.array([[a, b] for a in (0.0, 1.0) for b in (0.0, 1.0)])
+    assert likelihood(spn, grid).sum() == pytest.approx(1.0)
+
+
+def test_batch_matches_single_sample_loop():
+    spn = _two_var_mixture()
+    rng = np.random.default_rng(1)
+    data = rng.integers(0, 2, size=(50, 2)).astype(float)
+    batched = log_likelihood(spn, data)
+    looped = np.array([log_likelihood(spn, row[np.newaxis, :])[0] for row in data])
+    np.testing.assert_allclose(batched, looped)
+
+
+def test_1d_input_treated_as_single_sample():
+    spn = _two_var_mixture()
+    single = log_likelihood(spn, np.array([0.0, 1.0]))
+    assert single.shape == (1,)
+    assert single[0] == pytest.approx(math.log(0.30))
+
+
+def test_marginal_of_all_variables_is_one():
+    spn = _two_var_mixture()
+    data = np.zeros((3, 2))
+    out = marginal_log_likelihood(spn, data, marginalized=[0, 1])
+    assert out == pytest.approx([0.0, 0.0, 0.0])
+
+
+def test_marginal_matches_explicit_summation():
+    spn = _two_var_mixture()
+    # P(x1=1) by marginalising x0 must equal sum over x0 values.
+    marg = np.exp(marginal_log_likelihood(spn, np.array([[0.0, 1.0]]), [0]))[0]
+    total = likelihood(spn, np.array([[0.0, 1.0], [1.0, 1.0]])).sum()
+    assert marg == pytest.approx(total)
+
+
+def test_marginal_unknown_variable_rejected():
+    spn = _two_var_mixture()
+    with pytest.raises(SPNStructureError):
+        marginal_log_likelihood(spn, np.zeros((1, 2)), [7])
+
+
+def test_too_few_columns_rejected():
+    spn = _two_var_mixture()
+    with pytest.raises(SPNStructureError):
+        log_likelihood(spn, np.zeros((4, 1)))
+
+
+def test_node_log_values_covers_every_node():
+    spn = _two_var_mixture()
+    values = node_log_values(spn, np.zeros((2, 2)))
+    assert set(values) == {n.id for n in spn}
+    for arr in values.values():
+        assert arr.shape == (2,)
+
+
+def test_gaussian_product_factorises():
+    g0 = GaussianLeaf(0, 0.0, 1.0)
+    g1 = GaussianLeaf(1, 2.0, 0.5)
+    spn = SPN(ProductNode([g0, g1]))
+    x = np.array([[0.3, 1.9]])
+    expected = g0.log_density(x[:, 0]) + g1.log_density(x[:, 1])
+    assert log_likelihood(spn, x) == pytest.approx(expected)
+
+
+def test_sum_of_identical_children_is_identity():
+    leaf_masses = [0.25, 0.75]
+    children = [
+        ProductNode([_hist(0, leaf_masses)]),
+        ProductNode([_hist(0, leaf_masses)]),
+    ]
+    spn = SPN(SumNode(children, [0.3, 0.7]))
+    got = likelihood(spn, np.array([[1.0]]))
+    assert got[0] == pytest.approx(0.75)
+
+
+def test_deeply_negative_logs_stay_finite():
+    # Many tiny leaf probabilities multiplied: linear domain would
+    # underflow; log domain must not.
+    leaves = [_hist(v, [1e-12, 1.0 - 1e-12]) for v in range(64)]
+    spn = SPN(ProductNode(leaves))
+    ll = log_likelihood(spn, np.zeros((1, 64)))
+    assert np.isfinite(ll[0])
+    assert ll[0] == pytest.approx(64 * math.log(1e-12), rel=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n_vars=st.integers(1, 12),
+    depth=st.integers(1, 4),
+)
+def test_random_spn_likelihood_properties(seed, n_vars, depth):
+    """Any generated SPN yields finite, <=0 log-likelihoods in-support."""
+    spn = random_spn(n_vars, depth=depth, n_bins=4, seed=seed)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 4, size=(16, n_vars)).astype(float)
+    ll = log_likelihood(spn, data)
+    assert ll.shape == (16,)
+    assert np.all(np.isfinite(ll))
+    # Histogram leaves over unit bins are proper PMFs: joint <= 1.
+    assert np.all(ll <= 1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_random_spn_total_mass_is_one(seed):
+    """Summing the joint over the full discrete support gives 1."""
+    n_vars, n_bins = 3, 3
+    spn = random_spn(n_vars, depth=3, n_bins=n_bins, seed=seed)
+    grid = np.stack(
+        np.meshgrid(*[np.arange(n_bins)] * n_vars, indexing="ij"), axis=-1
+    ).reshape(-1, n_vars).astype(float)
+    total = likelihood(spn, grid).sum()
+    assert total == pytest.approx(1.0, rel=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), marg_var=st.integers(0, 2))
+def test_marginalisation_consistency_property(seed, marg_var):
+    """Marginal query equals explicit summation over the marged variable."""
+    n_vars, n_bins = 3, 3
+    spn = random_spn(n_vars, depth=3, n_bins=n_bins, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    row = rng.integers(0, n_bins, size=n_vars).astype(float)
+    marg = np.exp(marginal_log_likelihood(spn, row[np.newaxis, :], [marg_var]))[0]
+    rows = np.tile(row, (n_bins, 1))
+    rows[:, marg_var] = np.arange(n_bins)
+    explicit = likelihood(spn, rows).sum()
+    assert marg == pytest.approx(explicit, rel=1e-9)

@@ -1,0 +1,96 @@
+"""Tests for per-sample missing-feature inference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spn import (
+    MISSING_VALUE,
+    log_likelihood,
+    log_likelihood_with_missing,
+    marginal_log_likelihood,
+    random_spn,
+)
+
+
+def test_no_missing_matches_plain_likelihood():
+    spn = random_spn(5, depth=3, n_bins=6, seed=1)
+    rng = np.random.default_rng(1)
+    data = rng.integers(0, 6, size=(40, 5)).astype(float)
+    np.testing.assert_allclose(
+        log_likelihood_with_missing(spn, data), log_likelihood(spn, data)
+    )
+
+
+def test_uniform_missing_matches_marginal_query():
+    spn = random_spn(4, depth=3, n_bins=4, seed=2)
+    rng = np.random.default_rng(2)
+    data = rng.integers(0, 4, size=(30, 4)).astype(float)
+    masked = data.copy()
+    masked[:, [1, 3]] = MISSING_VALUE
+    np.testing.assert_allclose(
+        log_likelihood_with_missing(spn, masked),
+        marginal_log_likelihood(spn, data, marginalized=[1, 3]),
+    )
+
+
+def test_per_row_masks_differ():
+    spn = random_spn(3, depth=3, n_bins=4, seed=3)
+    rows = np.array(
+        [
+            [1.0, 2.0, 3.0],
+            [MISSING_VALUE, 2.0, 3.0],
+            [1.0, MISSING_VALUE, MISSING_VALUE],
+        ]
+    )
+    out = log_likelihood_with_missing(spn, rows)
+    # More marginalisation -> higher (less specific) log-probability.
+    assert out[1] > out[0]
+    assert out[2] > out[0]
+
+
+def test_all_missing_gives_probability_one():
+    spn = random_spn(4, depth=3, n_bins=4, seed=4)
+    rows = np.full((3, 4), MISSING_VALUE)
+    np.testing.assert_allclose(log_likelihood_with_missing(spn, rows), 0.0, atol=1e-12)
+
+
+def test_custom_missing_value():
+    spn = random_spn(2, depth=2, n_bins=4, seed=5)
+    rows = np.array([[1.0, -1.0]])
+    got = log_likelihood_with_missing(spn, rows, missing_value=-1.0)
+    expected = marginal_log_likelihood(spn, np.array([[1.0, 0.0]]), [1])
+    np.testing.assert_allclose(got, expected)
+
+
+def test_accelerator_computes_missing_queries():
+    """The simulated device handles the reserved byte natively."""
+    from repro.compiler import compile_core, compose_design
+    from repro.host import InferenceJobConfig, InferenceRuntime, SimulatedDevice
+    from repro.platforms.specs import XUPVVH_HBM_PLATFORM
+
+    spn = random_spn(6, depth=3, n_bins=8, seed=6)
+    device = SimulatedDevice(compose_design(compile_core(spn, "cfp"), 1, XUPVVH_HBM_PLATFORM))
+    runtime = InferenceRuntime(device, InferenceJobConfig(block_bytes=2048))
+    rng = np.random.default_rng(6)
+    data = rng.integers(0, 8, size=(200, 6)).astype(np.uint8)
+    data[:50, 2] = int(MISSING_VALUE)  # missing feature in some rows
+    results, _ = runtime.run(data)
+    reference = log_likelihood_with_missing(spn, data.astype(np.float64))
+    np.testing.assert_allclose(results, reference)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_missing_increases_likelihood_property(seed):
+    """Marginalising a feature can only increase the log-probability
+    (integrating out mass >= any single slice)."""
+    spn = random_spn(3, depth=2, n_bins=4, seed=seed)
+    rng = np.random.default_rng(seed)
+    row = rng.integers(0, 4, size=(1, 3)).astype(float)
+    full = log_likelihood_with_missing(spn, row)[0]
+    masked = row.copy()
+    masked[0, 0] = MISSING_VALUE
+    partial = log_likelihood_with_missing(spn, masked)[0]
+    assert partial >= full - 1e-9

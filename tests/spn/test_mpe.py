@@ -1,0 +1,98 @@
+"""Unit tests for max-product inference and MPE completion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SPNStructureError
+from repro.spn import (
+    SPN,
+    GaussianLeaf,
+    HistogramLeaf,
+    ProductNode,
+    SumNode,
+    log_likelihood,
+    max_log_likelihood,
+    mpe,
+    random_spn,
+)
+
+
+def _hist(var, masses):
+    return HistogramLeaf(var, np.arange(len(masses) + 1, dtype=float), masses)
+
+
+def _mixture():
+    # Component 0 concentrates on (0, 1); component 1 on (1, 0).
+    c0 = ProductNode([_hist(0, [0.9, 0.1]), _hist(1, [0.1, 0.9])])
+    c1 = ProductNode([_hist(0, [0.1, 0.9]), _hist(1, [0.9, 0.1])])
+    return SPN(SumNode([c0, c1], [0.5, 0.5]))
+
+
+def test_fully_observed_max_ll_le_sum_ll():
+    """Max-product root <= sum-product root (one term vs the sum)."""
+    spn = random_spn(6, depth=3, n_bins=4, seed=4)
+    rng = np.random.default_rng(4)
+    data = rng.integers(0, 4, size=(50, 6)).astype(float)
+    maxed = max_log_likelihood(spn, data)
+    summed = log_likelihood(spn, data)
+    assert np.all(maxed <= summed + 1e-9)
+
+
+def test_mpe_completion_picks_consistent_mode():
+    spn = _mixture()
+    # Observing x0 = 0 routes through component 0 -> x1 should be 1.
+    completed = mpe(spn, np.array([[0.0, 99.0]]), observed=[0])
+    assert completed[0, 1] == pytest.approx(1.5)  # bin [1,2) midpoint
+    # Observing x0 = 1 routes through component 1 -> x1 should be 0.
+    completed = mpe(spn, np.array([[1.0, 99.0]]), observed=[0])
+    assert completed[0, 1] == pytest.approx(0.5)
+
+
+def test_mpe_keeps_observed_columns():
+    spn = _mixture()
+    data = np.array([[1.0, 0.0]])
+    completed = mpe(spn, data, observed=[0])
+    assert completed[0, 0] == 1.0
+
+
+def test_mpe_completion_beats_other_assignments():
+    """The MPE completion must score at least as high as any other
+    discrete completion under the max-product semantics (MPE is exact
+    for the max-product circuit, approximate for the true posterior)."""
+    spn = random_spn(3, depth=3, n_bins=3, seed=9)
+    evidence = np.array([[1.0, 0.0, 0.0]])
+    completed = mpe(spn, evidence, observed=[0])
+    best = max_log_likelihood(spn, completed)[0]
+    for v1 in range(3):
+        for v2 in range(3):
+            candidate = np.array([[1.0, v1 + 0.5, v2 + 0.5]])
+            assert max_log_likelihood(spn, candidate)[0] <= best + 1e-9
+
+
+def test_gaussian_mode_is_mean():
+    spn = SPN(ProductNode([GaussianLeaf(0, 2.5, 1.0), _hist(1, [1.0])]))
+    completed = mpe(spn, np.zeros((1, 2)), observed=[1])
+    assert completed[0, 0] == pytest.approx(2.5)
+
+
+def test_batch_mpe_independent_rows():
+    spn = _mixture()
+    data = np.array([[0.0, 99.0], [1.0, 99.0]])
+    completed = mpe(spn, data, observed=[0])
+    assert completed[0, 1] != completed[1, 1]
+
+
+def test_unknown_observed_variable_rejected():
+    spn = _mixture()
+    with pytest.raises(SPNStructureError):
+        mpe(spn, np.zeros((1, 2)), observed=[5])
+    with pytest.raises(SPNStructureError):
+        max_log_likelihood(spn, np.zeros((1, 2)), observed=[5])
+
+
+def test_all_observed_equals_plain_max_semantics():
+    spn = _mixture()
+    data = np.array([[0.0, 1.0]])
+    default = max_log_likelihood(spn, data)
+    explicit = max_log_likelihood(spn, data, observed=[0, 1])
+    np.testing.assert_array_equal(default, explicit)

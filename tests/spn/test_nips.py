@@ -1,0 +1,73 @@
+"""Tests for the NIPS benchmark SPN builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.spn import NIPS_BENCHMARKS, compute_stats, log_likelihood, nips_benchmark, nips_spn
+from repro.spn.nips import nips_dataset
+
+
+def test_benchmark_names():
+    assert NIPS_BENCHMARKS == ("NIPS10", "NIPS20", "NIPS30", "NIPS40", "NIPS80")
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(ReproError):
+        nips_spn("NIPS55")
+
+
+@pytest.mark.parametrize("name", NIPS_BENCHMARKS)
+def test_scope_matches_word_count(name):
+    bench = nips_benchmark(name)
+    n = int(name[4:])
+    assert bench.n_variables == n
+    assert bench.spn.scope == tuple(range(n))
+
+
+def test_transfer_geometry_matches_paper():
+    # Paper §V-B: NIPS10 moves 144 bits per sample (10 B in, 8 B out).
+    bench = nips_benchmark("NIPS10")
+    assert bench.input_bytes_per_sample == 10
+    assert bench.result_bytes_per_sample == 8
+    assert bench.transfer_bits_per_sample == 144
+    # §V-C: NIPS80 moves 88 bytes per sample.
+    assert nips_benchmark("NIPS80").total_bytes_per_sample == 88
+
+
+def test_structures_cached_and_deterministic():
+    assert nips_spn("NIPS10") is nips_spn("NIPS10")
+
+
+def test_structure_sizes_grow_with_word_count():
+    sizes = [compute_stats(nips_spn(n)).n_nodes for n in NIPS_BENCHMARKS]
+    assert sizes == sorted(sizes)
+    assert sizes[0] < sizes[-1]
+
+
+def test_benchmarks_are_valid_spns():
+    for name in ("NIPS10", "NIPS20"):
+        nips_spn(name).validate()
+
+
+def test_inference_on_own_corpus_is_finite():
+    bench = nips_benchmark("NIPS10")
+    data = nips_dataset("NIPS10").astype(np.float64)
+    ll = log_likelihood(bench.spn, data[:200])
+    assert np.all(np.isfinite(ll))
+    assert np.all(ll < 0)
+
+
+def test_dataset_is_single_byte_counts():
+    data = nips_dataset("NIPS20")
+    assert data.dtype == np.uint8
+    assert data.shape[1] == 20
+
+
+def test_zipfian_marginals():
+    """Frequent (low-index) words should have larger mean counts."""
+    data = nips_dataset("NIPS40").astype(np.float64)
+    means = data.mean(axis=0)
+    first_decile = means[:4].mean()
+    last_decile = means[-4:].mean()
+    assert first_decile > 4 * last_decile

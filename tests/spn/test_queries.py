@@ -1,0 +1,130 @@
+"""Unit and property tests for range/expectation queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SPNStructureError
+from repro.spn import (
+    SPN,
+    GaussianLeaf,
+    HistogramLeaf,
+    ProductNode,
+    SumNode,
+    expectation,
+    likelihood,
+    probability_of_box,
+    random_spn,
+    sample,
+)
+
+
+def _hist(var, masses):
+    return HistogramLeaf(var, np.arange(len(masses) + 1, dtype=float), masses)
+
+
+class TestBoxProbability:
+    def test_full_domain_is_one(self):
+        spn = random_spn(4, depth=3, n_bins=4, seed=1)
+        box = {v: (-np.inf, np.inf) for v in range(4)}
+        assert probability_of_box(spn, box) == pytest.approx(1.0)
+
+    def test_empty_box_is_zero(self):
+        spn = random_spn(3, depth=2, n_bins=4, seed=2)
+        assert probability_of_box(spn, {0: (2.0, 2.0)}) == 0.0
+
+    def test_single_leaf_interval(self):
+        spn = SPN(_hist(0, [0.25, 0.5, 0.25]))
+        assert probability_of_box(spn, {0: (0.0, 2.0)}) == pytest.approx(0.75)
+
+    def test_partial_bin_overlap(self):
+        spn = SPN(_hist(0, [1.0]))
+        assert probability_of_box(spn, {0: (0.25, 0.75)}) == pytest.approx(0.5)
+
+    def test_independent_product_multiplies(self):
+        spn = SPN(ProductNode([_hist(0, [0.5, 0.5]), _hist(1, [0.25, 0.75])]))
+        got = probability_of_box(spn, {0: (0.0, 1.0), 1: (1.0, 2.0)})
+        assert got == pytest.approx(0.5 * 0.75)
+
+    def test_gaussian_interval(self):
+        spn = SPN(GaussianLeaf(0, 0.0, 1.0))
+        # Central +-1 sigma ~ 0.6827.
+        assert probability_of_box(spn, {0: (-1.0, 1.0)}) == pytest.approx(0.6827, abs=1e-3)
+
+    def test_unknown_variable_rejected(self):
+        spn = SPN(_hist(0, [1.0]))
+        with pytest.raises(SPNStructureError):
+            probability_of_box(spn, {3: (0.0, 1.0)})
+
+    def test_matches_empirical_selectivity(self):
+        """The DeepDB use case: predicted selectivity of a range
+        predicate vs the empirical fraction of sampled rows."""
+        spn = random_spn(3, depth=3, n_bins=4, seed=5)
+        box = {0: (0.0, 2.0), 2: (1.0, 3.0)}
+        predicted = probability_of_box(spn, box)
+        draws = sample(spn, 100_000, seed=6)
+        hits = (
+            (draws[:, 0] >= 0.0)
+            & (draws[:, 0] < 2.0)
+            & (draws[:, 2] >= 1.0)
+            & (draws[:, 2] < 3.0)
+        )
+        assert hits.mean() == pytest.approx(predicted, abs=0.01)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_additivity_property(self, seed):
+        """P(a<=x<c) == P(a<=x<b) + P(b<=x<c) for any split point."""
+        spn = random_spn(2, depth=2, n_bins=4, seed=seed)
+        whole = probability_of_box(spn, {0: (0.0, 4.0)})
+        left = probability_of_box(spn, {0: (0.0, 2.0)})
+        right = probability_of_box(spn, {0: (2.0, 4.0)})
+        assert left + right == pytest.approx(whole, rel=1e-9)
+
+
+class TestExpectation:
+    def test_single_histogram_expectation(self):
+        spn = SPN(_hist(0, [0.5, 0.5]))  # bins [0,1), [1,2) -> centres .5/1.5
+        assert expectation(spn, 0) == pytest.approx(1.0)
+
+    def test_gaussian_expectation_is_mean(self):
+        spn = SPN(ProductNode([GaussianLeaf(0, 4.2, 2.0), _hist(1, [1.0])]))
+        assert expectation(spn, 0) == pytest.approx(4.2, abs=1e-9)
+
+    def test_mixture_expectation_weighted(self):
+        a = _hist(0, [1.0, 1e-12])  # ~0.5
+        b = _hist(0, [1e-12, 1.0])  # ~1.5
+        spn = SPN(SumNode([a, b], [0.25, 0.75]))
+        assert expectation(spn, 0) == pytest.approx(0.25 * 0.5 + 0.75 * 1.5, abs=1e-6)
+
+    def test_matches_sampling_estimate(self):
+        spn = random_spn(3, depth=3, n_bins=4, seed=8)
+        analytic = expectation(spn, 1)
+        draws = sample(spn, 200_000, seed=9)
+        assert draws[:, 1].mean() == pytest.approx(analytic, abs=0.02)
+
+    def test_conditional_expectation_shifts(self):
+        spn = SPN(_hist(0, [0.5, 0.5]))
+        conditioned = expectation(spn, 0, box={0: (1.0, 2.0)})
+        assert conditioned == pytest.approx(1.5)
+
+    def test_conditioning_on_other_variable(self):
+        # x0 and x1 coupled through the mixture: conditioning on x1
+        # must move E[x0].
+        a = ProductNode([_hist(0, [0.9, 0.1]), _hist(1, [0.9, 0.1])])
+        b = ProductNode([_hist(0, [0.1, 0.9]), _hist(1, [0.1, 0.9])])
+        spn = SPN(SumNode([a, b], [0.5, 0.5]))
+        low = expectation(spn, 0, box={1: (0.0, 1.0)})
+        high = expectation(spn, 0, box={1: (1.0, 2.0)})
+        assert high > low
+
+    def test_zero_probability_box_rejected(self):
+        spn = SPN(_hist(0, [1.0]))
+        with pytest.raises(SPNStructureError):
+            expectation(spn, 0, box={0: (5.0, 6.0)})
+
+    def test_unknown_variable_rejected(self):
+        spn = SPN(_hist(0, [1.0]))
+        with pytest.raises(SPNStructureError):
+            expectation(spn, 3)

@@ -1,0 +1,82 @@
+"""Unit and statistical tests for ancestral sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SPNStructureError
+from repro.spn import (
+    SPN,
+    GaussianLeaf,
+    HistogramLeaf,
+    ProductNode,
+    SumNode,
+    likelihood,
+    random_spn,
+    sample,
+)
+
+
+def _hist(var, masses):
+    return HistogramLeaf(var, np.arange(len(masses) + 1, dtype=float), masses)
+
+
+def test_shape_and_determinism():
+    spn = random_spn(5, depth=3, n_bins=4, seed=2)
+    a = sample(spn, 100, seed=7)
+    b = sample(spn, 100, seed=7)
+    assert a.shape == (100, 5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_samples_within_leaf_support():
+    spn = random_spn(4, depth=3, n_bins=4, seed=3)
+    draws = sample(spn, 2000, seed=1)
+    assert draws.min() >= 0.0
+    assert draws.max() <= 4.0
+
+
+def test_marginal_frequencies_match_model():
+    leaf = _hist(0, [0.7, 0.2, 0.1])
+    spn = SPN(leaf)
+    draws = np.floor(sample(spn, 50_000, seed=5))[:, 0]
+    freq = np.bincount(draws.astype(int), minlength=3) / 50_000
+    assert freq == pytest.approx([0.7, 0.2, 0.1], abs=0.01)
+
+
+def test_mixture_routing_frequencies():
+    # Disjoint components: x0 in bin 0 for comp A, bin 1 for comp B.
+    a = _hist(0, [1.0, 1e-9])
+    b = _hist(0, [1e-9, 1.0])
+    spn = SPN(SumNode([a, b], [0.25, 0.75]))
+    draws = np.floor(sample(spn, 40_000, seed=9))[:, 0]
+    assert np.mean(draws == 1) == pytest.approx(0.75, abs=0.01)
+
+
+def test_joint_frequency_matches_likelihood():
+    spn = random_spn(3, depth=3, n_bins=3, seed=11)
+    draws = np.floor(sample(spn, 150_000, seed=12))
+    target = np.array([0.0, 1.0, 2.0])
+    p_model = float(likelihood(spn, target[np.newaxis, :] + 0.5)[0])
+    p_emp = float(np.mean(np.all(draws == target, axis=1)))
+    assert p_emp == pytest.approx(p_model, rel=0.2, abs=0.002)
+
+
+def test_gaussian_leaf_sampling():
+    spn = SPN(GaussianLeaf(0, mean=3.0, stdev=0.5))
+    draws = sample(spn, 20_000, seed=13)[:, 0]
+    assert draws.mean() == pytest.approx(3.0, abs=0.02)
+    assert draws.std() == pytest.approx(0.5, abs=0.02)
+
+
+def test_invalid_count_rejected():
+    spn = SPN(_hist(0, [1.0]))
+    with pytest.raises(SPNStructureError):
+        sample(spn, 0)
+
+
+def test_rng_injection():
+    spn = SPN(_hist(0, [0.5, 0.5]))
+    rng = np.random.default_rng(1)
+    first = sample(spn, 10, rng=rng)
+    second = sample(spn, 10, rng=rng)  # advances the same stream
+    assert not np.array_equal(first, second)

@@ -1,0 +1,84 @@
+"""Direct tests for the structural-statistics module."""
+
+import numpy as np
+import pytest
+
+from repro.spn import (
+    SPN,
+    CategoricalLeaf,
+    GaussianLeaf,
+    HistogramLeaf,
+    ProductNode,
+    SumNode,
+    compute_stats,
+)
+
+
+def _hist(var, bins=4):
+    return HistogramLeaf(var, np.arange(bins + 1, dtype=float), np.full(bins, 1 / bins))
+
+
+def test_single_leaf_stats():
+    stats = compute_stats(SPN(_hist(0, bins=7)))
+    assert stats.n_nodes == 1
+    assert stats.n_leaves == 1
+    assert stats.n_histograms == 1
+    assert stats.n_table_entries == 7
+    assert stats.n_adders == 0
+    assert stats.n_multipliers == 0
+    assert stats.depth == 0
+    assert stats.n_arithmetic_ops == 0
+
+
+def test_sum_node_operator_convention():
+    """n-ary sum: n weight multipliers plus n-1 adders."""
+    spn = SPN(SumNode([_hist(0), _hist(0), _hist(0), _hist(0)], [1, 1, 1, 1]))
+    stats = compute_stats(spn)
+    assert stats.n_adders == 3
+    assert stats.n_multipliers == 4
+    assert stats.max_fanin == 4
+
+
+def test_product_node_operator_convention():
+    """n-ary product: n-1 multipliers, no weight constants."""
+    spn = SPN(ProductNode([_hist(v) for v in range(5)]))
+    stats = compute_stats(spn)
+    assert stats.n_adders == 0
+    assert stats.n_multipliers == 4
+
+
+def test_mixed_leaf_kinds_counted():
+    spn = SPN(
+        ProductNode(
+            [
+                _hist(0, bins=3),
+                CategoricalLeaf(1, [0.5, 0.25, 0.25]),
+                GaussianLeaf(2, 0.0, 1.0),
+            ]
+        )
+    )
+    stats = compute_stats(spn)
+    assert stats.n_leaves == 3
+    assert stats.n_histograms == 1
+    # Histogram bins + categorical categories; Gaussians have no table
+    # until the compiler discretises them.
+    assert stats.n_table_entries == 6
+
+
+def test_shared_nodes_counted_once():
+    shared = _hist(1)
+    spn = SPN(
+        SumNode(
+            [ProductNode([_hist(0), shared]), ProductNode([_hist(2), shared])],
+            [0.5, 0.5],
+        ),
+        validate=False,
+    )
+    stats = compute_stats(spn)
+    assert stats.n_leaves == 3
+
+
+def test_stats_are_frozen():
+    stats = compute_stats(SPN(_hist(0)))
+    with pytest.raises(AttributeError):
+        stats.n_nodes = 99  # type: ignore[misc]

@@ -1,0 +1,107 @@
+"""Tests for structure transformations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SPNStructureError
+from repro.spn import (
+    SPN,
+    HistogramLeaf,
+    ProductNode,
+    SumNode,
+    compute_stats,
+    log_likelihood,
+    random_spn,
+)
+from repro.spn.transform import contract, prune
+
+
+def _hist(var, masses=(0.5, 0.5)):
+    return HistogramLeaf(var, np.arange(len(masses) + 1, dtype=float), masses)
+
+
+class TestPrune:
+    def test_drops_negligible_children(self):
+        spn = SPN(SumNode([_hist(0), _hist(0), _hist(0)], [0.498, 0.498, 0.004]))
+        pruned = prune(spn, weight_threshold=0.01)
+        assert len(pruned.root.children) == 2
+        assert pruned.root.weights.sum() == pytest.approx(1.0)
+
+    def test_keeps_heaviest_when_all_below_threshold(self):
+        spn = SPN(SumNode([_hist(0), _hist(0)], [0.6, 0.4]))
+        pruned = prune(spn, weight_threshold=0.99)
+        assert len(pruned.root.children) == 1
+
+    def test_distribution_barely_changes(self):
+        spn = random_spn(4, depth=3, n_bins=4, seed=11)
+        pruned = prune(spn, weight_threshold=1e-4)
+        rng = np.random.default_rng(11)
+        data = rng.integers(0, 4, size=(100, 4)).astype(float)
+        before = log_likelihood(spn, data)
+        after = log_likelihood(pruned, data)
+        assert np.max(np.abs(np.exp(after) - np.exp(before))) < 1e-3
+
+    def test_invalid_threshold_rejected(self):
+        spn = SPN(_hist(0))
+        with pytest.raises(SPNStructureError):
+            prune(spn, weight_threshold=1.0)
+
+    def test_result_valid(self):
+        pruned = prune(random_spn(5, depth=3, seed=3), weight_threshold=0.05)
+        pruned.validate()
+
+
+class TestContract:
+    def test_nested_sums_flatten(self):
+        inner = SumNode([_hist(0), _hist(0)], [0.5, 0.5])
+        outer = SumNode([inner, _hist(0)], [0.4, 0.6])
+        contracted = contract(SPN(outer))
+        assert isinstance(contracted.root, SumNode)
+        assert len(contracted.root.children) == 3
+        # Effective weights: 0.4*0.5, 0.4*0.5, 0.6.
+        assert sorted(contracted.root.weights) == pytest.approx([0.2, 0.2, 0.6])
+
+    def test_nested_products_flatten(self):
+        inner = ProductNode([_hist(0), _hist(1)])
+        outer = ProductNode([inner, _hist(2)])
+        contracted = contract(SPN(outer))
+        assert len(contracted.root.children) == 3
+
+    def test_single_child_sum_removed(self):
+        spn = SPN(SumNode([_hist(0)], [1.0]))
+        contracted = contract(spn)
+        assert isinstance(contracted.root, HistogramLeaf)
+
+    def test_likelihood_preserved_exactly(self):
+        inner = SumNode([_hist(0, (0.3, 0.7)), _hist(0, (0.8, 0.2))], [0.25, 0.75])
+        outer = SumNode([inner, _hist(0, (0.5, 0.5))], [0.6, 0.4])
+        spn = SPN(outer)
+        contracted = contract(spn)
+        grid = np.array([[0.0], [1.0]])
+        np.testing.assert_allclose(
+            log_likelihood(contracted, grid), log_likelihood(spn, grid), rtol=1e-12
+        )
+
+    def test_contract_reduces_depth_of_chains(self):
+        node = _hist(0)
+        for _ in range(5):
+            node = SumNode([node], [1.0])
+        contracted = contract(SPN(node))
+        assert contracted.depth() == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_contract_preserves_distribution_property(seed):
+    spn = random_spn(4, depth=4, n_bins=3, seed=seed)
+    contracted = contract(spn)
+    contracted.validate()
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 3, size=(30, 4)).astype(float)
+    np.testing.assert_allclose(
+        log_likelihood(contracted, data), log_likelihood(spn, data), rtol=1e-9
+    )
+    # Contraction never grows the network.
+    assert compute_stats(contracted).n_nodes <= compute_stats(spn).n_nodes

@@ -1,0 +1,65 @@
+"""Tests for the multi-link HBM-buffered node (§V-C/VII outlook)."""
+
+import pytest
+
+from repro.errors import RuntimeConfigError
+from repro.streaming.multilink import MultiLinkBufferedNode, max_links_for_hbm
+from repro.units import GIB
+
+
+def test_max_links_accounting():
+    """One 100G link needs 2x ~12.38 GiB/s of buffering traffic, i.e.
+    two 12 GiB/s channels; 32 channels buffer 16 links."""
+    assert max_links_for_hbm() == 16
+
+
+def test_single_link_reaches_line_rate():
+    node = MultiLinkBufferedNode(n_links=1, bytes_per_sample=88, cores_per_link=1)
+    result = node.run(120_000)
+    line_rate = 100e9 * node.macs[0].payload_efficiency / (8 * 88)
+    assert result.samples_per_second == pytest.approx(line_rate, rel=0.03)
+
+
+def test_links_scale_linearly():
+    def rate(links):
+        node = MultiLinkBufferedNode(
+            n_links=links, bytes_per_sample=88, cores_per_link=1
+        )
+        return node.run(100_000).samples_per_second
+
+    assert rate(8) == pytest.approx(8 * rate(1), rel=0.02)
+
+
+def test_sixteen_links_fit_hbm_practical_budget():
+    """The paper's outlook quantified: a full card of buffered links
+    stays under the 384 GiB/s practical HBM total."""
+    node = MultiLinkBufferedNode(n_links=16, bytes_per_sample=88, cores_per_link=1)
+    result = node.run(100_000)
+    assert result.hbm_traffic / GIB < 384
+    assert result.hbm_traffic / GIB > 300  # and genuinely uses most of it
+
+
+def test_buffering_doubles_hbm_traffic():
+    node = MultiLinkBufferedNode(n_links=2, bytes_per_sample=88, cores_per_link=1)
+    result = node.run(80_000)
+    assert result.hbm_traffic == pytest.approx(2 * result.aggregate_ingest, rel=0.01)
+
+
+def test_undersized_core_count_throttles():
+    """A 10-byte-sample stream at line rate exceeds one 225 MHz core;
+    the node then runs compute-bound, not line-rate-bound."""
+    node = MultiLinkBufferedNode(n_links=1, bytes_per_sample=18, cores_per_link=1)
+    result = node.run(400_000)
+    assert result.samples_per_second == pytest.approx(225e6, rel=0.05)
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(RuntimeConfigError):
+        MultiLinkBufferedNode(n_links=0, bytes_per_sample=88)
+    with pytest.raises(RuntimeConfigError):
+        MultiLinkBufferedNode(n_links=17, bytes_per_sample=88)  # 34 channels
+    with pytest.raises(RuntimeConfigError):
+        MultiLinkBufferedNode(n_links=1, bytes_per_sample=0)
+    node = MultiLinkBufferedNode(n_links=1, bytes_per_sample=88)
+    with pytest.raises(RuntimeConfigError):
+        node.run(0)

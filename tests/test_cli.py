@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_accepts_all_artifacts():
+    parser = build_parser()
+    for name in ("fig2", "table1", "fig4", "fig5", "fig6", "speedups", "outlook", "ablations", "formats", "sensitivity", "roofline", "all"):
+        args = parser.parse_args([name])
+        assert args.artifact == name
+
+
+def test_parser_rejects_unknown_artifact():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fig99"])
+
+
+def test_fig5_command_prints_table(capsys):
+    assert main(["fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 5" in out
+    assert "max_p" in out
+
+
+def test_outlook_command_prints_accounting(capsys):
+    assert main(["outlook"]) == 0
+    out = capsys.readouterr().out
+    assert "NIPS80 input demand" in out
+
+
+def test_fig2_command_respects_requests_flag(capsys):
+    assert main(["fig2", "--requests", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 2" in out
+    assert "GiB/s" in out
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "this work" in out and "prior work" in out

@@ -1,0 +1,153 @@
+"""Cross-module integration tests: the full toolflow end to end."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import (
+    InferenceJobConfig,
+    InferenceRuntime,
+    PAPER_CFP,
+    SimulatedDevice,
+    XUPVVH_HBM_PLATFORM,
+    compile_core,
+    compose_design,
+    dumps,
+    learn_spn,
+    loads,
+    log_likelihood,
+    nips_benchmark,
+    NipsCorpusConfig,
+    synthesize_nips_corpus,
+)
+from repro.arith import evaluate_spn_in_format
+from repro.baselines import naive_log_likelihood, run_cpu_baseline
+
+
+class TestFullToolflow:
+    """data -> learn -> text -> compile -> simulate -> verify."""
+
+    @pytest.fixture(scope="class")
+    def flow(self):
+        data = synthesize_nips_corpus(NipsCorpusConfig(n_words=8, seed=99))
+        spn = learn_spn(data.astype(np.float64), seed=99, name="it")
+        spn = loads(dumps(spn), name="it")  # force the text round-trip
+        core = compile_core(spn, "cfp")
+        design = compose_design(core, 2, XUPVVH_HBM_PLATFORM)
+        device = SimulatedDevice(design)
+        runtime = InferenceRuntime(device, InferenceJobConfig(block_bytes=2048))
+        return spn, data, runtime
+
+    def test_device_matches_software_matches_oracle(self, flow):
+        spn, data, runtime = flow
+        queries = data[:200]
+        device_out, _ = runtime.run(queries)
+        software = log_likelihood(spn, queries.astype(np.float64))
+        oracle = naive_log_likelihood(spn, queries[:40].astype(np.float64))
+        np.testing.assert_allclose(device_out, software)
+        np.testing.assert_allclose(software[:40], oracle, rtol=1e-10)
+
+    def test_cpu_baseline_agrees(self, flow):
+        spn, data, runtime = flow
+        baseline = run_cpu_baseline(spn, data[:200].astype(np.float64))
+        software = log_likelihood(spn, data[:200].astype(np.float64))
+        np.testing.assert_allclose(baseline.results, software)
+
+    def test_runtime_reusable_across_runs(self, flow):
+        spn, data, runtime = flow
+        first, _ = runtime.run(data[:50])
+        second, _ = runtime.run(data[:50])
+        np.testing.assert_array_equal(first, second)
+
+
+class TestHardwareFormatOnDevice:
+    def test_cfp_device_matches_cfp_software_twin(self):
+        """A device built with the CFP compute format must agree with
+        the standalone format-semantics evaluator bit for bit."""
+        bench = nips_benchmark("NIPS10")
+        core = compile_core(bench.spn, "cfp")
+        design = compose_design(core, 1, XUPVVH_HBM_PLATFORM)
+        device = SimulatedDevice(design, compute_format=PAPER_CFP)
+        runtime = InferenceRuntime(device, InferenceJobConfig(block_bytes=4096))
+        rng = np.random.default_rng(123)
+        data = rng.integers(0, 30, size=(300, 10)).astype(np.uint8)
+        device_out, _ = runtime.run(data)
+        twin = evaluate_spn_in_format(bench.spn, data.astype(np.float64), PAPER_CFP)
+        np.testing.assert_array_equal(device_out, twin)
+
+    def test_cfp_device_close_to_float64(self):
+        bench = nips_benchmark("NIPS10")
+        core = compile_core(bench.spn, "cfp")
+        design = compose_design(core, 1, XUPVVH_HBM_PLATFORM)
+        device = SimulatedDevice(design, compute_format=PAPER_CFP)
+        runtime = InferenceRuntime(device, InferenceJobConfig(block_bytes=4096))
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 30, size=(200, 10)).astype(np.uint8)
+        device_out, _ = runtime.run(data)
+        reference = log_likelihood(bench.spn, data.astype(np.float64))
+        assert np.max(np.abs(device_out - reference)) < 1e-5
+
+
+class TestDesVsAnalyticConsistency:
+    """The DES and the closed-form models must tell the same story."""
+
+    def test_pcie_bound_emerges_in_des(self):
+        from repro.platforms.specs import PCIE_GEN3_X16
+
+        bench = nips_benchmark("NIPS20")
+        core = compile_core(bench.spn, "cfp")
+        design = compose_design(core, 8, XUPVVH_HBM_PLATFORM)
+        device = SimulatedDevice(design)
+        runtime = InferenceRuntime(device, InferenceJobConfig(threads_per_pe=1))
+        measured = runtime.run_timing_only(4_000_000).samples_per_second
+        analytic = PCIE_GEN3_X16.bound_samples_per_second(
+            bench.input_bytes_per_sample, bench.result_bytes_per_sample
+        )
+        assert measured == pytest.approx(analytic, rel=0.05)
+
+    def test_compute_bound_emerges_in_des(self):
+        bench = nips_benchmark("NIPS10")
+        core = compile_core(bench.spn, "cfp")
+        design = compose_design(core, 1, XUPVVH_HBM_PLATFORM)
+        device = SimulatedDevice(design)
+        runtime = InferenceRuntime(device, InferenceJobConfig(threads_per_pe=1))
+        measured = runtime.run_on_device_only(2_000_000).samples_per_second
+        # Steady state: block_samples / (dispatch + block_samples/clock).
+        from repro.host.runtime import JOB_DISPATCH_OVERHEAD
+
+        block = runtime.samples_per_block
+        analytic = block / (JOB_DISPATCH_OVERHEAD + block / 225e6)
+        # The DES additionally pays first-burst load, pipeline fill and
+        # final store flush per block (~3%), so it runs slightly below.
+        assert measured == pytest.approx(analytic, rel=0.05)
+        assert measured < analytic
+
+
+class TestLnsOnDevice:
+    def test_lns_device_matches_lns_twin(self):
+        """The LNS datapath configuration runs end to end on the
+        simulated device (the [11] alternative format)."""
+        from repro.arith import PAPER_LNS
+
+        bench = nips_benchmark("NIPS10")
+        core = compile_core(bench.spn, "lns")
+        design = compose_design(core, 1, XUPVVH_HBM_PLATFORM)
+        device = SimulatedDevice(design, compute_format=PAPER_LNS)
+        runtime = InferenceRuntime(device, InferenceJobConfig(block_bytes=4096))
+        rng = np.random.default_rng(9)
+        data = rng.integers(0, 30, size=(150, 10)).astype(np.uint8)
+        device_out, _ = runtime.run(data)
+        twin = evaluate_spn_in_format(
+            bench.spn, data.astype(np.float64), PAPER_LNS,
+            missing_value=255.0,
+        )
+        np.testing.assert_array_equal(device_out, twin)
+        reference = log_likelihood(bench.spn, data.astype(np.float64))
+        assert np.max(np.abs(device_out - reference)) < 1e-3
+
+    def test_lns_design_uses_fewer_dsps(self):
+        bench = nips_benchmark("NIPS10")
+        lns = compose_design(compile_core(bench.spn, "lns"), 4, XUPVVH_HBM_PLATFORM)
+        cfp = compose_design(compile_core(bench.spn, "cfp"), 4, XUPVVH_HBM_PLATFORM)
+        assert lns.total_resources.dsp < 0.25 * cfp.total_resources.dsp
