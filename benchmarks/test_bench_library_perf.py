@@ -15,6 +15,9 @@ from repro.host import InferenceJobConfig, InferenceRuntime, SimulatedDevice
 from repro.platforms.specs import XUPVVH_HBM_PLATFORM
 from repro.sim import Engine
 from repro.spn import log_likelihood
+from repro.spn.inference import reference_node_log_values
+from repro.spn.plan import get_plan
+from repro.spn.plan_eval import plan_log_likelihood
 
 
 @pytest.fixture(scope="module")
@@ -31,8 +34,33 @@ def test_bench_vectorised_inference_nips80(benchmark, nips80_setup):
     result = benchmark(log_likelihood, spn, data)
     assert np.all(np.isfinite(result))
     samples_per_second = len(data) / benchmark.stats.stats.mean
-    # Regression floor (NIPS80 has ~600 nodes; one numpy op per node).
-    assert samples_per_second > 1e4
+    # Regression floor: log_likelihood now routes through the compiled
+    # plan backend, so the bar is 10x the old graph-walk floor.
+    assert samples_per_second > 1e5
+
+
+def test_bench_plan_vs_graph_walk_nips80(benchmark, nips80_setup):
+    """Compiled-plan speedup over the per-node reference walk.
+
+    Locks in the tentpole win: the plan evaluator must stay >= 5x
+    faster than the reference graph walk on the NIPS80 20k batch.
+    """
+    import time
+
+    spn, data = nips80_setup
+    plan = get_plan(spn)
+    root = spn.root.id
+
+    walk_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        walk_result = reference_node_log_values(spn, data)[root]
+        walk_seconds = min(walk_seconds, time.perf_counter() - start)
+
+    plan_result = benchmark(plan_log_likelihood, plan, data)
+    np.testing.assert_allclose(plan_result, walk_result, rtol=1e-10)
+    speedup = walk_seconds / benchmark.stats.stats.min
+    assert speedup >= 5.0, f"plan speedup regressed to {speedup:.2f}x"
 
 
 def test_bench_cfp_quantisation(benchmark):

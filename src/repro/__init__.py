@@ -46,11 +46,14 @@ from repro.spn import (
     learn_spn,
     likelihood,
     loads,
+    compile_plan,
+    get_plan,
     log_likelihood,
     marginal_log_likelihood,
     nips_benchmark,
     nips_spn,
     random_spn,
+    set_inference_backend,
 )
 
 # -- arithmetic formats -------------------------------------------------------
@@ -112,6 +115,9 @@ __all__ = [
     "GaussianLeaf",
     "CategoricalLeaf",
     "log_likelihood",
+    "compile_plan",
+    "get_plan",
+    "set_inference_backend",
     "likelihood",
     "marginal_log_likelihood",
     "learn_spn",

@@ -1,9 +1,11 @@
 """SPN evaluation under an emulated hardware number format.
 
 Mirrors the FPGA datapath's computation exactly, but in software: leaf
-lookups quantise their table entries to the target format, then the
-arithmetic tree is folded with the format's ``add``/``mul`` operators
-in the same left-to-right order the generated hardware tree uses.
+lookups quantise their table entries to the target format (the whole
+leaf stage is vectorised through the compiled inference plan's fused
+kernels), then the arithmetic tree is folded with the format's
+``add``/``mul`` operators in the same left-to-right order the
+generated hardware tree uses.
 
 The evaluation happens in the *linear* probability domain (as the CFP
 and posit datapaths do; the LNS datapath's log-domain behaviour is
@@ -22,6 +24,8 @@ from repro.arith.base import NumberFormat
 from repro.errors import SPNStructureError
 from repro.spn.graph import SPN
 from repro.spn.nodes import LeafNode, ProductNode, SumNode
+from repro.spn.plan import get_plan
+from repro.spn.plan_eval import plan_leaf_log_values
 
 __all__ = ["evaluate_spn_in_format"]
 
@@ -63,15 +67,16 @@ def evaluate_spn_in_format(
     if data.ndim != 2:
         raise SPNStructureError(f"data must be 2-D, got {data.ndim}-D")
 
+    # Leaf-probability stage through the compiled plan's fused kernels
+    # (one pass for all leaves); the interior fold below keeps the
+    # hardware tree's exact per-node left-to-right operator order.
+    leaf_logs = plan_leaf_log_values(
+        get_plan(spn), data, missing_value=missing_value
+    )
     values: Dict[int, np.ndarray] = {}
     for node in spn:
         if isinstance(node, LeafNode):
-            probs = np.exp(node.log_density(data[:, node.variable]))
-            if missing_value is not None:
-                probs = np.where(
-                    data[:, node.variable] == missing_value, 1.0, probs
-                )
-            values[node.id] = fmt.quantize(probs)
+            values[node.id] = fmt.quantize(np.exp(leaf_logs[node.id]))
         elif isinstance(node, ProductNode):
             acc = values[node.children[0].id]
             for child in node.children[1:]:

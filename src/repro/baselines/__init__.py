@@ -3,15 +3,16 @@
 Unlike the *analytic* platform models in :mod:`repro.platforms` (which
 reproduce the paper's Fig. 6 at the paper's hardware scale), these are
 real, runnable implementations measured on the local machine: the
-vectorised numpy batch-inference baseline (single- and multi-threaded)
-and a deliberately naive scalar reference used to validate everything
-else.
+plan-backed numpy batch-inference baseline (single-threaded,
+thread-pool, and process-pool sharded) and a deliberately naive scalar
+reference used to validate everything else.
 """
 
 from repro.baselines.cpu import (
     CpuBaselineResult,
     naive_log_likelihood,
     run_cpu_baseline,
+    run_sharded_cpu_baseline,
     run_threaded_cpu_baseline,
 )
 
@@ -20,4 +21,5 @@ __all__ = [
     "naive_log_likelihood",
     "run_cpu_baseline",
     "run_threaded_cpu_baseline",
+    "run_sharded_cpu_baseline",
 ]

@@ -1,35 +1,46 @@
 """Real CPU inference baselines (measured, not modelled).
 
-``run_cpu_baseline`` drives the vectorised log-domain evaluator over
-row batches (sized to stay cache-friendly, per the optimisation guide:
-vectorise, avoid copies, mind cache effects).  The threaded variant
-splits batches across a thread pool — numpy kernels drop the GIL, so
-real parallel speedup is available for large SPNs.
+``run_cpu_baseline`` drives the batch evaluator over row batches
+(sized to stay cache-friendly, per the optimisation guide: vectorise,
+avoid copies, mind cache effects).  By default batches run through the
+compiled tensorized plan backend (:mod:`repro.spn.plan_eval`); the
+``backend`` parameter selects the legacy per-node graph walk instead,
+which is what the plan-vs-legacy benchmarks compare against.
+
+The threaded variant splits batches across a thread pool — numpy
+kernels drop the GIL, so real parallel speedup is available for large
+SPNs.  ``run_sharded_cpu_baseline`` goes one step further for very
+large batches: it shards rows across a *process* pool (each worker
+compiles its own plan once via an initializer), sidestepping the
+per-chunk Python overhead that still serialises the thread pool.
 
 ``naive_log_likelihood`` is an intentionally simple per-sample,
 per-node scalar evaluator: far too slow for benchmarking, but an
-independent oracle the tests use to validate the vectorised path.
+independent oracle the tests use to validate the vectorised paths.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.errors import ReproError
 from repro.spn.graph import SPN
-from repro.spn.inference import log_likelihood
+from repro.spn.inference import reference_node_log_values
 from repro.spn.nodes import LeafNode, ProductNode, SumNode
+from repro.spn.plan import get_plan
+from repro.spn.plan_eval import plan_log_likelihood
 
 __all__ = [
     "CpuBaselineResult",
     "run_cpu_baseline",
     "run_threaded_cpu_baseline",
+    "run_sharded_cpu_baseline",
     "naive_log_likelihood",
 ]
 
@@ -58,18 +69,40 @@ def _check_data(data: np.ndarray) -> np.ndarray:
     return data
 
 
+def _batch_evaluator(spn: SPN, backend: str) -> Callable[[np.ndarray], np.ndarray]:
+    """Resolve *backend* to a ``chunk -> (batch,) log-likelihoods`` callable."""
+    if backend == "plan":
+        plan = get_plan(spn)
+        return lambda chunk: plan_log_likelihood(plan, chunk)
+    if backend == "reference":
+        return lambda chunk: reference_node_log_values(spn, chunk)[spn.root.id]
+    raise ReproError(
+        f"unknown baseline backend {backend!r}; pick 'plan' or 'reference'"
+    )
+
+
 def run_cpu_baseline(
-    spn: SPN, data: np.ndarray, *, batch_size: int = 8192
+    spn: SPN,
+    data: np.ndarray,
+    *,
+    batch_size: int = 8192,
+    backend: str = "plan",
 ) -> CpuBaselineResult:
-    """Single-threaded vectorised batch inference, wall-clock timed."""
+    """Single-threaded vectorised batch inference, wall-clock timed.
+
+    ``backend="plan"`` (default) evaluates through the compiled
+    tensorized plan; ``backend="reference"`` times the legacy per-node
+    graph walk for A/B comparison.
+    """
     if batch_size < 1:
         raise ReproError(f"batch_size must be >= 1, got {batch_size}")
     data = _check_data(data)
+    evaluate = _batch_evaluator(spn, backend)
     out = np.empty(data.shape[0], dtype=np.float64)
     start = time.perf_counter()
     for begin in range(0, data.shape[0], batch_size):
         chunk = data[begin: begin + batch_size]
-        out[begin: begin + len(chunk)] = log_likelihood(spn, chunk)
+        out[begin: begin + len(chunk)] = evaluate(chunk)
     elapsed = time.perf_counter() - start
     return CpuBaselineResult(out, data.shape[0], elapsed, n_threads=1)
 
@@ -80,6 +113,7 @@ def run_threaded_cpu_baseline(
     *,
     n_threads: int = 4,
     batch_size: int = 8192,
+    backend: str = "plan",
 ) -> CpuBaselineResult:
     """Thread-pool batch inference (numpy kernels release the GIL)."""
     if n_threads < 1:
@@ -87,6 +121,7 @@ def run_threaded_cpu_baseline(
     if batch_size < 1:
         raise ReproError(f"batch_size must be >= 1, got {batch_size}")
     data = _check_data(data)
+    evaluate = _batch_evaluator(spn, backend)
     out = np.empty(data.shape[0], dtype=np.float64)
     ranges = [
         (begin, min(begin + batch_size, data.shape[0]))
@@ -95,13 +130,77 @@ def run_threaded_cpu_baseline(
 
     def work(span):
         begin, end = span
-        out[begin:end] = log_likelihood(spn, data[begin:end])
+        out[begin:end] = evaluate(data[begin:end])
 
     start = time.perf_counter()
     with ThreadPoolExecutor(max_workers=n_threads) as pool:
         list(pool.map(work, ranges))
     elapsed = time.perf_counter() - start
     return CpuBaselineResult(out, data.shape[0], elapsed, n_threads=n_threads)
+
+
+# Per-worker state for the sharded runner: the SPN arrives once via the
+# pool initializer and each worker compiles (or fork-inherits) its plan.
+_WORKER_SPN: Optional[SPN] = None
+
+
+def _sharded_worker_init(spn: SPN) -> None:
+    """Process-pool initializer: stash the SPN and precompile its plan."""
+    global _WORKER_SPN
+    _WORKER_SPN = spn
+    get_plan(spn)
+
+
+def _sharded_worker_eval(shard: np.ndarray) -> np.ndarray:
+    """Evaluate one row shard inside a worker process."""
+    assert _WORKER_SPN is not None, "worker pool initializer did not run"
+    return plan_log_likelihood(get_plan(_WORKER_SPN), shard)
+
+
+def run_sharded_cpu_baseline(
+    spn: SPN,
+    data: np.ndarray,
+    *,
+    n_workers: int = 4,
+    n_shards: Optional[int] = None,
+) -> CpuBaselineResult:
+    """Process-pool sharded plan inference for very large batches.
+
+    Rows are split into ``n_shards`` (default ``n_workers``) contiguous
+    shards and fanned out over a :class:`ProcessPoolExecutor`; each
+    worker holds its own compiled plan (set up once in the pool
+    initializer), so no GIL or shared-cache contention remains.  The
+    per-process spawn cost is only worth paying for batches in the
+    hundreds of thousands of rows; below that, prefer
+    :func:`run_threaded_cpu_baseline`.
+    """
+    if n_workers < 1:
+        raise ReproError(f"n_workers must be >= 1, got {n_workers}")
+    data = _check_data(data)
+    if n_shards is None:
+        n_shards = n_workers
+    if n_shards < 1:
+        raise ReproError(f"n_shards must be >= 1, got {n_shards}")
+    bounds = np.linspace(0, data.shape[0], n_shards + 1).astype(np.int64)
+    spans = [
+        (int(bounds[i]), int(bounds[i + 1]))
+        for i in range(n_shards)
+        if bounds[i + 1] > bounds[i]
+    ]
+    out = np.empty(data.shape[0], dtype=np.float64)
+    start = time.perf_counter()
+    with ProcessPoolExecutor(
+        max_workers=n_workers,
+        initializer=_sharded_worker_init,
+        initargs=(spn,),
+    ) as pool:
+        shards = pool.map(
+            _sharded_worker_eval, (data[b:e] for b, e in spans)
+        )
+        for (begin, end), shard_out in zip(spans, shards):
+            out[begin:end] = shard_out
+    elapsed = time.perf_counter() - start
+    return CpuBaselineResult(out, data.shape[0], elapsed, n_threads=n_workers)
 
 
 def naive_log_likelihood(spn: SPN, data: np.ndarray) -> np.ndarray:

@@ -5,8 +5,8 @@ Usage::
     python -m repro <artifact> [options]
 
 where ``<artifact>`` is one of ``fig2``, ``table1``, ``fig4``,
-``fig5``, ``fig6``, ``speedups``, ``outlook``, ``ablations`` or
-``all``.  Each command prints the same rows/series the paper reports
+``fig5``, ``fig6``, ``speedups``, ``outlook``, ``ablations``,
+``plans`` or ``all``.  Each command prints the same rows/series the paper reports
 (see EXPERIMENTS.md for the interpretation).
 """
 
@@ -84,6 +84,13 @@ def _cmd_roofline(args) -> str:
     return format_roofline(run_roofline())
 
 
+def _cmd_plans(args) -> str:
+    from repro.experiments import format_plan_speedup, run_plan_speedup
+
+    n_samples = max(args.samples // 25, 1000)
+    return format_plan_speedup(run_plan_speedup(n_samples=n_samples))
+
+
 def _cmd_ablations(args) -> str:
     from repro.experiments.ablations import (
         format_ablation,
@@ -111,6 +118,7 @@ _COMMANDS: Dict[str, Callable] = {
     "formats": _cmd_formats,
     "sensitivity": _cmd_sensitivity,
     "roofline": _cmd_roofline,
+    "plans": _cmd_plans,
 }
 
 

@@ -15,6 +15,10 @@ records paper-vs-measured for each.
 | Fig. 6 (end-to-end platform compare)   | :mod:`repro.experiments.fig6_end_to_end` |
 | §V-C PCIe outlook                      | :mod:`repro.experiments.pcie_outlook` |
 | §V-D speedups + streaming perspective  | :mod:`repro.experiments.speedups` |
+
+Beyond the paper's artifacts, :mod:`repro.experiments.plan_speedup`
+measures the software-side compiled-plan vs graph-walk speedup on the
+local machine.
 """
 
 from repro.experiments.reference import PAPER
@@ -29,6 +33,7 @@ from repro.experiments.speedups import geometric_mean, run_speedups, format_spee
 from repro.experiments.format_comparison import run_format_comparison, format_format_comparison
 from repro.experiments.sensitivity import run_sensitivity, format_sensitivity
 from repro.experiments.roofline import run_roofline, format_roofline
+from repro.experiments.plan_speedup import run_plan_speedup, format_plan_speedup
 from repro.experiments.ablations import (
     run_block_size_ablation,
     run_thread_ablation,
@@ -65,4 +70,6 @@ __all__ = [
     "format_sensitivity",
     "run_roofline",
     "format_roofline",
+    "run_plan_speedup",
+    "format_plan_speedup",
 ]

@@ -9,7 +9,8 @@ The package provides:
 * node types and a validated graph container (:mod:`repro.spn.nodes`,
   :mod:`repro.spn.graph`),
 * vectorised log-domain batch inference and marginal queries
-  (:mod:`repro.spn.inference`),
+  (:mod:`repro.spn.inference`), compiled by default into cached
+  tensorized plans (:mod:`repro.spn.plan`, :mod:`repro.spn.plan_eval`),
 * an SPFlow-compatible textual serialisation (:mod:`repro.spn.text_format`),
 * LearnSPN-style structure learning over histogram leaves
   (:mod:`repro.spn.learning`),
@@ -31,11 +32,23 @@ from repro.spn.nodes import (
 from repro.spn.graph import SPN
 from repro.spn.inference import (
     MISSING_VALUE,
+    get_inference_backend,
     likelihood,
     log_likelihood,
     log_likelihood_with_missing,
     marginal_log_likelihood,
+    node_log_values,
+    reference_node_log_values,
+    set_inference_backend,
 )
+from repro.spn.plan import (
+    InferencePlan,
+    clear_plan_cache,
+    compile_plan,
+    get_plan,
+    plan_cache_info,
+)
+from repro.spn.plan_eval import evaluate_plan, plan_log_likelihood
 from repro.spn.text_format import dumps, loads, dump, load
 from repro.spn.learning import LearnSPNConfig, learn_spn
 from repro.spn.random_gen import random_spn
@@ -60,6 +73,17 @@ __all__ = [
     "marginal_log_likelihood",
     "log_likelihood_with_missing",
     "MISSING_VALUE",
+    "node_log_values",
+    "reference_node_log_values",
+    "set_inference_backend",
+    "get_inference_backend",
+    "InferencePlan",
+    "compile_plan",
+    "get_plan",
+    "clear_plan_cache",
+    "plan_cache_info",
+    "evaluate_plan",
+    "plan_log_likelihood",
     "dumps",
     "loads",
     "dump",

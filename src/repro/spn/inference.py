@@ -3,13 +3,24 @@
 Inference on a valid SPN is one bottom-up pass: leaves evaluate their
 log-density on their variable's column, product nodes add child
 log-values, and sum nodes compute a log-sum-exp of weighted children.
-The pass is vectorised over the *batch* dimension — exactly the
-embarrassingly parallel structure the paper's accelerator exploits —
-so a batch of N samples costs one numpy op per node instead of N.
+
+Two backends implement the pass:
+
+* **plan** (default) — a compiled, cached tensorized plan
+  (:mod:`repro.spn.plan` / :mod:`repro.spn.plan_eval`): the SPN is
+  flattened once into layered CSR buffers and fused leaf-table blocks,
+  then a batch evaluates with a handful of segment-reduction kernels
+  instead of one numpy op per node.  Plans are cached per SPN and
+  invalidated by content fingerprint on mutation.
+* **reference** — the direct per-node graph walk
+  (:func:`reference_node_log_values`), kept as the slow-path oracle
+  the tests compare the plan against, and selectable globally with
+  :func:`set_inference_backend`.
 
 Marginal queries (integrating out a subset of variables) follow the
 standard SPN rule: a marginalised leaf evaluates to probability 1
-(log 0.0), which a bottom-up pass then propagates.
+(log 0.0), which a bottom-up pass then propagates.  Per-sample missing
+features use the same rule elementwise.
 
 All public functions accept data as a ``(batch, n_variables)`` float
 array whose column *i* holds variable *i*.
@@ -21,9 +32,11 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import SPNStructureError
+from repro.errors import ReproError, SPNStructureError
 from repro.spn.graph import SPN
 from repro.spn.nodes import LeafNode, ProductNode, SumNode
+from repro.spn.plan import get_plan
+from repro.spn.plan_eval import plan_log_likelihood, plan_node_log_values
 
 __all__ = [
     "log_likelihood",
@@ -32,6 +45,9 @@ __all__ = [
     "log_likelihood_with_missing",
     "MISSING_VALUE",
     "node_log_values",
+    "reference_node_log_values",
+    "set_inference_backend",
+    "get_inference_backend",
 ]
 
 #: Sentinel feature value meaning "this feature is missing" in
@@ -39,6 +55,27 @@ __all__ = [
 #: the all-ones byte for it (255 is outside every benchmark's count
 #: range), so missing-feature queries ship over the same wire format.
 MISSING_VALUE = 255.0
+
+_BACKENDS = ("plan", "reference")
+_backend = "plan"
+
+
+def set_inference_backend(backend: str) -> None:
+    """Select the process-wide inference backend.
+
+    ``"plan"`` (default) routes every public query through the compiled
+    tensorized plans; ``"reference"`` restores the per-node graph walk
+    (the validation oracle).  Mainly useful for tests and A/B timing.
+    """
+    global _backend
+    if backend not in _BACKENDS:
+        raise ReproError(f"unknown inference backend {backend!r}; pick from {_BACKENDS}")
+    _backend = backend
+
+
+def get_inference_backend() -> str:
+    """The currently selected inference backend name."""
+    return _backend
 
 
 def _as_batch(data: np.ndarray, n_variables: int) -> np.ndarray:
@@ -65,16 +102,19 @@ def _logsumexp_weighted(child_lls: np.ndarray, log_weights: np.ndarray) -> np.nd
     return out
 
 
-def node_log_values(
+def reference_node_log_values(
     spn: SPN,
     data: np.ndarray,
     marginalized: Optional[Sequence[int]] = None,
+    missing_mask: Optional[np.ndarray] = None,
 ) -> Dict[int, np.ndarray]:
-    """Bottom-up pass returning the log-value of *every* node.
+    """The single reference bottom-up traversal (slow-path oracle).
 
-    Used by inference, by the hardware functional model (which compares
-    per-node values between float64 and the emulated FPGA arithmetic),
-    and by tests.
+    This is the direct per-node graph walk every optimised backend is
+    validated against.  It handles both query flavours in one pass:
+    *marginalized* integrates out a variable subset for the whole
+    batch, while *missing_mask* (a ``(batch, n_variables)`` boolean
+    array) marginalises entries elementwise — per sample, per feature.
 
     Parameters
     ----------
@@ -85,6 +125,9 @@ def node_log_values(
     marginalized:
         Variable indices to integrate out; their leaves contribute
         log 1 = 0.
+    missing_mask:
+        Boolean mask aligned with *data*; True entries are treated as
+        missing (their leaf contributes log 1 for that sample only).
 
     Returns
     -------
@@ -103,13 +146,16 @@ def node_log_values(
         if isinstance(node, LeafNode):
             if node.variable in marg:
                 values[node.id] = np.zeros(batch, dtype=np.float64)
-            else:
-                values[node.id] = node.log_density(data[:, node.variable])
+                continue
+            dens = node.log_density(data[:, node.variable])
+            if missing_mask is not None:
+                dens = np.where(missing_mask[:, node.variable], 0.0, dens)
+            values[node.id] = dens
         elif isinstance(node, ProductNode):
-            acc = values[node.children[0].id].copy()
-            for child in node.children[1:]:
-                acc += values[child.id]
-            values[node.id] = acc
+            # One stacked sum instead of a copy-then-accumulate loop.
+            values[node.id] = np.sum(
+                np.stack([values[c.id] for c in node.children], axis=0), axis=0
+            )
         elif isinstance(node, SumNode):
             child_lls = np.stack([values[c.id] for c in node.children], axis=1)
             values[node.id] = _logsumexp_weighted(child_lls, node.log_weights)
@@ -118,9 +164,44 @@ def node_log_values(
     return values
 
 
+def node_log_values(
+    spn: SPN,
+    data: np.ndarray,
+    marginalized: Optional[Sequence[int]] = None,
+) -> Dict[int, np.ndarray]:
+    """Bottom-up pass returning the log-value of *every* node.
+
+    Used by inference, by the hardware functional model (which compares
+    per-node values between float64 and the emulated FPGA arithmetic),
+    and by tests.  Evaluates through the compiled-plan backend by
+    default (scattering the plan's value matrix back into the dict
+    contract); :func:`set_inference_backend` selects the reference
+    graph walk instead.
+
+    Parameters
+    ----------
+    spn:
+        The network to evaluate.
+    data:
+        ``(batch, n_variables)`` array; ``data[:, v]`` is variable *v*.
+    marginalized:
+        Variable indices to integrate out; their leaves contribute
+        log 1 = 0.
+
+    Returns
+    -------
+    Mapping from node id to a ``(batch,)`` array of log-values.
+    """
+    if _backend == "reference":
+        return reference_node_log_values(spn, data, marginalized)
+    return plan_node_log_values(get_plan(spn), data, marginalized=marginalized)
+
+
 def log_likelihood(spn: SPN, data: np.ndarray) -> np.ndarray:
     """Joint log-likelihood of each batch row under the SPN."""
-    return node_log_values(spn, data)[spn.root.id]
+    if _backend == "reference":
+        return reference_node_log_values(spn, data)[spn.root.id]
+    return plan_log_likelihood(get_plan(spn), data)
 
 
 def likelihood(spn: SPN, data: np.ndarray) -> np.ndarray:
@@ -137,7 +218,9 @@ def marginal_log_likelihood(
     query costs exactly one bottom-up pass regardless of which subset is
     marginalised.
     """
-    return node_log_values(spn, data, marginalized=marginalized)[spn.root.id]
+    if _backend == "reference":
+        return reference_node_log_values(spn, data, marginalized)[spn.root.id]
+    return plan_log_likelihood(get_plan(spn), data, marginalized=marginalized)
 
 
 def log_likelihood_with_missing(
@@ -153,22 +236,10 @@ def log_likelihood_with_missing(
     batch), the mask here is elementwise; the cost is still a single
     vectorised bottom-up pass.
     """
-    data = _as_batch(np.asarray(data, dtype=np.float64), max(spn.scope) + 1)
-    missing = data == missing_value
-    batch = data.shape[0]
-    values: Dict[int, np.ndarray] = {}
-    for node in spn:
-        if isinstance(node, LeafNode):
-            dens = node.log_density(data[:, node.variable])
-            values[node.id] = np.where(missing[:, node.variable], 0.0, dens)
-        elif isinstance(node, ProductNode):
-            acc = values[node.children[0].id].copy()
-            for child in node.children[1:]:
-                acc += values[child.id]
-            values[node.id] = acc
-        elif isinstance(node, SumNode):
-            child_lls = np.stack([values[c.id] for c in node.children], axis=1)
-            values[node.id] = _logsumexp_weighted(child_lls, node.log_weights)
-        else:  # pragma: no cover - graph validation rules this out
-            raise SPNStructureError(f"unknown node type {type(node).__name__}")
-    return values[spn.root.id]
+    if _backend == "reference":
+        data = _as_batch(np.asarray(data, dtype=np.float64), max(spn.scope) + 1)
+        missing = data == missing_value
+        return reference_node_log_values(spn, data, missing_mask=missing)[spn.root.id]
+    return plan_log_likelihood(
+        get_plan(spn), data, missing_value=float(missing_value)
+    )

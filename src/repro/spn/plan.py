@@ -1,0 +1,566 @@
+"""Compiled inference plans: flatten an SPN into layered CSR buffers.
+
+The per-node graph walk in :mod:`repro.spn.inference` evaluates one
+tiny numpy op per node — ~600 Python iterations and dict lookups per
+batch on NIPS80.  The paper's whole premise is that SPN inference is a
+*fixed dataflow* that can be compiled once and then streamed at memory
+bandwidth; this module is the software form of that move (the same one
+HBM spMV accelerators make): a one-time pass flattens the DAG into
+
+* **leaf blocks** — grouped per leaf family.  Unit-bin histogram
+  leaves (the paper's Mixed-SPN case) are fused into *per-variable
+  composite tables*: one table per variable whose rows span the union
+  of that variable's leaf supports (plus two sentinel rows for
+  out-of-support values) and whose columns are the variable's leaves,
+  with each leaf's support clipping and probability floor folded into
+  the table content.  The whole block then evaluates as one int32
+  row-code per variable followed by one flat-table gather — the
+  software image of the FPGA's BRAM lookup.  Gaussian and categorical
+  leaves fuse into closed-form / LUT blocks; anything else falls back
+  to a per-leaf block.
+* **topologically layered CSR buffers** — per layer, per node kind,
+  ``(indptr, child_rows, log_weights)`` triples that drive
+  segment-reduction kernels (:mod:`repro.spn.plan_eval`).
+
+The value matrix is laid out ``(n_nodes, batch)`` with leaves first
+and each layer's nodes on contiguous rows, so every kernel writes a
+contiguous slab and — whenever a layer's children happen to be a
+contiguous row run (always true for tree-structured SPNs) — the
+segment reduction runs directly on a slice with no gather at all.
+
+Plans are cached per-SPN in a :class:`weakref.WeakKeyDictionary` keyed
+by the graph object, with a content *fingerprint* (structure + all
+parameters) checked on every lookup so a mutated network never reuses
+a stale plan.  :func:`get_plan` is the only entry point the evaluator
+needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SPNStructureError
+from repro.spn.graph import SPN
+from repro.spn.nodes import (
+    CategoricalLeaf,
+    GaussianLeaf,
+    HistogramLeaf,
+    LeafNode,
+    Node,
+    ProductNode,
+    SumNode,
+)
+
+__all__ = [
+    "HistogramLeafBlock",
+    "GaussianLeafBlock",
+    "CategoricalLeafBlock",
+    "GenericLeafBlock",
+    "CsrLayer",
+    "InferencePlan",
+    "compile_plan",
+    "plan_fingerprint",
+    "get_plan",
+    "clear_plan_cache",
+    "plan_cache_info",
+]
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+#: Largest union-domain span (rows) a variable's composite histogram
+#: table may use; leaves on wider domains take the generic path so a
+#: single outlier leaf cannot blow the table up.
+MAX_COMPOSITE_DOMAIN = 4096
+
+
+@dataclass(frozen=True)
+class HistogramLeafBlock:
+    """Unit-bin histogram leaves fused via per-variable composite tables.
+
+    For each variable the block holds a ``(domain + 2, n_leaves_of_var)``
+    slab inside the flat :attr:`table`: row 0 and the last row are
+    sentinels (every leaf's ``log(floor)``), interior row *r* holds each
+    leaf's log-density at integer value ``domain_lo + r - 1`` with the
+    leaf's own support clipping already applied.  Evaluation is then
+    ``table[row_code[variable] + column]`` — one gather per (sample,
+    leaf), with the row code shared by all leaves of a variable.
+    """
+
+    #: First value-matrix row of the block (rows are contiguous).
+    row_start: int
+    #: Data column (variable index) read by each leaf, in block order.
+    variables: np.ndarray
+    #: Flat-table column offset of each leaf inside its variable slab.
+    columns: np.ndarray
+    #: Per data column: ``domain_lo - 1`` (clip floor, sentinel row 0).
+    code_lo: np.ndarray
+    #: Per data column: ``domain_hi`` (clip ceiling, last sentinel row).
+    code_hi: np.ndarray
+    #: Per data column: leaves in the variable's slab (row stride).
+    code_scale: np.ndarray
+    #: Per data column: flat offset of the variable's slab in the table.
+    code_base: np.ndarray
+    #: Concatenated per-variable composite log-density tables.
+    table: np.ndarray
+
+    def __len__(self) -> int:
+        """Number of leaves in the block."""
+        return len(self.variables)
+
+
+@dataclass(frozen=True)
+class GaussianLeafBlock:
+    """Gaussian leaves, fused into one closed-form vector expression."""
+
+    #: First value-matrix row of the block (rows are contiguous).
+    row_start: int
+    #: Data column (variable index) read by each leaf.
+    variables: np.ndarray
+    #: Mean per leaf.
+    means: np.ndarray
+    #: Standard deviation per leaf.
+    stdevs: np.ndarray
+    #: Precomputed ``-log(stdev) - 0.5*log(2*pi)`` per leaf.
+    log_norm: np.ndarray
+
+    def __len__(self) -> int:
+        """Number of leaves in the block."""
+        return len(self.variables)
+
+
+@dataclass(frozen=True)
+class CategoricalLeafBlock:
+    """Categorical leaves, fused into one flat-table gather."""
+
+    #: First value-matrix row of the block (rows are contiguous).
+    row_start: int
+    #: Data column (variable index) read by each leaf.
+    variables: np.ndarray
+    #: Category count per leaf.
+    n_categories: np.ndarray
+    #: Offset of each leaf's categories inside :attr:`table`.
+    table_offsets: np.ndarray
+    #: Concatenated per-category log-probabilities (floor applied).
+    table: np.ndarray
+    #: ``log(floor)`` fallback per leaf for out-of-range values.
+    log_floor: np.ndarray
+
+    def __len__(self) -> int:
+        """Number of leaves in the block."""
+        return len(self.variables)
+
+
+@dataclass(frozen=True)
+class GenericLeafBlock:
+    """Fallback for leaves without a fused kernel (e.g. irregular bins).
+
+    Evaluated one leaf at a time through ``leaf.log_density`` — the
+    same cost as the legacy walk, but only for the (typically few)
+    leaves that do not fit a vectorised family.
+    """
+
+    #: First value-matrix row of the block (rows are contiguous).
+    row_start: int
+    #: Data column (variable index) read by each leaf.
+    variables: np.ndarray
+    #: The leaf node objects themselves, in block order.
+    leaves: Tuple[LeafNode, ...]
+
+    def __len__(self) -> int:
+        """Number of leaves in the block."""
+        return len(self.variables)
+
+
+@dataclass(frozen=True)
+class CsrLayer:
+    """One topological layer of same-kind interior nodes in CSR form.
+
+    Nodes in a layer depend only on strictly lower layers, so the whole
+    layer evaluates as one segment-reduction over the child rows:
+    ``add.reduceat`` for products, a segment-wise stable log-sum-exp
+    for sums.  When the children occupy one contiguous row run (true
+    for every tree-structured SPN) the reduction runs on a slice of the
+    value matrix directly, skipping the gather.
+    """
+
+    #: ``"product"`` or ``"sum"``.
+    kind: str
+    #: First value-matrix row this layer writes (rows are contiguous).
+    row_start: int
+    #: Number of nodes in the layer.
+    n_nodes: int
+    #: CSR row pointer, length ``n_nodes + 1``.
+    indptr: np.ndarray
+    #: Concatenated child value-matrix rows (CSR column indices).
+    child_rows: np.ndarray
+    #: Children per node (``diff(indptr)``), kept for ``np.repeat``.
+    counts: np.ndarray
+    #: True when :attr:`child_rows` is ``arange(child_rows[0], ...)``.
+    contiguous: bool
+    #: Concatenated log mixture weights (sum layers only, else None).
+    log_weights: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        """Number of nodes in the layer."""
+        return self.n_nodes
+
+
+@dataclass(frozen=True)
+class InferencePlan:
+    """A compiled, immutable evaluation schedule for one SPN.
+
+    The value matrix the evaluator fills is ``(n_nodes, batch)`` with
+    row *i* holding the log-values of the node at plan position *i*
+    (:attr:`node_ids` maps rows back to node ids for the
+    ``node_log_values`` dict contract).  Leaves occupy rows
+    ``[0, n_leaves)``; each interior layer gets a contiguous row run
+    above its children.
+    """
+
+    #: Name of the source SPN (reports/debugging).
+    name: str
+    #: Total node count == value-matrix height.
+    n_nodes: int
+    #: Minimum data width (``max(scope) + 1``) the evaluator requires.
+    n_data_columns: int
+    #: Node id at each value-matrix row.
+    node_ids: np.ndarray
+    #: Value-matrix row of the root node.
+    root_row: int
+    #: The network scope, for marginal-query validation.
+    scope: frozenset
+    #: Number of leaves (rows ``[0, n_leaves)`` of the value matrix).
+    n_leaves: int
+    #: Variable index of every leaf, aligned with its row.
+    leaf_variables: np.ndarray
+    #: Fused unit-bin histogram leaves (None when absent).
+    histogram_block: Optional[HistogramLeafBlock]
+    #: Fused Gaussian leaves (None when absent).
+    gaussian_block: Optional[GaussianLeafBlock]
+    #: Fused categorical leaves (None when absent).
+    categorical_block: Optional[CategoricalLeafBlock]
+    #: Per-leaf fallback block (None when absent).
+    generic_block: Optional[GenericLeafBlock]
+    #: Interior CSR layers in evaluation order.
+    layers: Tuple[CsrLayer, ...] = field(default=())
+
+    @property
+    def n_layers(self) -> int:
+        """Number of interior CSR layers."""
+        return len(self.layers)
+
+    def leaf_blocks(self):
+        """The non-empty leaf blocks, fused families first."""
+        blocks = (
+            self.histogram_block,
+            self.gaussian_block,
+            self.categorical_block,
+            self.generic_block,
+        )
+        return [b for b in blocks if b is not None]
+
+
+def _is_unit_bin_histogram(leaf: HistogramLeaf) -> bool:
+    """True when the breaks are consecutive integers (LUT-indexable)."""
+    breaks = leaf.breaks
+    return bool(
+        np.all(np.diff(breaks) == 1.0) and np.all(breaks == np.rint(breaks))
+    )
+
+
+def _int_array(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.int64)
+
+
+def _f64_array(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.float64)
+
+
+def _build_histogram_block(
+    hist: List[HistogramLeaf], row_start: int, n_data_columns: int
+) -> HistogramLeafBlock:
+    """Fuse unit-bin histogram leaves into per-variable composite tables."""
+    by_var: Dict[int, List[int]] = {}
+    for i, leaf in enumerate(hist):
+        by_var.setdefault(leaf.variable, []).append(i)
+
+    code_lo = np.zeros(n_data_columns)
+    code_hi = np.zeros(n_data_columns)
+    code_scale = np.zeros(n_data_columns)
+    code_base = np.zeros(n_data_columns)
+    columns = np.zeros(len(hist), dtype=np.intp)
+    tables: List[np.ndarray] = []
+    base = 0
+    for var in sorted(by_var):
+        members = by_var[var]
+        lows = [int(hist[i].breaks[0]) for i in members]
+        highs = [int(hist[i].breaks[-1]) for i in members]
+        dom_lo, dom_hi = min(lows), max(highs)
+        n_rows = dom_hi - dom_lo + 2  # domain + below/above sentinels
+        k = len(members)
+        slab = np.empty((n_rows, k))
+        for col, i in enumerate(members):
+            leaf = hist[i]
+            log_floor = np.log(leaf.floor)
+            slab[:, col] = log_floor
+            offset = int(leaf.breaks[0]) - dom_lo + 1
+            slab[offset: offset + leaf.n_bins, col] = leaf.bin_log_probs()
+            columns[i] = col
+        # Row code: (clip(floor(x), dom_lo-1, dom_hi) - (dom_lo-1)) * k
+        # + base selects the slab row; adding the leaf column finishes
+        # the flat index.  Sentinel rows catch everything out of domain.
+        code_lo[var] = dom_lo - 1
+        code_hi[var] = dom_hi
+        code_scale[var] = k
+        code_base[var] = base
+        tables.append(slab.reshape(-1))
+        base += n_rows * k
+
+    return HistogramLeafBlock(
+        row_start=row_start,
+        variables=_int_array([n.variable for n in hist]),
+        columns=columns,
+        code_lo=code_lo,
+        code_hi=code_hi,
+        code_scale=code_scale,
+        code_base=code_base,
+        table=np.concatenate(tables),
+    )
+
+
+def compile_plan(spn: SPN) -> InferencePlan:
+    """Flatten *spn* into an :class:`InferencePlan` (one-time pass).
+
+    Leaves are grouped by family into fused blocks; interior nodes are
+    assigned topological levels (``level = 1 + max(child levels)``) and
+    emitted as per-level, per-kind CSR layers whose nodes are mutually
+    independent by construction.
+    """
+    order = spn.nodes
+    n_data_columns = (max(spn.scope) + 1) if spn.scope else 0
+
+    level: Dict[int, int] = {}
+    for node in order:
+        if node.children:
+            level[node.id] = 1 + max(level[c.id] for c in node.children)
+        else:
+            level[node.id] = 0
+
+    # Union-domain width per variable, to keep composite tables bounded.
+    span: Dict[int, Tuple[int, int]] = {}
+    for node in order:
+        if isinstance(node, HistogramLeaf) and _is_unit_bin_histogram(node):
+            lo, hi = int(node.breaks[0]), int(node.breaks[-1])
+            old = span.get(node.variable)
+            span[node.variable] = (
+                (lo, hi) if old is None else (min(old[0], lo), max(old[1], hi))
+            )
+
+    hist: List[HistogramLeaf] = []
+    gauss: List[GaussianLeaf] = []
+    cat: List[CategoricalLeaf] = []
+    generic: List[LeafNode] = []
+    interior: Dict[Tuple[int, str], List[Node]] = {}
+    for node in order:
+        if isinstance(node, LeafNode):
+            if (
+                isinstance(node, HistogramLeaf)
+                and _is_unit_bin_histogram(node)
+                and span[node.variable][1] - span[node.variable][0]
+                <= MAX_COMPOSITE_DOMAIN
+            ):
+                hist.append(node)
+            elif isinstance(node, GaussianLeaf):
+                gauss.append(node)
+            elif isinstance(node, CategoricalLeaf):
+                cat.append(node)
+            else:
+                generic.append(node)
+        elif isinstance(node, (ProductNode, SumNode)):
+            key = (level[node.id], node.kind)
+            interior.setdefault(key, []).append(node)
+        else:  # pragma: no cover - graph validation rules this out
+            raise SPNStructureError(f"unknown node type {type(node).__name__}")
+
+    # Row assignment: leaf families first (in DFS order inside each
+    # family, which keeps a tree product's children adjacent), then the
+    # interior layers bottom-up.
+    row: Dict[int, int] = {}
+    ordered_leaves: List[LeafNode] = []
+    next_row = 0
+    for family in (hist, gauss, cat, generic):
+        for leaf in family:
+            row[leaf.id] = next_row
+            ordered_leaves.append(leaf)
+            next_row += 1
+
+    histogram_block = (
+        _build_histogram_block(hist, 0, n_data_columns) if hist else None
+    )
+
+    gaussian_block = None
+    if gauss:
+        stdevs = _f64_array([n.stdev for n in gauss])
+        gaussian_block = GaussianLeafBlock(
+            row_start=row[gauss[0].id],
+            variables=_int_array([n.variable for n in gauss]),
+            means=_f64_array([n.mean for n in gauss]),
+            stdevs=stdevs,
+            log_norm=-np.log(stdevs) - 0.5 * _LOG_2PI,
+        )
+
+    categorical_block = None
+    if cat:
+        tables = [np.log(np.maximum(n.probabilities, n.floor)) for n in cat]
+        sizes = _int_array([len(t) for t in tables])
+        offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        categorical_block = CategoricalLeafBlock(
+            row_start=row[cat[0].id],
+            variables=_int_array([n.variable for n in cat]),
+            n_categories=_f64_array([n.n_categories for n in cat]),
+            table_offsets=offsets,
+            table=np.concatenate(tables),
+            log_floor=np.log(_f64_array([n.floor for n in cat])),
+        )
+
+    generic_block = None
+    if generic:
+        generic_block = GenericLeafBlock(
+            row_start=row[generic[0].id],
+            variables=_int_array([n.variable for n in generic]),
+            leaves=tuple(generic),
+        )
+
+    layers: List[CsrLayer] = []
+    interior_nodes: List[Node] = []
+    for lvl, kind in sorted(interior):
+        nodes = interior[(lvl, kind)]
+        start = next_row
+        for node in nodes:
+            row[node.id] = next_row
+            next_row += 1
+        counts = _int_array([len(n.children) for n in nodes])
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        child_rows = _int_array([row[c.id] for n in nodes for c in n.children])
+        contiguous = bool(
+            np.array_equal(
+                child_rows,
+                np.arange(child_rows[0], child_rows[0] + len(child_rows)),
+            )
+        )
+        log_weights = None
+        if kind == "sum":
+            log_weights = np.concatenate([n.log_weights for n in nodes])
+        layers.append(
+            CsrLayer(
+                kind=kind,
+                row_start=start,
+                n_nodes=len(nodes),
+                indptr=indptr,
+                child_rows=child_rows,
+                counts=counts,
+                contiguous=contiguous,
+                log_weights=log_weights,
+            )
+        )
+        interior_nodes.extend(nodes)
+
+    all_nodes = ordered_leaves + interior_nodes
+    return InferencePlan(
+        name=spn.name,
+        n_nodes=len(order),
+        n_data_columns=n_data_columns,
+        node_ids=_int_array([n.id for n in all_nodes]),
+        root_row=row[spn.root.id],
+        scope=frozenset(spn.scope),
+        n_leaves=len(ordered_leaves),
+        leaf_variables=_int_array([n.variable for n in ordered_leaves]),
+        histogram_block=histogram_block,
+        gaussian_block=gaussian_block,
+        categorical_block=categorical_block,
+        generic_block=generic_block,
+        layers=tuple(layers),
+    )
+
+
+def _hash_value(h, value) -> None:
+    """Feed one node attribute into the fingerprint hash."""
+    if isinstance(value, np.ndarray):
+        h.update(b"a")
+        h.update(value.tobytes())
+    elif isinstance(value, float):
+        h.update(struct.pack("<d", value))
+    elif isinstance(value, int):
+        h.update(struct.pack("<q", value))
+    elif isinstance(value, str):
+        h.update(value.encode())
+    else:
+        h.update(repr(value).encode())
+
+
+def plan_fingerprint(spn: SPN) -> str:
+    """Content hash of *spn*: structure, identities, and all parameters.
+
+    Two calls agree iff no node attribute (weights, tables, children)
+    changed in between; the plan cache uses this to detect in-place
+    mutation and recompile instead of serving a stale plan.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for node in spn.nodes:
+        h.update(type(node).__name__.encode())
+        h.update(struct.pack("<q", node.id))
+        for child in node.children:
+            h.update(struct.pack("<q", child.id))
+        for attr in sorted(vars(node)):
+            if attr in ("children", "id"):
+                continue
+            h.update(attr.encode())
+            _hash_value(h, vars(node)[attr])
+    return h.hexdigest()
+
+
+#: Per-SPN plan cache; entries die with their SPN (weak keys).
+_PLAN_CACHE: "weakref.WeakKeyDictionary[SPN, Tuple[str, InferencePlan]]" = (
+    weakref.WeakKeyDictionary()
+)
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def get_plan(spn: SPN) -> InferencePlan:
+    """The cached plan for *spn*, recompiling if absent or stale.
+
+    The fingerprint comparison makes mutation-safety unconditional: an
+    SPN whose weights or tables were edited in place gets a fresh plan
+    on the next call, never the stale one.
+    """
+    fingerprint = plan_fingerprint(spn)
+    entry = _PLAN_CACHE.get(spn)
+    if entry is not None and entry[0] == fingerprint:
+        _CACHE_STATS["hits"] += 1
+        return entry[1]
+    _CACHE_STATS["misses"] += 1
+    plan = compile_plan(spn)
+    _PLAN_CACHE[spn] = (fingerprint, plan)
+    return plan
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and reset the hit/miss counters."""
+    _PLAN_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+
+
+def plan_cache_info() -> Dict[str, int]:
+    """Cache observability: current size plus hit/miss counters."""
+    return {
+        "size": len(_PLAN_CACHE),
+        "hits": _CACHE_STATS["hits"],
+        "misses": _CACHE_STATS["misses"],
+    }

@@ -6,6 +6,7 @@ import pytest
 from repro.baselines import (
     naive_log_likelihood,
     run_cpu_baseline,
+    run_sharded_cpu_baseline,
     run_threaded_cpu_baseline,
 )
 from repro.errors import ReproError
@@ -51,6 +52,28 @@ def test_batching_boundary_handling(setup):
     np.testing.assert_allclose(result.results, log_likelihood(spn, data[:101]))
 
 
+def test_backend_selection(setup):
+    spn, data = setup
+    via_plan = run_cpu_baseline(spn, data, backend="plan")
+    via_walk = run_cpu_baseline(spn, data, backend="reference")
+    np.testing.assert_allclose(via_plan.results, via_walk.results, rtol=1e-12)
+
+
+def test_sharded_baseline_correct(setup):
+    spn, data = setup
+    result = run_sharded_cpu_baseline(spn, data, n_workers=2)
+    np.testing.assert_allclose(result.results, log_likelihood(spn, data))
+    assert result.n_threads == 2
+    assert result.n_samples == 400
+
+
+def test_sharded_baseline_uneven_shards(setup):
+    spn, data = setup
+    # More shards than workers, not dividing the row count evenly.
+    result = run_sharded_cpu_baseline(spn, data[:101], n_workers=2, n_shards=7)
+    np.testing.assert_allclose(result.results, log_likelihood(spn, data[:101]))
+
+
 def test_invalid_inputs_rejected(setup):
     spn, data = setup
     with pytest.raises(ReproError):
@@ -59,3 +82,9 @@ def test_invalid_inputs_rejected(setup):
         run_threaded_cpu_baseline(spn, data, n_threads=0)
     with pytest.raises(ReproError):
         run_cpu_baseline(spn, np.zeros((0, 8)))
+    with pytest.raises(ReproError):
+        run_cpu_baseline(spn, data, backend="simd")
+    with pytest.raises(ReproError):
+        run_sharded_cpu_baseline(spn, data, n_workers=0)
+    with pytest.raises(ReproError):
+        run_sharded_cpu_baseline(spn, data, n_workers=1, n_shards=0)

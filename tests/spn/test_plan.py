@@ -1,0 +1,323 @@
+"""Property and unit tests for compiled inference plans.
+
+The plan compiler/evaluator (:mod:`repro.spn.plan`,
+:mod:`repro.spn.plan_eval`) is validated three ways: against the
+independent scalar oracle ``naive_log_likelihood``, against the
+reference per-node graph walk on randomized SPNs (marginal and
+missing-value queries included), and on the structural edge cases the
+fused kernels must not mishandle (all ``-inf`` sum rows, degenerate
+single-node graphs, stale-plan invalidation).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.cpu import naive_log_likelihood
+from repro.errors import ReproError, SPNStructureError
+from repro.spn import (
+    SPN,
+    CategoricalLeaf,
+    GaussianLeaf,
+    HistogramLeaf,
+    ProductNode,
+    SumNode,
+    clear_plan_cache,
+    compile_plan,
+    evaluate_plan,
+    get_inference_backend,
+    get_plan,
+    log_likelihood,
+    log_likelihood_with_missing,
+    marginal_log_likelihood,
+    plan_cache_info,
+    plan_log_likelihood,
+    random_spn,
+    set_inference_backend,
+)
+from repro.spn.inference import node_log_values, reference_node_log_values
+from repro.spn.plan_eval import plan_node_log_values
+
+
+def _hist(var, masses):
+    return HistogramLeaf(var, np.arange(len(masses) + 1, dtype=float), masses)
+
+
+def _random_data(spn, n_rows, seed, high=6):
+    rng = np.random.default_rng(seed)
+    width = max(spn.scope) + 1
+    return rng.integers(0, high, size=(n_rows, width)).astype(np.float64)
+
+
+# ---------------------------------------------------------------------------
+# Agreement with the independent scalar oracle
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_variables=st.integers(min_value=1, max_value=6),
+    depth=st.integers(min_value=1, max_value=4),
+)
+def test_plan_matches_naive_oracle(seed, n_variables, depth):
+    spn = random_spn(n_variables, depth=depth, n_bins=4, seed=seed)
+    data = _random_data(spn, 17, seed + 1, high=5)
+    expected = naive_log_likelihood(spn, data)
+    got = plan_log_likelihood(compile_plan(spn), data)
+    np.testing.assert_allclose(got, expected, rtol=1e-10)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_plan_marginal_matches_reference(seed):
+    spn = random_spn(5, depth=3, n_bins=4, seed=seed)
+    data = _random_data(spn, 13, seed)
+    rng = np.random.default_rng(seed)
+    scope = sorted(spn.scope)
+    marg = [v for v in scope if rng.random() < 0.4]
+    expected = reference_node_log_values(spn, data, marginalized=marg)[spn.root.id]
+    got = plan_log_likelihood(compile_plan(spn), data, marginalized=marg)
+    np.testing.assert_allclose(got, expected, rtol=1e-10)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_plan_missing_matches_reference(seed):
+    spn = random_spn(5, depth=3, n_bins=4, seed=seed)
+    data = _random_data(spn, 13, seed)
+    rng = np.random.default_rng(seed + 7)
+    data[rng.random(data.shape) < 0.3] = 255.0
+    missing = data == 255.0
+    expected = reference_node_log_values(spn, data, missing_mask=missing)[spn.root.id]
+    got = plan_log_likelihood(compile_plan(spn), data, missing_value=255.0)
+    np.testing.assert_allclose(got, expected, rtol=1e-10)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_plan_node_values_match_reference(seed):
+    spn = random_spn(4, depth=3, n_bins=4, seed=seed)
+    data = _random_data(spn, 9, seed)
+    expected = reference_node_log_values(spn, data)
+    got = plan_node_log_values(compile_plan(spn), data)
+    assert set(got) == set(expected)
+    for node_id, values in expected.items():
+        np.testing.assert_allclose(got[node_id], values, rtol=1e-10)
+
+
+# ---------------------------------------------------------------------------
+# Public-API dispatch (plan is the default backend)
+# ---------------------------------------------------------------------------
+
+
+def test_default_backend_is_plan():
+    assert get_inference_backend() == "plan"
+
+
+def test_backend_toggle_roundtrip():
+    spn = random_spn(4, depth=3, n_bins=4, seed=3)
+    data = _random_data(spn, 21, 3)
+    via_plan = log_likelihood(spn, data)
+    set_inference_backend("reference")
+    try:
+        assert get_inference_backend() == "reference"
+        via_walk = log_likelihood(spn, data)
+    finally:
+        set_inference_backend("plan")
+    np.testing.assert_allclose(via_plan, via_walk, rtol=1e-12)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ReproError):
+        set_inference_backend("simd")
+
+
+def test_public_api_shapes_and_types():
+    spn = random_spn(4, depth=3, n_bins=4, seed=5)
+    data = _random_data(spn, 11, 5)
+    ll = log_likelihood(spn, data)
+    assert isinstance(ll, np.ndarray) and ll.shape == (11,)
+    marg = marginal_log_likelihood(spn, data, [0])
+    assert isinstance(marg, np.ndarray) and marg.shape == (11,)
+    assert np.all(marg >= ll - 1e-12)
+    missing = log_likelihood_with_missing(spn, data)
+    assert isinstance(missing, np.ndarray) and missing.shape == (11,)
+    values = node_log_values(spn, data)
+    assert isinstance(values, dict)
+    assert set(values) == {node.id for node in spn.nodes}
+    np.testing.assert_allclose(values[spn.root.id], ll, rtol=1e-12)
+
+
+def test_data_wider_than_scope_is_accepted():
+    spn = random_spn(3, depth=2, n_bins=4, seed=11)
+    data = _random_data(spn, 8, 11)
+    padded = np.hstack([data, np.full((8, 2), 99.0)])
+    np.testing.assert_allclose(
+        log_likelihood(spn, padded), log_likelihood(spn, data), rtol=1e-12
+    )
+
+
+def test_single_sample_row_vector():
+    spn = random_spn(3, depth=2, n_bins=4, seed=2)
+    row = _random_data(spn, 1, 2)[0]
+    assert log_likelihood(spn, row).shape == (1,)
+
+
+# ---------------------------------------------------------------------------
+# Structural edge cases
+# ---------------------------------------------------------------------------
+
+
+def test_single_leaf_spn():
+    spn = SPN(_hist(0, [0.25, 0.75]))
+    plan = compile_plan(spn)
+    assert plan.n_nodes == 1
+    data = np.array([[0.0], [1.0], [7.0]])
+    np.testing.assert_allclose(
+        plan_log_likelihood(plan, data),
+        naive_log_likelihood(spn, data),
+        rtol=1e-12,
+    )
+
+
+def test_single_sum_over_leaves():
+    spn = SPN(SumNode([_hist(0, [0.5, 0.5]), _hist(0, [0.9, 0.1])], [0.3, 0.7]))
+    data = np.array([[0.0], [1.0]])
+    np.testing.assert_allclose(
+        plan_log_likelihood(compile_plan(spn), data),
+        naive_log_likelihood(spn, data),
+        rtol=1e-12,
+    )
+
+
+def test_all_neginf_sum_rows_stay_neginf():
+    # A Gaussian at z ~ 1e200 underflows to log-density -inf, so every
+    # child of the sum node is -inf for that row: the stable segment
+    # logsumexp must produce -inf, not NaN, exactly like the reference.
+    gauss = SPN(
+        SumNode(
+            [GaussianLeaf(0, 0.0, 1.0), GaussianLeaf(0, 0.0, 1.0)], [0.5, 0.5]
+        )
+    )
+    extreme = np.array([[1e200], [0.0]])
+    with np.errstate(over="ignore"):
+        out = plan_log_likelihood(compile_plan(gauss), extreme)
+        ref = reference_node_log_values(gauss, extreme)[gauss.root.id]
+    assert np.isneginf(out[0]) and np.isneginf(ref[0])
+    assert np.isfinite(out[1])
+    np.testing.assert_allclose(out[1], ref[1], rtol=1e-12)
+
+
+def test_mixed_leaf_families_match_naive():
+    # One product mixing all three fused leaf families plus the
+    # non-unit-bin histogram that takes the generic fallback kernel.
+    wide = HistogramLeaf(3, np.array([0.0, 2.5, 5.0]), np.array([0.3, 0.1]))
+    spn = SPN(
+        SumNode(
+            [
+                ProductNode(
+                    [
+                        _hist(0, [0.5, 0.5]),
+                        GaussianLeaf(1, 1.0, 2.0),
+                        CategoricalLeaf(2, [0.2, 0.3, 0.5]),
+                        wide,
+                    ]
+                ),
+                ProductNode(
+                    [
+                        _hist(0, [0.9, 0.1]),
+                        GaussianLeaf(1, -1.0, 0.5),
+                        CategoricalLeaf(2, [0.6, 0.3, 0.1]),
+                        HistogramLeaf(3, np.array([1.0, 4.0]), np.array([1.0 / 3.0])),
+                    ]
+                ),
+            ],
+            [0.4, 0.6],
+        )
+    )
+    rng = np.random.default_rng(12)
+    data = np.column_stack(
+        [
+            rng.integers(0, 2, 40),
+            rng.normal(0, 2, 40),
+            rng.integers(0, 3, 40),
+            rng.uniform(-1, 6, 40),
+        ]
+    ).astype(np.float64)
+    np.testing.assert_allclose(
+        plan_log_likelihood(compile_plan(spn), data),
+        naive_log_likelihood(spn, data),
+        rtol=1e-10,
+    )
+
+
+def test_nan_input_matches_reference_floor_semantics():
+    spn = random_spn(3, depth=2, n_bins=4, seed=9)
+    data = _random_data(spn, 4, 9)
+    data[1, 0] = np.nan
+    got = plan_log_likelihood(compile_plan(spn), data)
+    expected = reference_node_log_values(spn, data)[spn.root.id]
+    np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+
+def test_unknown_marginal_variable_rejected():
+    spn = random_spn(3, depth=2, n_bins=4, seed=4)
+    with pytest.raises(SPNStructureError):
+        plan_log_likelihood(compile_plan(spn), _random_data(spn, 3, 4), marginalized=[17])
+
+
+def test_evaluate_plan_matrix_contract():
+    spn = random_spn(4, depth=3, n_bins=4, seed=6)
+    plan = compile_plan(spn)
+    data = _random_data(spn, 7, 6)
+    matrix = evaluate_plan(plan, data)
+    assert matrix.shape == (plan.n_nodes, 7)
+    reference = reference_node_log_values(spn, data)
+    for row, node_id in enumerate(plan.node_ids):
+        np.testing.assert_allclose(matrix[row], reference[int(node_id)], rtol=1e-10)
+
+
+# ---------------------------------------------------------------------------
+# Plan caching and invalidation
+# ---------------------------------------------------------------------------
+
+
+def test_plan_cache_reuses_compiled_plan():
+    clear_plan_cache()
+    spn = random_spn(4, depth=3, n_bins=4, seed=8)
+    first = get_plan(spn)
+    second = get_plan(spn)
+    assert first is second
+    info = plan_cache_info()
+    assert info["hits"] >= 1 and info["misses"] >= 1 and info["size"] >= 1
+
+
+def test_mutated_spn_does_not_reuse_stale_plan():
+    spn = SPN(SumNode([_hist(0, [0.5, 0.5]), _hist(0, [0.9, 0.1])], [0.3, 0.7]))
+    data = np.array([[0.0], [1.0]])
+    before = log_likelihood(spn, data)
+    # In-place parameter mutation: same graph object, new distribution.
+    root = spn.root
+    root.weights = np.array([0.9, 0.1])
+    root.log_weights = np.log(root.weights)
+    after = log_likelihood(spn, data)
+    assert not np.allclose(before, after)
+    np.testing.assert_allclose(after, naive_log_likelihood(spn, data), rtol=1e-12)
+
+
+def test_mutated_leaf_table_invalidates_plan():
+    leaf = _hist(0, [0.5, 0.5])
+    spn = SPN(leaf)
+    before = log_likelihood(spn, np.array([[0.0]]))
+    leaf.densities = np.array([0.2, 0.8])
+    after = log_likelihood(spn, np.array([[0.0]]))
+    assert not np.allclose(before, after)
+    np.testing.assert_allclose(after, np.log([0.2]), rtol=1e-12)
+
+
+def test_clear_plan_cache_resets_counters():
+    clear_plan_cache()
+    info = plan_cache_info()
+    assert info["size"] == 0 and info["hits"] == 0 and info["misses"] == 0

@@ -7,7 +7,7 @@ from repro.cli import build_parser, main
 
 def test_parser_accepts_all_artifacts():
     parser = build_parser()
-    for name in ("fig2", "table1", "fig4", "fig5", "fig6", "speedups", "outlook", "ablations", "formats", "sensitivity", "roofline", "all"):
+    for name in ("fig2", "table1", "fig4", "fig5", "fig6", "speedups", "outlook", "ablations", "formats", "sensitivity", "roofline", "plans", "all"):
         args = parser.parse_args([name])
         assert args.artifact == name
 
@@ -36,6 +36,13 @@ def test_fig2_command_respects_requests_flag(capsys):
     out = capsys.readouterr().out
     assert "Fig. 2" in out
     assert "GiB/s" in out
+
+
+def test_plans_command_prints_speedups(capsys):
+    assert main(["plans", "--samples", "50000"]) == 0
+    out = capsys.readouterr().out
+    assert "Compiled-plan inference" in out
+    assert "speedup" in out
 
 
 def test_table1_command(capsys):
