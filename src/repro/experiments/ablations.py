@@ -15,15 +15,16 @@ Four ablations, each isolating one decision of the paper's system:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.compiler.design import compile_core, compose_design
+from repro.compiler.design import compose_design
+from repro.experiments.cache import benchmark_core
 from repro.experiments.reporting import format_table
+from repro.experiments.sweep import parallel_map
 from repro.host.device import SimulatedDevice
 from repro.host.runtime import InferenceJobConfig, InferenceRuntime
 from repro.mem.hbm import channel_throughput
 from repro.platforms.specs import XUPVVH_HBM_PLATFORM
-from repro.spn.nips import nips_benchmark
 from repro.units import GIB, KIB, MIB
 
 __all__ = [
@@ -52,11 +53,28 @@ class BlockSizeAblation:
 
 
 def _rate(benchmark: str, n_cores: int, config: InferenceJobConfig, n_samples: int) -> float:
-    core = compile_core(nips_benchmark(benchmark).spn, "cfp")
+    core = benchmark_core(benchmark, "cfp")
     design = compose_design(core, n_cores, XUPVVH_HBM_PLATFORM)
     device = SimulatedDevice(design)
     runtime = InferenceRuntime(device, config)
     return runtime.run_timing_only(n_samples).samples_per_second
+
+
+def _block_point(point: Tuple[str, int, int, int]) -> float:
+    benchmark, n_cores, block_bytes, n_samples = point
+    return _rate(
+        benchmark, n_cores, InferenceJobConfig(block_bytes=block_bytes), n_samples
+    )
+
+
+def _thread_point(point: Tuple[str, int, int, int]) -> float:
+    benchmark, n_cores, threads, samples_per_core = point
+    return _rate(
+        benchmark,
+        n_cores,
+        InferenceJobConfig(threads_per_pe=threads),
+        samples_per_core * n_cores,
+    )
 
 
 def run_block_size_ablation(
@@ -65,17 +83,20 @@ def run_block_size_ablation(
     block_sizes: Sequence[int] = (64 * KIB, 256 * KIB, 1 * MIB, 4 * MIB, 16 * MIB),
     *,
     n_samples: int = 2_000_000,
+    workers: Optional[int] = None,
 ) -> BlockSizeAblation:
     """Sweep the sub-job block size (the paper runs 1 MiB blocks)."""
-    rates = tuple(
-        _rate(benchmark, n_cores, InferenceJobConfig(block_bytes=size), n_samples)
-        for size in block_sizes
+    benchmark_core(benchmark, "cfp")
+    rates = parallel_map(
+        _block_point,
+        [(benchmark, n_cores, size, n_samples) for size in block_sizes],
+        workers=workers,
     )
     return BlockSizeAblation(
         benchmark=benchmark,
         n_cores=n_cores,
         block_bytes=tuple(block_sizes),
-        samples_per_second=rates,
+        samples_per_second=tuple(rates),
     )
 
 
@@ -85,19 +106,20 @@ def run_thread_ablation(
     thread_counts: Sequence[int] = (1, 2, 4),
     *,
     samples_per_core: int = 1_000_000,
+    workers: Optional[int] = None,
 ) -> Dict[int, Dict[int, float]]:
     """Threads-per-PE sweep: cores -> threads -> samples/s."""
-    out: Dict[int, Dict[int, float]] = {}
-    for cores in core_counts:
-        out[cores] = {}
-        for threads in thread_counts:
-            out[cores][threads] = _rate(
-                benchmark,
-                cores,
-                InferenceJobConfig(threads_per_pe=threads),
-                samples_per_core * cores,
-            )
-    return out
+    benchmark_core(benchmark, "cfp")
+    points = [
+        (benchmark, cores, threads, samples_per_core)
+        for cores in core_counts
+        for threads in thread_counts
+    ]
+    rates = iter(parallel_map(_thread_point, points, workers=workers))
+    return {
+        cores: {threads: next(rates) for threads in thread_counts}
+        for cores in core_counts
+    }
 
 
 def run_crossbar_ablation(

@@ -1,0 +1,24 @@
+"""Per-sweep compile caches shared by the experiment drivers.
+
+Every (benchmark, pe_count, panel) point of a sweep needs the same
+compiled core, but the drivers used to call ``nips_spn`` +
+``compile_core`` per point.  :func:`benchmark_core` memoises the pair
+per process so each benchmark is learned/compiled once per sweep (and,
+thanks to the fork-based :mod:`repro.experiments.sweep` runner, once
+per machine: workers inherit the warm cache from the parent).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.compiler.design import CoreSpec, compile_core
+from repro.spn.nips import nips_spn
+
+__all__ = ["benchmark_core"]
+
+
+@lru_cache(maxsize=None)
+def benchmark_core(benchmark: str, number_format: str = "cfp") -> CoreSpec:
+    """The compiled accelerator core for a NIPS benchmark (memoised)."""
+    return compile_core(nips_spn(benchmark), number_format)

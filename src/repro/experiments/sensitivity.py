@@ -18,11 +18,13 @@ is cheap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler.datapath import build_datapath
 from repro.compiler.operators import HWOp
 from repro.experiments.reporting import format_table
+from repro.experiments.sweep import parallel_map
 from repro.platforms.cpu_model import XEON_E5_2680_V3
 from repro.platforms.f1_model import AWS_F1_SYSTEM
 from repro.platforms.specs import HBM_XUPVVH, PCIE_GEN3_X16
@@ -51,6 +53,16 @@ class SensitivityResult:
             for by_factor in self.verdicts.values()
             for verdict in by_factor.values()
         )
+
+
+@lru_cache(maxsize=None)
+def _cpu_op_count(name: str) -> int:
+    """Arithmetic-op count of a benchmark's datapath (memoised)."""
+    datapath = build_datapath(nips_benchmark(name).spn)
+    return sum(
+        datapath.count(op)
+        for op in (HWOp.ADD, HWOp.MUL, HWOp.CONST_MUL, HWOp.LOOKUP)
+    )
 
 
 def _conclusions(
@@ -82,11 +94,7 @@ def _conclusions(
 
     # 3. CPU wins NIPS10, loses NIPS20 (the Fig. 6 crossover).
     def cpu_rate(name: str) -> float:
-        datapath = build_datapath(nips_benchmark(name).spn)
-        n_ops = sum(
-            datapath.count(op)
-            for op in (HWOp.ADD, HWOp.MUL, HWOp.CONST_MUL, HWOp.LOOKUP)
-        )
+        n_ops = _cpu_op_count(name)
         cycles = cpu_coefficient * n_ops**XEON_E5_2680_V3.cycles_exponent
         return XEON_E5_2680_V3.n_cores * XEON_E5_2680_V3.frequency_hz / cycles
 
@@ -104,32 +112,49 @@ def _conclusions(
     return pcie_is_bottleneck, hbm_beats_f1, crossover
 
 
-def run_sensitivity(factors: Sequence[float] = DEFAULT_FACTORS) -> SensitivityResult:
+#: The calibrated constants the sweep perturbs, in presentation order.
+_CONSTANTS: Tuple[str, ...] = (
+    "pcie weighted capacity",
+    "job dispatch overhead",
+    "cpu cost coefficient",
+)
+
+
+def _sensitivity_point(point: Tuple[str, float]) -> Tuple[bool, bool, bool]:
+    constant, factor = point
+    capacity = PCIE_GEN3_X16.weighted_capacity
+    dispatch = 86e-6
+    cpu = XEON_E5_2680_V3.cycles_coefficient
+    if constant == "pcie weighted capacity":
+        capacity *= factor
+    elif constant == "job dispatch overhead":
+        dispatch *= factor
+    else:
+        cpu *= factor
+    return _conclusions(
+        weighted_capacity=capacity,
+        dispatch_overhead=dispatch,
+        cpu_coefficient=cpu,
+    )
+
+
+def run_sensitivity(
+    factors: Sequence[float] = DEFAULT_FACTORS,
+    *,
+    workers: Optional[int] = None,
+) -> SensitivityResult:
     """Sweep each calibrated constant by the given factors."""
-    base_capacity = PCIE_GEN3_X16.weighted_capacity
-    base_dispatch = 86e-6
-    base_cpu = XEON_E5_2680_V3.cycles_coefficient
+    # Build the two crossover datapaths once; forked workers inherit them.
+    _cpu_op_count("NIPS10")
+    _cpu_op_count("NIPS20")
+    points = [
+        (constant, factor) for constant in _CONSTANTS for factor in factors
+    ]
+    triples = iter(parallel_map(_sensitivity_point, points, workers=workers))
     verdicts: Dict[str, Dict[float, Tuple[bool, bool, bool]]] = {
-        "pcie weighted capacity": {},
-        "job dispatch overhead": {},
-        "cpu cost coefficient": {},
+        constant: {factor: next(triples) for factor in factors}
+        for constant in _CONSTANTS
     }
-    for factor in factors:
-        verdicts["pcie weighted capacity"][factor] = _conclusions(
-            weighted_capacity=base_capacity * factor,
-            dispatch_overhead=base_dispatch,
-            cpu_coefficient=base_cpu,
-        )
-        verdicts["job dispatch overhead"][factor] = _conclusions(
-            weighted_capacity=base_capacity,
-            dispatch_overhead=base_dispatch * factor,
-            cpu_coefficient=base_cpu,
-        )
-        verdicts["cpu cost coefficient"][factor] = _conclusions(
-            weighted_capacity=base_capacity,
-            dispatch_overhead=base_dispatch,
-            cpu_coefficient=base_cpu * factor,
-        )
     return SensitivityResult(factors=tuple(factors), verdicts=verdicts)
 
 

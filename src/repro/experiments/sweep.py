@@ -1,0 +1,73 @@
+"""Process-parallel sweep runner for the experiment drivers.
+
+The fig4/fig6/ablation sweeps are embarrassingly parallel: every
+(benchmark, pe_count, panel) point builds its own device and engine and
+shares nothing with its neighbours.  :func:`parallel_map` fans such
+points across a ``ProcessPoolExecutor``, preferring the ``fork`` start
+method so workers inherit the parent's warm caches (learned SPNs,
+compiled cores) instead of re-deriving them per process.
+
+Environment knobs:
+
+* ``REPRO_SWEEP_WORKERS`` — worker count; ``1`` (or a single-CPU
+  machine) selects the serial path with no pool at all.
+
+Point functions must be module-level (picklable by reference); pass
+per-point parameters as a tuple item.  Results come back in item
+order, so drivers can zip them against their point lists.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+__all__ = ["parallel_map", "sweep_worker_count"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def sweep_worker_count(n_items: int, workers: Optional[int] = None) -> int:
+    """Resolve the worker count for a sweep of *n_items* points."""
+    if workers is None:
+        env = os.environ.get("REPRO_SWEEP_WORKERS", "")
+        if env:
+            workers = max(1, int(env))
+        else:
+            workers = os.cpu_count() or 1
+    return max(1, min(workers, n_items))
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[R]:
+    """Map *fn* over *items*, fanning across processes when it pays.
+
+    Falls back to a plain serial map when only one worker is resolved,
+    there is at most one item, or the platform refuses to spawn
+    processes (restricted sandboxes) — the result is identical either
+    way, parallelism is purely a wall-clock optimisation.
+    """
+    points: Sequence[T] = list(items)
+    n_workers = sweep_worker_count(len(points), workers)
+    if n_workers <= 1 or len(points) <= 1:
+        return [fn(point) for point in points]
+    try:
+        with ProcessPoolExecutor(
+            max_workers=n_workers, mp_context=_pool_context()
+        ) as pool:
+            return list(pool.map(fn, points, chunksize=chunksize))
+    except (OSError, PermissionError):
+        return [fn(point) for point in points]

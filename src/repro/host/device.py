@@ -59,6 +59,7 @@ class SimulatedDevice:
         pcie_spec: PCIeSpec = PCIE_GEN3_X16,
         compute_format: Optional[NumberFormat] = None,
         crossbar: bool = False,
+        burst_granular: bool = False,
     ):
         if design.n_cores > hbm_spec.n_channels:
             raise RuntimeConfigError(
@@ -98,6 +99,7 @@ class SimulatedDevice:
                 self.memories[index],
                 clock_hz=design.clock_mhz * 1e6,
                 compute_format=compute_format,
+                burst_granular=burst_granular,
             )
             for index in range(design.n_cores)
         ]

@@ -31,7 +31,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.errors import RuntimeConfigError
+from repro.errors import AllocationError, RuntimeConfigError
 from repro.host.device import SimulatedDevice
 from repro.sim.resource import SimResource
 from repro.sim.trace import Tracer
@@ -192,11 +192,32 @@ class InferenceRuntime:
                     yield shared_queue.pop()
 
         def control_thread(pe: int, my_blocks: List[tuple]):
-            for block_index, (start_sample, count) in enumerate(block_source(pe, my_blocks)):
+            for block in block_source(pe, my_blocks):
+                start_sample, count = block
                 input_bytes = count * self.sample_bytes
                 result_bytes = count * self.result_bytes
-                input_addr = device.alloc(pe, input_bytes)
-                result_addr = device.alloc(pe, result_bytes)
+                # Allocation can fail transiently when sibling threads
+                # hold the PE's memory.  Under shared scheduling the
+                # popped block must not be lost: return it to the queue
+                # (and free any partial allocation) so another thread
+                # picks it up, then retire this thread.  Under static
+                # scheduling the block belongs to this thread alone, so
+                # the failure propagates as before.
+                try:
+                    input_addr = device.alloc(pe, input_bytes)
+                except AllocationError:
+                    if shared_queue is not None:
+                        shared_queue.append(block)
+                        return
+                    raise
+                try:
+                    result_addr = device.alloc(pe, result_bytes)
+                except AllocationError:
+                    device.free(pe, input_addr)
+                    if shared_queue is not None:
+                        shared_queue.append(block)
+                        return
+                    raise
                 try:
                     mark = env.now
                     if data is not None:
@@ -255,10 +276,32 @@ class InferenceRuntime:
                         )
                     )
 
-        start_time = env.now
-        done = env.all_of(threads)
-        env.run(until_event=done)
+        # Burst-level spans only exist when the cores advance burst by
+        # burst, so a tracer forces the granular model for this run.
+        forced_granular = []
+        if tracer is not None:
+            for core in device.cores:
+                if not core.burst_granular:
+                    core.burst_granular = True
+                    forced_granular.append(core)
+        try:
+            start_time = env.now
+            done = env.all_of(threads)
+            env.run(until_event=done)
+        finally:
+            for core in forced_granular:
+                core.burst_granular = False
         stats.elapsed_seconds = env.now - start_time
         stats.bytes_to_device = device.dma.bytes_to_device - dma_before[0]
         stats.bytes_from_device = device.dma.bytes_from_device - dma_before[1]
+        processed = sum(stats.samples_per_pe.values())
+        if processed != n_samples:
+            # Every control thread retired on allocation failure with
+            # blocks still queued: surface the capacity problem instead
+            # of silently under-reporting.
+            raise AllocationError(
+                f"runtime processed {processed} of {n_samples} samples; "
+                f"{len(shared_queue) if shared_queue else 0} block(s) left "
+                "unclaimed after allocation failures"
+            )
         return stats

@@ -186,28 +186,46 @@ class HBMChannel:
         return self.spec.channel_capacity_bytes
 
     def transfer(self, n_bytes: int, *, is_write: bool = False) -> Event:
-        """Move *n_bytes* through the channel; yields when complete."""
+        """Move *n_bytes* through the channel; yields when complete.
+
+        Implemented as a callback chain rather than a spawned process:
+        a request is the hottest operation in the simulator, and the
+        chain needs two heap events (grant, data occupancy) instead of
+        the four a generator process would cost.
+        """
         if n_bytes <= 0:
             raise MemoryModelError(f"n_bytes must be positive, got {n_bytes}")
         done = Event(self.env)
-        self.env.process(self._serve(n_bytes, is_write, done), name=f"hbm{self.index}-req")
-        return done
 
-    def _serve(self, n_bytes: int, is_write: bool, done: Event):
-        grant = self._engine.request()
-        yield grant
-        try:
+        def on_done(_event: Event) -> None:
+            # Grant the oldest queued waiter before signalling
+            # completion, so a queued request beats one issued in
+            # reaction to this transfer finishing.
+            self._engine.release()
+            if is_write:
+                self.bytes_written += n_bytes
+            else:
+                self.bytes_read += n_bytes
+            done.succeed(None)
+
+        def on_grant(_event: Event) -> None:
             # Fixed command/activation overhead, then data occupancy.
-            yield self.env.timeout(
+            busy = self.env.timeout(
                 self.request_overhead + n_bytes / self.effective_bandwidth
             )
-        finally:
-            self._engine.release()
-        if is_write:
-            self.bytes_written += n_bytes
+            # Direct append (not add_callback) keeps the timeout
+            # poolable: nothing retains it past this callback.
+            busy.callbacks.append(on_done)
+
+        grant = self._engine.request()
+        if grant.triggered:
+            # Uncontended: the engine is ours already; schedule the data
+            # phase now instead of waiting for the grant event's heap hop
+            # (the absolute completion time is identical either way).
+            on_grant(grant)
         else:
-            self.bytes_read += n_bytes
-        done.succeed(None)
+            grant.callbacks.append(on_grant)
+        return done
 
 
 class HBMSubsystem:

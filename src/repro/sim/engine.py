@@ -8,11 +8,23 @@ resumes them with the event's value (or throws the event's exception
 into them).
 
 This is the only place in the library where simulated time advances.
+
+Event churn dominates simulation profiles, so the engine recycles its
+short-lived bookkeeping objects: timeouts created via
+:meth:`Engine.timeout` and the relay events used to resume a process
+that yielded an already-processed event are returned to per-engine
+free pools once their callbacks have run.  Recycling is restricted to
+events that can no longer be observed: any event registered through
+:meth:`Event.add_callback` (``AllOf``/``AnyOf`` members, explicit
+subscriptions) or passed as ``run(until_event=...)`` is pinned and
+never reused.  The contract this imposes on user code is mild and was
+already true everywhere in the library: a ``Timeout`` yielded from a
+process must not be inspected after the process has resumed.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.errors import SimulationError
@@ -39,7 +51,7 @@ class Event:
     callbacks fire.  Processes wait on events by yielding them.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_reusable")
 
     def __init__(self, env: "Engine"):
         self.env = env
@@ -47,6 +59,7 @@ class Event:
         self._value: Any = _PENDING
         self._ok: bool = True
         self._scheduled = False
+        self._reusable = False
 
     # -- state inspection ---------------------------------------------------
     @property
@@ -99,7 +112,12 @@ class Event:
         """Register *callback* to run when the event is processed.
 
         If the event is already processed the callback runs immediately.
+
+        Registering a callback pins the event: it will never be recycled
+        into the engine's free pools, so the caller may safely retain a
+        reference and inspect it later.
         """
+        self._reusable = False
         if self.callbacks is None:
             callback(self)
         else:
@@ -107,18 +125,26 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers itself after a fixed delay."""
+    """An event that triggers itself after a fixed delay.
+
+    When *_at* is given the event is heap-scheduled at that absolute
+    time with no ``now + delay`` float round-trip (see
+    :meth:`Engine.timeout_until`).
+    """
 
     __slots__ = ("delay",)
 
-    def __init__(self, env: "Engine", delay: float, value: Any = None):
+    def __init__(self, env: "Engine", delay: float, value: Any = None, *, _at: Optional[float] = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
         super().__init__(env)
         self.delay = delay
         self._value = value
         self._ok = True
-        env._schedule(self, delay=delay)
+        if _at is None:
+            env._schedule(self, delay=delay)
+        else:
+            env._schedule_at(self, _at)
 
 
 class Process(Event):
@@ -137,11 +163,7 @@ class Process(Event):
         self._waiting_on: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
         # Kick off at the current time via an initialisation event.
-        init = Event(env)
-        init._value = None
-        init._ok = True
-        init.callbacks.append(self._resume)
-        env._schedule(init)
+        env._relay(None, True, self._resume)
 
     @property
     def is_alive(self) -> bool:
@@ -163,11 +185,7 @@ class Process(Event):
             except ValueError:
                 pass
         self._waiting_on = None
-        wake = Event(self.env)
-        wake._value = Interrupt(cause)
-        wake._ok = False
-        wake.callbacks.append(self._resume)
-        self.env._schedule(wake)
+        self.env._relay(Interrupt(cause), False, self._resume)
 
     # -- engine plumbing ------------------------------------------------------
     def _resume(self, event: Event) -> None:
@@ -192,11 +210,7 @@ class Process(Event):
         if target.processed:
             # Already-processed events resume the process immediately at
             # the current time (schedule a relay to preserve ordering).
-            relay = Event(self.env)
-            relay._value = target._value
-            relay._ok = target._ok
-            relay.callbacks.append(self._resume)
-            self.env._schedule(relay)
+            self.env._relay(target._value, target._ok, self._resume)
         else:
             self._waiting_on = target
             target.callbacks.append(self._resume)
@@ -266,6 +280,10 @@ class Engine:
         self._now: float = 0.0
         self._queue: List = []
         self._sequence: int = 0
+        # Free pools for engine-internal short-lived events (see module
+        # docstring for the recycling contract).
+        self._timeout_pool: List[Timeout] = []
+        self._relay_pool: List[Event] = []
 
     @property
     def now(self) -> float:
@@ -279,7 +297,47 @@ class Engine:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event triggering *delay* seconds from now."""
-        return Timeout(self, delay, value)
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay {delay}")
+            ev = pool.pop()
+            ev.callbacks = []
+            ev._scheduled = False
+            ev._value = value
+            ev._ok = True
+            ev.delay = delay
+            self._schedule(ev, delay=delay)
+            return ev
+        ev = Timeout(self, delay, value)
+        ev._reusable = True
+        return ev
+
+    def timeout_until(self, time: float, value: Any = None) -> Timeout:
+        """An event triggering at the absolute simulated *time*.
+
+        Equivalent to ``timeout(time - now)`` except that the event
+        lands bit-exactly on *time*: no ``now + delay`` float addition
+        is performed.  The fast-forward path uses this to reproduce the
+        burst-granular model's timings without accumulating rounding
+        differences.
+        """
+        if time < self._now:
+            raise SimulationError(f"timeout_until {time} is in the past (now={self._now})")
+        pool = self._timeout_pool
+        if pool:
+            ev = pool.pop()
+            ev.callbacks = []
+            ev._scheduled = False
+            ev._value = value
+            ev._ok = True
+            ev.delay = time - self._now
+        else:
+            ev = Timeout(self, time - self._now, value, _at=time)
+            ev._reusable = True
+            return ev
+        self._schedule_at(ev, time)
+        return ev
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start a coroutine as a simulation process."""
@@ -300,11 +358,39 @@ class Engine:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         event._scheduled = True
-        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        heappush(self._queue, (self._now + delay, self._sequence, event))
         self._sequence += 1
 
+    def _schedule_at(self, event: Event, time: float) -> None:
+        """Heap-push *event* at the absolute *time* (no ``now + delay``)."""
+        if event._scheduled:
+            raise SimulationError("event scheduled twice")
+        event._scheduled = True
+        heappush(self._queue, (time, self._sequence, event))
+        self._sequence += 1
+
+    def _relay(self, value: Any, ok: bool, callback: Callable[[Event], None]) -> None:
+        """Schedule a pooled single-callback event at the current time.
+
+        Used to resume a process from an already-processed yield target
+        (and for process init/interrupt wake-ups) without allocating a
+        fresh Event per hop.
+        """
+        pool = self._relay_pool
+        if pool:
+            ev = pool.pop()
+            ev.callbacks = [callback]
+            ev._scheduled = False
+        else:
+            ev = Event(self)
+            ev.callbacks.append(callback)
+            ev._reusable = True
+        ev._value = value
+        ev._ok = ok
+        self._schedule(ev)
+
     def _step(self) -> None:
-        time, _, event = heapq.heappop(self._queue)
+        time, _, event = heappop(self._queue)
         if time < self._now:
             raise SimulationError(f"time went backwards: {time} < {self._now}")
         self._now = time
@@ -313,10 +399,18 @@ class Engine:
         if callbacks:
             for callback in callbacks:
                 callback(event)
-        elif not event.ok:
+        elif not event._ok:
             # A failed event nobody waits on would silently swallow its
             # exception; surface it instead.
             raise event._value
+        if event._reusable:
+            # Engine-internal event nobody can observe any more: return
+            # it to its free pool instead of letting it churn the GC.
+            event._value = _PENDING
+            if type(event) is Timeout:
+                self._timeout_pool.append(event)
+            else:
+                self._relay_pool.append(event)
 
     # -- execution ----------------------------------------------------------------
     def run(self, until: Optional[float] = None, until_event: Optional[Event] = None) -> Any:
@@ -338,14 +432,18 @@ class Engine:
         """
         if until is not None and until < self._now:
             raise SimulationError(f"run until {until} is in the past (now={self._now})")
-        while self._queue:
+        if until_event is not None:
+            # The caller holds a reference across processing: never pool it.
+            until_event._reusable = False
+        queue = self._queue
+        step = self._step
+        while queue:
             if until_event is not None and until_event.processed:
                 break
-            next_time = self._queue[0][0]
-            if until is not None and next_time > until:
+            if until is not None and queue[0][0] > until:
                 self._now = until
                 return None
-            self._step()
+            step()
         if until_event is not None:
             if not until_event.processed:
                 raise SimulationError("event queue drained before until_event triggered")

@@ -12,10 +12,21 @@ paper's SPFlow-based flow.
 Structures are deterministic (fixed seeds end to end) and cached per
 process because the hardware compiler, the experiments and many tests
 all request the same networks repeatedly.
+
+On top of the in-process cache there is a pickle-based *disk* cache:
+structure learning costs several seconds per benchmark, which used to
+dominate every cold experiment sweep.  Cache entries are keyed by the
+benchmark parameters **and** a hash of the learner/corpus source code,
+so any change to the learning pipeline invalidates them automatically.
+Set ``REPRO_SPN_CACHE=0`` to disable it, or ``REPRO_CACHE_DIR`` to
+relocate it (default: ``.repro_cache/`` under the working directory).
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -99,16 +110,68 @@ def nips_dataset(name: str) -> np.ndarray:
     return _data_cache[name]
 
 
+def _disk_cache_path(name: str) -> Optional[str]:
+    """Cache file for benchmark *name*, or None when caching is off.
+
+    The key hashes the benchmark parameters together with the source
+    bytes of the learning and corpus modules, so edits to either
+    pipeline stage invalidate stale structures instead of serving them.
+    """
+    if os.environ.get("REPRO_SPN_CACHE", "1") == "0":
+        return None
+    digest = hashlib.sha256()
+    digest.update(
+        f"{name}|{_BENCHMARK_SEED}|{_LEARN_CONFIGS[name]!r}".encode()
+    )
+    try:
+        from repro.spn import learning
+        from repro.workloads import nips_corpus
+
+        for module in (learning, nips_corpus):
+            with open(module.__file__, "rb") as handle:
+                digest.update(handle.read())
+    except OSError:
+        return None
+    root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    return os.path.join(root, "spn", f"{name}-{digest.hexdigest()[:16]}.pkl")
+
+
+def _load_cached_spn(path: str) -> Optional[SPN]:
+    try:
+        with open(path, "rb") as handle:
+            spn = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        return None
+    return spn if isinstance(spn, SPN) else None
+
+
+def _store_cached_spn(path: str, spn: SPN) -> None:
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            pickle.dump(spn, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except OSError:
+        pass  # caching is best-effort; learning already succeeded
+
+
 def nips_spn(name: str) -> SPN:
     """The learned benchmark SPN *name* (cached, deterministic)."""
     if name not in _spn_cache:
-        data = nips_dataset(name)
-        spn = learn_spn(
-            data.astype(np.float64),
-            config=_LEARN_CONFIGS[name],
-            seed=_BENCHMARK_SEED,
-            name=name,
-        )
+        _n_words(name)  # reject unknown benchmarks before cache lookup
+        path = _disk_cache_path(name)
+        spn = _load_cached_spn(path) if path is not None else None
+        if spn is None:
+            data = nips_dataset(name)
+            spn = learn_spn(
+                data.astype(np.float64),
+                config=_LEARN_CONFIGS[name],
+                seed=_BENCHMARK_SEED,
+                name=name,
+            )
+            if path is not None:
+                _store_cached_spn(path, spn)
         _spn_cache[name] = spn
     return _spn_cache[name]
 

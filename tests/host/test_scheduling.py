@@ -55,3 +55,62 @@ def test_shared_no_slower_on_uneven_tails(setup):
 def test_invalid_scheduling_rejected():
     with pytest.raises(RuntimeConfigError):
         InferenceJobConfig(scheduling="magic")
+
+
+class TestSharedAllocationFailure:
+    """A control thread that pops a shared block but cannot allocate
+    buffers must return the block to the queue instead of losing it."""
+
+    def _tight_runtime(self, core, capacity, *, threads=2, scheduling="shared"):
+        from repro.host.memory_manager import DeviceMemoryManager
+
+        device = SimulatedDevice(compose_design(core, 1, XUPVVH_HBM_PLATFORM))
+        device.memory_manager = DeviceMemoryManager(
+            n_blocks=1, block_capacity=capacity
+        )
+        return InferenceRuntime(
+            device,
+            InferenceJobConfig(
+                block_bytes=512, threads_per_pe=threads, scheduling=scheduling
+            ),
+        )
+
+    def test_input_alloc_failure_returns_block(self, setup):
+        core, data, reference = setup
+        # Allocations are 4 KiB-aligned: one thread's input+result fill
+        # the two slots exactly, so the second thread's input allocation
+        # fails and it must hand its block back and retire.
+        runtime = self._tight_runtime(core, capacity=2 * 4096)
+        results, stats = runtime.run(data)
+        np.testing.assert_allclose(results, reference)
+        assert sum(stats.samples_per_pe.values()) == len(data)
+
+    def test_result_alloc_failure_returns_block(self, setup):
+        core, data, reference = setup
+        # Three 4 KiB slots: the second thread's input fits but its
+        # result buffer does not; it must free the input, return the
+        # block, and retire.
+        runtime = self._tight_runtime(core, capacity=3 * 4096)
+        results, stats = runtime.run(data)
+        np.testing.assert_allclose(results, reference)
+        assert sum(stats.samples_per_pe.values()) == len(data)
+
+    def test_unprocessable_blocks_raise(self, setup):
+        from repro.errors import AllocationError
+
+        core, data, _ = setup
+        # No thread can ever fit a single block's buffers: the run must
+        # fail loudly instead of silently dropping samples.
+        runtime = self._tight_runtime(core, capacity=256, threads=1)
+        with pytest.raises(AllocationError):
+            runtime.run(data)
+
+    def test_static_alloc_failure_still_raises(self, setup):
+        from repro.errors import AllocationError
+
+        core, data, _ = setup
+        runtime = self._tight_runtime(
+            core, capacity=256, threads=1, scheduling="static"
+        )
+        with pytest.raises(AllocationError):
+            runtime.run(data)

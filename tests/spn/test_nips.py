@@ -71,3 +71,52 @@ def test_zipfian_marginals():
     first_decile = means[:4].mean()
     last_decile = means[-4:].mean()
     assert first_decile > 4 * last_decile
+
+
+class TestDiskCache:
+    """The on-disk SPN cache must round-trip equal structures and be
+    fully disableable."""
+
+    def test_round_trip_identical_likelihoods(self, tmp_path, monkeypatch):
+        from repro.spn import nips as nips_module
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_SPN_CACHE", raising=False)
+        monkeypatch.setattr(nips_module, "_spn_cache", {})
+        learned = nips_spn("NIPS10")
+        path = nips_module._disk_cache_path("NIPS10")
+        assert path is not None and path.startswith(str(tmp_path))
+        import os
+        assert os.path.exists(path)
+        # A fresh in-process cache must now load from disk...
+        monkeypatch.setattr(nips_module, "_spn_cache", {})
+        reloaded = nips_spn("NIPS10")
+        assert reloaded is not learned
+        # ...and evaluate identically.
+        data = nips_dataset("NIPS10").astype(np.float64)[:64]
+        np.testing.assert_array_equal(
+            log_likelihood(learned, data), log_likelihood(reloaded, data)
+        )
+
+    def test_cache_disabled_by_env(self, tmp_path, monkeypatch):
+        from repro.spn import nips as nips_module
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_SPN_CACHE", "0")
+        assert nips_module._disk_cache_path("NIPS10") is None
+        monkeypatch.setattr(nips_module, "_spn_cache", {})
+        nips_spn("NIPS10").validate()
+        assert not (tmp_path / "spn").exists()
+
+    def test_corrupt_cache_file_ignored(self, tmp_path, monkeypatch):
+        from repro.spn import nips as nips_module
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_SPN_CACHE", raising=False)
+        path = nips_module._disk_cache_path("NIPS10")
+        import os
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        monkeypatch.setattr(nips_module, "_spn_cache", {})
+        nips_spn("NIPS10").validate()
