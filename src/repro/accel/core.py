@@ -322,6 +322,7 @@ class SPNAcceleratorCore:
         n_variables: Optional[int] = None,
         compute_format: Optional[NumberFormat] = None,
         burst_granular: bool = False,
+        metrics=None,
     ):
         if clock_hz <= 0:
             raise RuntimeConfigError(f"clock must be positive, got {clock_hz}")
@@ -354,6 +355,16 @@ class SPNAcceleratorCore:
         self.burst_granular = burst_granular
         self._busy = False
         self.total_samples = 0
+        # Metrics (optional, see repro.obs.metrics): updated once per
+        # job completion, never from the burst-level hot path.
+        if metrics is not None:
+            self._m_jobs = metrics.counter(f"pe{index}.jobs")
+            self._m_samples = metrics.counter(f"pe{index}.samples")
+            self._m_busy_seconds = metrics.counter(f"pe{index}.busy_seconds")
+        else:
+            self._m_jobs = None
+            self._m_samples = None
+            self._m_busy_seconds = None
 
     # -- configuration read-out (the runtime's §IV-B query) -----------------------
     def read_configuration(self) -> dict:
@@ -467,16 +478,15 @@ class SPNAcceleratorCore:
             channel._engine.release()
             # The hold consumed one grant of its own.
             channel._engine.total_grants += n_reads + n_writes - 1
-            channel.bytes_read += n_samples * self.sample_bytes
-            channel.bytes_written += n_samples * self.result_bytes
+            channel.account_fast_forward(
+                n_reads,
+                n_writes,
+                n_samples * self.sample_bytes,
+                n_samples * self.result_bytes,
+            )
             if results is not None:
                 self.memory.write_array(result_addr, results)
-            self.total_samples += n_samples
-            self._busy = False
-            self.registers.set_busy(False)
-            done.succeed(
-                JobResult(n_samples=n_samples, start_time=start, end_time=self.env.now)
-            )
+            self._complete_job(n_samples, start, done)
             return
 
         samples_per_burst = max(1, BURST_BYTES // self.sample_bytes)
@@ -538,6 +548,14 @@ class SPNAcceleratorCore:
         # Functional completion: results land in the backing store.
         if results is not None:
             self.memory.write_array(result_addr, results)
+        self._complete_job(n_samples, start, done)
+
+    def _complete_job(self, n_samples: int, start: float, done: Event) -> None:
+        """Shared completion bookkeeping of both timing paths."""
+        if self._m_jobs is not None:
+            self._m_jobs.add(1)
+            self._m_samples.add(n_samples)
+            self._m_busy_seconds.add(self.env.now - start)
         self.total_samples += n_samples
         self._busy = False
         self.registers.set_busy(False)

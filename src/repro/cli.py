@@ -6,8 +6,10 @@ Usage::
 
 where ``<artifact>`` is one of ``fig2``, ``table1``, ``fig4``,
 ``fig5``, ``fig6``, ``speedups``, ``outlook``, ``ablations``,
-``plans`` or ``all``.  Each command prints the same rows/series the paper reports
-(see EXPERIMENTS.md for the interpretation).
+``plans``, ``report`` or ``all``.  Each command prints the same
+rows/series the paper reports (see EXPERIMENTS.md for the
+interpretation); ``report`` prints the per-channel/per-PE utilization
+of one instrumented run (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -91,6 +93,21 @@ def _cmd_plans(args) -> str:
     return format_plan_speedup(run_plan_speedup(n_samples=n_samples))
 
 
+def _cmd_report(args) -> str:
+    from repro.experiments import format_utilization, run_utilization
+
+    report = run_utilization(
+        args.benchmark,
+        args.cores,
+        threads_per_pe=args.threads,
+        samples_per_core=args.samples,
+        block_bytes=args.block_bytes,
+    )
+    if args.json:
+        return report.to_json()
+    return format_utilization(report, benchmark=args.benchmark)
+
+
 def _cmd_ablations(args) -> str:
     from repro.experiments.ablations import (
         format_ablation,
@@ -119,6 +136,7 @@ _COMMANDS: Dict[str, Callable] = {
     "sensitivity": _cmd_sensitivity,
     "roofline": _cmd_roofline,
     "plans": _cmd_plans,
+    "report": _cmd_report,
 }
 
 
@@ -144,6 +162,35 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=16,
         help="requests per point for the Fig. 2 sweep (default 16)",
+    )
+    report = parser.add_argument_group("report options")
+    report.add_argument(
+        "--benchmark",
+        default="NIPS10",
+        help="benchmark for the utilization report (default NIPS10)",
+    )
+    report.add_argument(
+        "--cores",
+        type=int,
+        default=2,
+        help="accelerator core count for the utilization report (default 2)",
+    )
+    report.add_argument(
+        "--threads",
+        type=int,
+        default=2,
+        help="control threads per PE for the utilization report (default 2)",
+    )
+    report.add_argument(
+        "--block-bytes",
+        type=int,
+        default=1 << 20,
+        help="streaming block size for the utilization report (default 1 MiB)",
+    )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the utilization report as JSON instead of text",
     )
     return parser
 

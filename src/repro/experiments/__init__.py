@@ -18,7 +18,9 @@ records paper-vs-measured for each.
 
 Beyond the paper's artifacts, :mod:`repro.experiments.plan_speedup`
 measures the software-side compiled-plan vs graph-walk speedup on the
-local machine.
+local machine, and :mod:`repro.experiments.utilization` runs one
+instrumented simulation and reports per-channel/per-PE utilization
+(``repro report``, see ``docs/observability.md``).
 """
 
 from repro.experiments.reference import PAPER
@@ -34,6 +36,7 @@ from repro.experiments.format_comparison import run_format_comparison, format_fo
 from repro.experiments.sensitivity import run_sensitivity, format_sensitivity
 from repro.experiments.roofline import run_roofline, format_roofline
 from repro.experiments.plan_speedup import run_plan_speedup, format_plan_speedup
+from repro.experiments.utilization import run_utilization, format_utilization
 from repro.experiments.ablations import (
     run_block_size_ablation,
     run_thread_ablation,
@@ -72,4 +75,6 @@ __all__ = [
     "format_roofline",
     "run_plan_speedup",
     "format_plan_speedup",
+    "run_utilization",
+    "format_utilization",
 ]

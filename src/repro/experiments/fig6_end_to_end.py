@@ -11,7 +11,7 @@ For every benchmark, the best configuration per platform:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.compiler.design import compose_design
@@ -22,6 +22,7 @@ from repro.experiments.reporting import format_series
 from repro.experiments.sweep import parallel_map
 from repro.host.device import SimulatedDevice
 from repro.host.runtime import InferenceJobConfig, InferenceRuntime
+from repro.obs.report import UtilizationReport
 from repro.platforms.cpu_model import XEON_E5_2680_V3
 from repro.platforms.f1_model import AWS_F1_SYSTEM
 from repro.platforms.gpu_model import TESLA_V100
@@ -62,6 +63,9 @@ class Fig6Result:
     f1: Dict[str, float]
     cpu: Dict[str, float]
     gpu: Dict[str, float]
+    #: benchmark -> utilization report of one instrumented HBM run at
+    #: the deployed core count (empty unless requested).
+    utilization: Dict[str, UtilizationReport] = field(default_factory=dict)
 
     def winner(self, benchmark: str) -> str:
         """Fastest platform for *benchmark*."""
@@ -91,12 +95,17 @@ def run_fig6(
     *,
     samples_per_core: int = SAMPLES_PER_CORE,
     workers: Optional[int] = None,
+    collect_utilization: bool = False,
 ) -> Fig6Result:
     """Measure/model all four platforms per benchmark.
 
     The HBM system simulations (the expensive points) fan across the
     process-parallel sweep runner; the analytic platform models are
-    evaluated inline.
+    evaluated inline.  With *collect_utilization* an additional
+    instrumented HBM run per benchmark attaches a
+    :class:`~repro.obs.report.UtilizationReport`; it is capped at 1 M
+    samples per core because the span tracer forces the burst-granular
+    core model.
     """
     for name in benchmarks:
         benchmark_core(name, "cfp")
@@ -116,8 +125,24 @@ def run_fig6(
         )
         cpu[name] = XEON_E5_2680_V3.samples_per_second(bench.spn)
         gpu[name] = TESLA_V100.samples_per_second(bench.spn)
+    utilization: Dict[str, UtilizationReport] = {}
+    if collect_utilization:
+        from repro.experiments.utilization import run_utilization
+
+        for name in benchmarks:
+            utilization[name] = run_utilization(
+                name,
+                hbm_core_count(name),
+                threads_per_pe=1,
+                samples_per_core=min(samples_per_core, 1_000_000),
+            )
     return Fig6Result(
-        benchmarks=tuple(benchmarks), hbm=hbm, f1=f1, cpu=cpu, gpu=gpu
+        benchmarks=tuple(benchmarks),
+        hbm=hbm,
+        f1=f1,
+        cpu=cpu,
+        gpu=gpu,
+        utilization=utilization,
     )
 
 
@@ -138,4 +163,10 @@ def format_fig6(result: Fig6Result) -> str:
         "(*reconstructed from quoted anchors)",
     )
     winners = ", ".join(f"{n}: {result.winner(n)}" for n in names)
-    return table + "\nwinners: " + winners
+    out = table + "\nwinners: " + winners
+    if result.utilization:
+        lines = ["HBM utilization (see `repro report`):"]
+        for name, report in result.utilization.items():
+            lines.append(f"  {name}: {report.summary_line()}")
+        out += "\n\n" + "\n".join(lines)
+    return out

@@ -24,6 +24,8 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
+from repro.errors import RuntimeConfigError
+
 __all__ = ["parallel_map", "sweep_worker_count"]
 
 T = TypeVar("T")
@@ -35,7 +37,13 @@ def sweep_worker_count(n_items: int, workers: Optional[int] = None) -> int:
     if workers is None:
         env = os.environ.get("REPRO_SWEEP_WORKERS", "")
         if env:
-            workers = max(1, int(env))
+            try:
+                workers = max(1, int(env))
+            except ValueError:
+                raise RuntimeConfigError(
+                    "REPRO_SWEEP_WORKERS must be an integer worker count, "
+                    f"got {env!r}"
+                ) from None
         else:
             workers = os.cpu_count() or 1
     return max(1, min(workers, n_items))

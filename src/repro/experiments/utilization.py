@@ -1,0 +1,79 @@
+"""Instrumented utilization runs (`repro report`).
+
+Runs a fig4-style system simulation (device + multi-threaded runtime)
+with the metrics registry attached and a span tracer recording
+DMA/compute intervals, then fuses both into a
+:class:`repro.obs.report.UtilizationReport`.  This is the measurement
+the paper's central claims live in:
+
+* per-channel achieved bandwidth vs the ~12 GiB/s Fig. 2 plateau,
+* DMA↔compute overlap under 2 control threads per PE (§IV-B),
+* DMA-link busy fraction approaching the PCIe limit (§V-C).
+
+``docs/observability.md`` maps every report field to its paper claim.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler.design import compose_design
+from repro.experiments.cache import benchmark_core
+from repro.host.device import SimulatedDevice
+from repro.host.runtime import InferenceJobConfig, InferenceRuntime
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import UtilizationReport
+from repro.platforms.specs import XUPVVH_HBM_PLATFORM
+from repro.sim.trace import Tracer
+from repro.units import MIB
+
+__all__ = ["run_utilization", "format_utilization"]
+
+
+def run_utilization(
+    benchmark: str = "NIPS10",
+    n_cores: int = 2,
+    *,
+    threads_per_pe: int = 2,
+    samples_per_core: int = 500_000,
+    block_bytes: int = 1 * MIB,
+    scheduling: str = "static",
+    trace: bool = True,
+) -> UtilizationReport:
+    """Run one instrumented end-to-end simulation and report on it.
+
+    With ``trace=True`` (the default) a tracer records DMA and PE spans
+    so the report includes the DMA↔compute overlap; tracing forces the
+    burst-granular core model, so very large sample counts should
+    disable it and accept ``overlap = None``.
+    """
+    core = benchmark_core(benchmark, "cfp")
+    design = compose_design(core, n_cores, XUPVVH_HBM_PLATFORM)
+    metrics = MetricsRegistry()
+    device = SimulatedDevice(design, metrics=metrics)
+    tracer: Optional[Tracer] = Tracer(device.env) if trace else None
+    runtime = InferenceRuntime(
+        device,
+        InferenceJobConfig(
+            block_bytes=block_bytes,
+            threads_per_pe=threads_per_pe,
+            scheduling=scheduling,
+        ),
+        tracer=tracer,
+    )
+    stats = runtime.run_timing_only(samples_per_core * n_cores)
+    return UtilizationReport.from_run(
+        metrics, stats.elapsed_seconds, tracer=tracer
+    )
+
+
+def format_utilization(
+    report: UtilizationReport,
+    *,
+    benchmark: Optional[str] = None,
+) -> str:
+    """Render a report with an optional benchmark heading."""
+    title = "Utilization report"
+    if benchmark is not None:
+        title += f" - {benchmark}"
+    return title + "\n" + report.format_text()

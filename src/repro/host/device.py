@@ -60,6 +60,7 @@ class SimulatedDevice:
         compute_format: Optional[NumberFormat] = None,
         crossbar: bool = False,
         burst_granular: bool = False,
+        metrics=None,
     ):
         if design.n_cores > hbm_spec.n_channels:
             raise RuntimeConfigError(
@@ -69,11 +70,17 @@ class SimulatedDevice:
         self.design = design
         self.env = Engine()
         self.crossbar = crossbar
-        self.hbm = HBMSubsystem(self.env, hbm_spec, crossbar=crossbar)
-        self.dma = DmaEngine(self.env, pcie_spec)
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry`; when
+        #: set, every subsystem (HBM channels, DMA, PEs, memory
+        #: manager) records its activity there without perturbing the
+        #: simulated timings.
+        self.metrics = metrics
+        self.hbm = HBMSubsystem(self.env, hbm_spec, crossbar=crossbar, metrics=metrics)
+        self.dma = DmaEngine(self.env, pcie_spec, metrics=metrics)
         self.memory_manager = DeviceMemoryManager(
             n_blocks=design.n_cores,
             block_capacity=hbm_spec.channel_capacity_bytes,
+            metrics=metrics,
         )
         self.memories: List[ChannelMemory] = [
             ChannelMemory(hbm_spec.channel_capacity_bytes)
@@ -100,6 +107,7 @@ class SimulatedDevice:
                 clock_hz=design.clock_mhz * 1e6,
                 compute_format=compute_format,
                 burst_granular=burst_granular,
+                metrics=metrics,
             )
             for index in range(design.n_cores)
         ]

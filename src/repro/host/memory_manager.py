@@ -32,7 +32,15 @@ ALLOCATION_ALIGNMENT = 4096
 class MemoryBlockAllocator:
     """First-fit allocator with free-list coalescing for one region."""
 
-    def __init__(self, base: int, capacity: int, alignment: int = ALLOCATION_ALIGNMENT):
+    def __init__(
+        self,
+        base: int,
+        capacity: int,
+        alignment: int = ALLOCATION_ALIGNMENT,
+        *,
+        metrics=None,
+        metrics_prefix: str = "mem.block",
+    ):
         if capacity <= 0:
             raise AllocationError(f"capacity must be positive, got {capacity}")
         if base < 0:
@@ -45,6 +53,18 @@ class MemoryBlockAllocator:
         self._lock = threading.Lock()
         self._free: List[Tuple[int, int]] = [(base, capacity)]  # (addr, size)
         self._allocated: Dict[int, int] = {}
+        # Metrics (optional, see repro.obs.metrics): alloc/free counts,
+        # transient failures and the allocated-bytes high-water mark.
+        if metrics is not None:
+            self._m_allocs = metrics.counter(metrics_prefix + ".allocs")
+            self._m_frees = metrics.counter(metrics_prefix + ".frees")
+            self._m_failures = metrics.counter(metrics_prefix + ".alloc_failures")
+            self._m_allocated = metrics.gauge(metrics_prefix + ".allocated_bytes")
+        else:
+            self._m_allocs = None
+            self._m_frees = None
+            self._m_failures = None
+            self._m_allocated = None
 
     def alloc(self, n_bytes: int) -> int:
         """Allocate *n_bytes* (rounded up to the alignment); returns the
@@ -62,7 +82,12 @@ class MemoryBlockAllocator:
                     else:
                         del self._free[index]
                     self._allocated[addr] = size
+                    if self._m_allocs is not None:
+                        self._m_allocs.add(1)
+                        self._m_allocated.add(size)
                     return addr
+            if self._m_failures is not None:
+                self._m_failures.add(1)
             raise AllocationError(
                 f"no free range of {size} bytes (largest free: "
                 f"{max((s for _, s in self._free), default=0)})"
@@ -74,6 +99,9 @@ class MemoryBlockAllocator:
             size = self._allocated.pop(address, None)
             if size is None:
                 raise AllocationError(f"free of unallocated address {address:#x}")
+            if self._m_frees is not None:
+                self._m_frees.add(1)
+                self._m_allocated.add(-size)
             # Insert sorted and coalesce with neighbours.
             self._free.append((address, size))
             self._free.sort()
@@ -107,14 +135,19 @@ class MemoryBlockAllocator:
 class DeviceMemoryManager:
     """One allocator per HBM block, addressable by block index."""
 
-    def __init__(self, n_blocks: int, block_capacity: int):
+    def __init__(self, n_blocks: int, block_capacity: int, *, metrics=None):
         if n_blocks <= 0:
             raise AllocationError(f"n_blocks must be positive, got {n_blocks}")
         self.n_blocks = n_blocks
         self.block_capacity = block_capacity
         self._allocators = [
-            MemoryBlockAllocator(base=0, capacity=block_capacity)
-            for _ in range(n_blocks)
+            MemoryBlockAllocator(
+                base=0,
+                capacity=block_capacity,
+                metrics=metrics,
+                metrics_prefix=f"mem.block{index}",
+            )
+            for index in range(n_blocks)
         ]
 
     def allocator(self, block: int) -> MemoryBlockAllocator:

@@ -25,7 +25,7 @@ __all__ = ["DmaEngine"]
 class DmaEngine:
     """Discrete-event model of the shared host DMA engine."""
 
-    def __init__(self, env: Engine, spec: PCIeSpec = PCIE_GEN3_X16):
+    def __init__(self, env: Engine, spec: PCIeSpec = PCIE_GEN3_X16, *, metrics=None):
         self.env = env
         self.spec = spec
         # Weighted engine time is metered by a token bucket; the burst
@@ -36,6 +36,20 @@ class DmaEngine:
         )
         self.bytes_to_device = 0
         self.bytes_from_device = 0
+        # Metrics (optional, see repro.obs.metrics): resolved once, one
+        # is-None check per transfer when disabled.
+        if metrics is not None:
+            self._m_requests_h2d = metrics.counter("dma.requests_h2d")
+            self._m_requests_d2h = metrics.counter("dma.requests_d2h")
+            self._m_bytes_h2d = metrics.counter("dma.bytes_h2d")
+            self._m_bytes_d2h = metrics.counter("dma.bytes_d2h")
+            self._m_busy = metrics.counter("dma.busy_seconds")
+        else:
+            self._m_requests_h2d = None
+            self._m_requests_d2h = None
+            self._m_bytes_h2d = None
+            self._m_bytes_d2h = None
+            self._m_busy = None
 
     def copy_to_device(self, n_bytes: int) -> Event:
         """Host-to-device transfer; yields on completion."""
@@ -60,6 +74,19 @@ class DmaEngine:
             self.bytes_to_device += n_bytes
         else:
             self.bytes_from_device += n_bytes
+        if self._m_busy is not None:
+            if to_device:
+                self._m_requests_h2d.add(1)
+                self._m_bytes_h2d.add(n_bytes)
+            else:
+                self._m_requests_d2h.add(1)
+                self._m_bytes_d2h.add(n_bytes)
+            # Engine occupancy: descriptor setup plus the weighted
+            # drain time of this transfer's bytes.
+            self._m_busy.add(
+                self.spec.transfer_setup_latency
+                + n_bytes * weight / self.spec.weighted_capacity
+            )
         done.succeed(None)
 
     @property

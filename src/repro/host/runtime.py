@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.errors import AllocationError, RuntimeConfigError
 from repro.host.device import SimulatedDevice
+from repro.sim.engine import Event
 from repro.sim.resource import SimResource
 from repro.sim.trace import Tracer
 from repro.units import MIB
@@ -107,6 +108,7 @@ class InferenceRuntime:
         self.tracer = tracer
         # Self-configuration: query PE 0's register file (§IV-B).
         pe_config = device.pe_configuration(0)
+        self.n_variables = pe_config["n_variables"]
         self.sample_bytes = pe_config["sample_bytes"]
         self.result_bytes = pe_config["result_bytes"]
         self.samples_per_block = max(1, self.config.block_bytes // self.sample_bytes)
@@ -120,9 +122,13 @@ class InferenceRuntime:
         input order, computed by the simulated accelerators.
         """
         data = np.asarray(data)
-        if data.ndim != 2 or data.shape[1] != self.sample_bytes:
+        # Validate against the PE's *variable* count, not its encoded
+        # sample byte count: a format where one variable encodes to
+        # more than one byte makes the two differ.
+        if data.ndim != 2 or data.shape[1] != self.n_variables:
             raise RuntimeConfigError(
-                f"data must be (n, {self.sample_bytes}), got {data.shape}"
+                f"data must be (n, {self.n_variables}) — one column per "
+                f"SPN variable — got {data.shape}"
             )
         results = np.empty(data.shape[0], dtype=np.float64)
         stats = self._execute(data.shape[0], data=data, results=results)
@@ -181,7 +187,26 @@ class InferenceRuntime:
         dma_before = (device.dma.bytes_to_device, device.dma.bytes_from_device)
 
         tracer = self.tracer
+        metrics = getattr(device, "metrics", None)
+        dispatch_counters = (
+            [metrics.counter(f"pe{i}.dispatch_seconds") for i in range(n_pes)]
+            if metrics is not None
+            else None
+        )
         shared_queue = list(reversed(blocks)) if self.config.scheduling == "shared" else None
+
+        # Allocation back-pressure: a control thread that cannot get its
+        # buffers while sibling threads hold the PE's memory parks on
+        # this list and is woken by the next free on the same PE.
+        free_waiters: List[List[Event]] = [[] for _ in range(n_pes)]
+
+        def free_buffer(pe: int, address: int) -> None:
+            device.free(pe, address)
+            waiters = free_waiters[pe]
+            if waiters:
+                for waiter in waiters:
+                    waiter.succeed(None)
+                waiters.clear()
 
         def block_source(pe: int, my_blocks: List[tuple]):
             """Static: iterate the dealt list; shared: pop the queue."""
@@ -197,27 +222,29 @@ class InferenceRuntime:
                 input_bytes = count * self.sample_bytes
                 result_bytes = count * self.result_bytes
                 # Allocation can fail transiently when sibling threads
-                # hold the PE's memory.  Under shared scheduling the
-                # popped block must not be lost: return it to the queue
-                # (and free any partial allocation) so another thread
-                # picks it up, then retire this thread.  Under static
-                # scheduling the block belongs to this thread alone, so
-                # the failure propagates as before.
-                try:
-                    input_addr = device.alloc(pe, input_bytes)
-                except AllocationError:
-                    if shared_queue is not None:
-                        shared_queue.append(block)
-                        return
-                    raise
-                try:
-                    result_addr = device.alloc(pe, result_bytes)
-                except AllocationError:
-                    device.free(pe, input_addr)
-                    if shared_queue is not None:
-                        shared_queue.append(block)
-                        return
-                    raise
+                # hold the PE's memory; retiring would strand the block
+                # (and, under shared scheduling, could fail the whole
+                # run even though retrying after the next free would
+                # succeed).  Instead the thread parks until a sibling
+                # frees and retries.  Only a genuinely impossible
+                # request — the allocator is empty and the buffers
+                # still do not fit — fails loudly.
+                while True:
+                    input_addr = None
+                    try:
+                        input_addr = device.alloc(pe, input_bytes)
+                        result_addr = device.alloc(pe, result_bytes)
+                        break
+                    except AllocationError:
+                        if input_addr is not None:
+                            free_buffer(pe, input_addr)
+                        if device.memory_manager.allocator(pe).bytes_allocated == 0:
+                            # No sibling holds memory, so no future
+                            # free can help: the block cannot fit.
+                            raise
+                        waiter = Event(env)
+                        free_waiters[pe].append(waiter)
+                        yield waiter
                 try:
                     mark = env.now
                     if data is not None:
@@ -234,6 +261,8 @@ class InferenceRuntime:
                     yield grant
                     try:
                         mark = env.now
+                        if dispatch_counters is not None:
+                            dispatch_counters[pe].add(JOB_DISPATCH_OVERHEAD)
                         yield env.timeout(JOB_DISPATCH_OVERHEAD)
                         yield device.launch(
                             pe,
@@ -257,8 +286,8 @@ class InferenceRuntime:
                     if tracer is not None and (transfers or data is not None):
                         tracer.record("dma d2h", f"pe{pe}b{start_sample}", mark, env.now)
                 finally:
-                    device.free(pe, input_addr)
-                    device.free(pe, result_addr)
+                    free_buffer(pe, input_addr)
+                    free_buffer(pe, result_addr)
                 stats.samples_per_pe[pe] = stats.samples_per_pe.get(pe, 0) + count
 
         threads = []
@@ -296,9 +325,9 @@ class InferenceRuntime:
         stats.bytes_from_device = device.dma.bytes_from_device - dma_before[1]
         processed = sum(stats.samples_per_pe.values())
         if processed != n_samples:
-            # Every control thread retired on allocation failure with
-            # blocks still queued: surface the capacity problem instead
-            # of silently under-reporting.
+            # Should be unreachable now that control threads wait out
+            # transient allocation failures, but kept as a loud
+            # invariant against silently under-reporting samples.
             raise AllocationError(
                 f"runtime processed {processed} of {n_samples} samples; "
                 f"{len(shared_queue) if shared_queue else 0} block(s) left "

@@ -1,0 +1,28 @@
+"""Observability: metrics registry and utilization reporting.
+
+See :mod:`repro.obs.metrics` for the registry the simulated components
+update and :mod:`repro.obs.report` for the fused
+:class:`UtilizationReport`; ``docs/observability.md`` maps every
+report field to the paper claim it measures.
+"""
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, TimeWeightedStat
+from repro.obs.report import (
+    ChannelUtilization,
+    DmaUtilization,
+    MemoryBlockStats,
+    PEUtilization,
+    UtilizationReport,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "TimeWeightedStat",
+    "ChannelUtilization",
+    "DmaUtilization",
+    "MemoryBlockStats",
+    "PEUtilization",
+    "UtilizationReport",
+]

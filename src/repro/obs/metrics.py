@@ -1,0 +1,185 @@
+"""The metrics registry: counters, gauges and time-weighted stats.
+
+Instrumentation backbone for the simulated system.  A
+:class:`MetricsRegistry` is handed to :class:`repro.host.device.
+SimulatedDevice` (and propagated to the HBM channels, the DMA engine,
+the PE cores and the device memory manager); each component resolves
+its metric objects **once at construction** and updates them from the
+event callbacks it already executes.  Two invariants make the layer
+safe to leave on:
+
+* **zero cost when disabled** — components hold ``None`` instead of
+  metric objects when no registry is supplied, and every update site
+  is guarded by a single ``is not None`` check;
+* **strictly observational** — metrics never create simulation events
+  or timeouts, only read ``env.now``, so simulated timings are
+  bit-identical with and without a registry attached (asserted by the
+  fast-forward equivalence suite).
+
+Metric names are dotted paths (``hbm.ch0.bytes_read``,
+``pe1.busy_seconds``, ``dma.bytes_h2d``, ``mem.block0.allocs``); the
+:class:`repro.obs.report.UtilizationReport` fuses them with
+:class:`repro.sim.trace.Tracer` spans into the paper's utilization
+claims.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Optional
+
+__all__ = ["Counter", "Gauge", "TimeWeightedStat", "MetricsRegistry"]
+
+
+class Counter:
+    """A named monotonically-increasing counter (ints or seconds)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increase the counter; *amount* must be non-negative."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A named instantaneous value that also tracks its high-water mark."""
+
+    __slots__ = ("name", "value", "maximum")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.maximum = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value (high-water mark is retained)."""
+        self.value = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def add(self, delta: float) -> None:
+        """Shift the current value by *delta* (may be negative)."""
+        self.set(self.value + delta)
+
+
+class TimeWeightedStat:
+    """Time-weighted mean/maximum of a sampled level (queue depth, ...).
+
+    Call :meth:`update` with the *new* level whenever it changes; the
+    previous level is integrated over the interval since the last
+    update.  Time comes from the caller (``env.now``) so the stat never
+    touches the engine.
+    """
+
+    __slots__ = ("name", "_level", "_since", "_area", "_observed", "maximum")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._level = 0.0
+        self._since: Optional[float] = None
+        self._area = 0.0
+        self._observed = 0.0
+        self.maximum = 0.0
+
+    def update(self, level: float, now: float) -> None:
+        """Record that the level is *level* from simulated time *now*."""
+        if self._since is not None and now > self._since:
+            self._area += self._level * (now - self._since)
+            self._observed += now - self._since
+        self._since = now
+        self._level = level
+        if level > self.maximum:
+            self.maximum = level
+
+    def mean(self) -> float:
+        """Time-weighted mean level over the observed window."""
+        if self._observed <= 0.0:
+            return 0.0
+        return self._area / self._observed
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters, gauges and time stats."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._stats: Dict[str, TimeWeightedStat] = {}
+
+    # -- get-or-create ----------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter registered as *name* (created on first use)."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered as *name* (created on first use)."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def time_stat(self, name: str) -> TimeWeightedStat:
+        """The time-weighted stat registered as *name*."""
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = self._stats[name] = TimeWeightedStat(name)
+        return stat
+
+    # -- read-only access -------------------------------------------------------
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Current value of a counter or gauge, *default* if absent."""
+        counter = self._counters.get(name)
+        if counter is not None:
+            return counter.value
+        gauge = self._gauges.get(name)
+        if gauge is not None:
+            return gauge.value
+        return default
+
+    def maximum(self, name: str, default: float = 0.0) -> float:
+        """High-water mark of a gauge or time stat, *default* if absent."""
+        gauge = self._gauges.get(name)
+        if gauge is not None:
+            return gauge.maximum
+        stat = self._stats.get(name)
+        if stat is not None:
+            return stat.maximum
+        return default
+
+    def has(self, name: str) -> bool:
+        """True when any metric was registered as *name*."""
+        return name in self._counters or name in self._gauges or name in self._stats
+
+    def names(self) -> Iterable[str]:
+        """All registered metric names (counters, gauges, time stats)."""
+        yield from self._counters
+        yield from self._gauges
+        yield from self._stats
+
+    # -- export -----------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-dict dump of every metric (JSON-serialisable)."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {
+                name: {"value": g.value, "max": g.maximum}
+                for name, g in sorted(self._gauges.items())
+            },
+            "time_stats": {
+                name: {"mean": s.mean(), "max": s.maximum}
+                for name, s in sorted(self._stats.items())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The :meth:`snapshot` serialised as JSON."""
+        return json.dumps(self.snapshot(), indent=indent)

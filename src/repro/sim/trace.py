@@ -132,9 +132,13 @@ class Tracer:
         for track in tracks:
             cells = [" "] * width
             for span in self.spans:
-                if span.track != track:
+                if span.track != track or span.begin > horizon:
                     continue
-                first = int(span.begin / horizon * width)
+                # Clamp the start column so spans beginning exactly at
+                # the horizon still land in the last cell, and always
+                # paint at least one cell so zero-duration spans (and
+                # spans much shorter than a column) stay visible.
+                first = min(int(span.begin / horizon * width), width - 1)
                 last = int(min(span.end, horizon) / horizon * width)
                 for column in range(first, max(first + 1, last)):
                     if column < width:

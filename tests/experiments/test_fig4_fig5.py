@@ -46,6 +46,21 @@ class TestFig4:
         text = format_fig4(fig4)
         assert "w/o host transfers" in text
         assert "end-to-end" in text
+        assert "utilization" not in text  # not collected by default
+
+    def test_collect_utilization_attaches_reports(self):
+        result = run_fig4(
+            benchmarks=("NIPS10",),
+            pe_counts=(1, 2),
+            samples_per_core=200_000,
+            collect_utilization=True,
+        )
+        report = result.utilization["NIPS10"]
+        assert len(report.pes) == 2  # instrumented at the largest count
+        assert report.channels
+        text = format_fig4(result)
+        assert "utilization at 2 PEs" in text
+        assert "of plateau" in text
 
 
 @pytest.fixture(scope="module")

@@ -36,6 +36,18 @@ class TestWorkerCount:
         monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
         assert sweep_worker_count(1000) == (os.cpu_count() or 1)
 
+    def test_non_integer_env_is_a_config_error(self, monkeypatch):
+        """Regression: a typo'd REPRO_SWEEP_WORKERS crashed with a bare
+        ValueError; it must raise a configuration error naming the
+        variable and the offending value."""
+        from repro.errors import RuntimeConfigError
+
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "four")
+        with pytest.raises(
+            RuntimeConfigError, match=r"REPRO_SWEEP_WORKERS.*'four'"
+        ):
+            sweep_worker_count(100)
+
 
 class TestParallelMap:
     def test_order_preserved_serial(self):

@@ -6,6 +6,7 @@ import pytest
 from repro.compiler import compile_core, compose_design
 from repro.errors import RuntimeConfigError
 from repro.host import InferenceJobConfig, InferenceRuntime, SimulatedDevice
+from repro.host.runtime import RunStatistics
 from repro.platforms.specs import XUPVVH_HBM_PLATFORM
 from repro.spn import log_likelihood, nips_benchmark, random_spn
 from repro.spn.nips import nips_dataset
@@ -94,6 +95,38 @@ class TestRuntimeFunctional:
         runtime = InferenceRuntime(device)
         with pytest.raises(RuntimeConfigError):
             runtime.run(np.zeros((10, 3), dtype=np.uint8))
+
+    def test_shape_checked_against_variables_not_encoded_bytes(self):
+        """Regression: with a wide sample format (one variable encodes
+        to more than one byte) the input shape must be validated
+        against the PE's variable count, not its encoded byte count."""
+
+        class WideFormatDevice:
+            def pe_configuration(self, pe):
+                return {"n_variables": 4, "sample_bytes": 8, "result_bytes": 8}
+
+        # The runtime self-configures purely from the register file.
+        runtime = InferenceRuntime(WideFormatDevice())
+        assert runtime.n_variables == 4
+        assert runtime.sample_bytes == 8
+
+        # A (n, sample_bytes) matrix used to slip through; it must be
+        # rejected with a message naming the variable count.
+        with pytest.raises(RuntimeConfigError, match=r"\(n, 4\)"):
+            runtime.run(np.zeros((10, 8), dtype=np.uint8))
+
+        # A (n, n_variables) matrix passes validation and reaches
+        # execution.
+        calls = {}
+
+        def fake_execute(n_samples, data=None, results=None, transfers=True):
+            calls["n_samples"] = n_samples
+            return RunStatistics(n_samples=n_samples)
+
+        runtime._execute = fake_execute
+        results, stats = runtime.run(np.zeros((10, 4), dtype=np.uint8))
+        assert calls["n_samples"] == 10
+        assert stats.n_samples == 10
 
     def test_memory_released_after_run(self):
         device, _ = _device()

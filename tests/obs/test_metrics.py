@@ -1,0 +1,101 @@
+"""Unit tests for the metrics primitives and registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, TimeWeightedStat
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("x")
+        assert counter.value == 0.0
+        counter.add()
+        counter.add(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("x")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.add(-1.0)
+
+
+class TestGauge:
+    def test_set_tracks_high_water_mark(self):
+        gauge = Gauge("depth")
+        gauge.set(4.0)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+        assert gauge.maximum == 4.0
+
+    def test_add_moves_relative_and_may_go_negative(self):
+        gauge = Gauge("delta")
+        gauge.add(3.0)
+        gauge.add(-5.0)
+        assert gauge.value == -2.0
+        assert gauge.maximum == 3.0
+
+
+class TestTimeWeightedStat:
+    def test_mean_integrates_levels_over_time(self):
+        stat = TimeWeightedStat("queue")
+        stat.update(2.0, now=0.0)
+        stat.update(4.0, now=1.0)  # level 2 held for 1s
+        stat.update(0.0, now=3.0)  # level 4 held for 2s
+        assert stat.mean() == pytest.approx((2.0 * 1 + 4.0 * 2) / 3)
+        assert stat.maximum == 4.0
+
+    def test_mean_is_zero_before_any_interval(self):
+        stat = TimeWeightedStat("queue")
+        assert stat.mean() == 0.0
+        stat.update(7.0, now=5.0)
+        assert stat.mean() == 0.0  # no elapsed window yet
+        assert stat.maximum == 7.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.time_stat("t") is registry.time_stat("t")
+
+    def test_value_reads_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(2)
+        registry.gauge("g").set(5)
+        assert registry.value("c") == 2
+        assert registry.value("g") == 5
+        assert registry.value("missing", default=-1) == -1
+
+    def test_maximum_reads_gauges_and_time_stats(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(9)
+        registry.gauge("g").set(1)
+        stat = registry.time_stat("t")
+        stat.update(3.0, now=0.0)
+        assert registry.maximum("g") == 9
+        assert registry.maximum("t") == 3.0
+        assert registry.maximum("missing", default=-1) == -1
+
+    def test_has_and_names_cover_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        registry.gauge("g")
+        registry.time_stat("t")
+        assert registry.has("c") and registry.has("g") and registry.has("t")
+        assert not registry.has("zzz")
+        assert sorted(registry.names()) == ["c", "g", "t"]
+
+    def test_snapshot_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("hbm.ch0.requests").add(3)
+        registry.gauge("mem.block0.allocated_bytes").set(4096)
+        registry.time_stat("hbm.ch0.queue_depth").update(1.0, now=0.0)
+        registry.time_stat("hbm.ch0.queue_depth").update(0.0, now=2.0)
+        snapshot = json.loads(registry.to_json())
+        assert snapshot == registry.snapshot()
+        assert snapshot["counters"]["hbm.ch0.requests"] == 3
+        assert snapshot["gauges"]["mem.block0.allocated_bytes"]["max"] == 4096
+        assert snapshot["time_stats"]["hbm.ch0.queue_depth"]["mean"] == 1.0

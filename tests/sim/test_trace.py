@@ -85,6 +85,41 @@ def test_empty_timeline():
     assert "no spans" in tracer.timeline()
 
 
+def test_zero_duration_span_is_rendered():
+    """Regression: an instantaneous span must still paint one cell."""
+    tracer = Tracer(Engine())
+    tracer.record("t", "tick", 0.5, 0.5)
+    tracer.record("t", "pad", 0.0, 0.1)  # sets the horizon context
+    row = tracer.timeline(width=10, until=1.0).splitlines()[1].split("|")[1]
+    assert row[5] == "#"
+
+
+def test_span_at_horizon_is_rendered():
+    """Regression: a span beginning exactly at the horizon used to be
+    pushed past the last column and vanish."""
+    tracer = Tracer(Engine())
+    tracer.record("t", "edge", 1.0, 1.0)
+    row = tracer.timeline(width=10, until=1.0).splitlines()[1].split("|")[1]
+    assert row[9] == "#"
+
+
+def test_span_past_horizon_is_skipped():
+    tracer = Tracer(Engine())
+    tracer.record("t", "late", 2.0, 3.0)
+    tracer.record("t", "in", 0.0, 0.5)
+    row = tracer.timeline(width=10, until=1.0).splitlines()[1].split("|")[1]
+    assert row == "#####     "
+
+
+def test_sub_column_span_is_visible():
+    """A span much shorter than one column still paints its cell."""
+    tracer = Tracer(Engine())
+    tracer.record("t", "blip", 0.301, 0.302)
+    row = tracer.timeline(width=10, until=1.0).splitlines()[1].split("|")[1]
+    assert row.count("#") == 1
+    assert row[3] == "#"
+
+
 def test_runtime_tracing_integration():
     """The runtime's tracer records PE and DMA tracks whose busy times
     are consistent with the run."""
@@ -104,3 +139,28 @@ def test_runtime_tracing_integration():
     assert tracer.busy_time("pe0") <= stats.elapsed_seconds * 1.001
     # Two threads: transfers overlap compute.
     assert tracer.overlap_time("dma h2d", "pe0") > 0
+
+
+def test_forced_burst_granular_restored_when_run_raises():
+    """Regression: a tracer forces the burst-granular core model for
+    the run; if the run dies mid-flight (impossible allocation), the
+    cores must still be restored to fast-forwarding."""
+    from repro.compiler import compile_core, compose_design
+    from repro.errors import AllocationError
+    from repro.host import InferenceJobConfig, InferenceRuntime, SimulatedDevice
+    from repro.host.memory_manager import DeviceMemoryManager
+    from repro.platforms.specs import XUPVVH_HBM_PLATFORM
+    from repro.spn import nips_benchmark
+
+    core = compile_core(nips_benchmark("NIPS10").spn, "cfp")
+    device = SimulatedDevice(compose_design(core, 1, XUPVVH_HBM_PLATFORM))
+    # No buffer can ever fit: the run raises inside _execute.
+    device.memory_manager = DeviceMemoryManager(n_blocks=1, block_capacity=256)
+    tracer = Tracer(device.env)
+    runtime = InferenceRuntime(
+        device, InferenceJobConfig(threads_per_pe=1), tracer=tracer
+    )
+    assert not device.cores[0].burst_granular
+    with pytest.raises(AllocationError):
+        runtime.run_timing_only(10_000)
+    assert not device.cores[0].burst_granular

@@ -7,7 +7,7 @@ from repro.cli import build_parser, main
 
 def test_parser_accepts_all_artifacts():
     parser = build_parser()
-    for name in ("fig2", "table1", "fig4", "fig5", "fig6", "speedups", "outlook", "ablations", "formats", "sensitivity", "roofline", "plans", "all"):
+    for name in ("fig2", "table1", "fig4", "fig5", "fig6", "speedups", "outlook", "ablations", "formats", "sensitivity", "roofline", "plans", "report", "all"):
         args = parser.parse_args([name])
         assert args.artifact == name
 
@@ -49,3 +49,20 @@ def test_table1_command(capsys):
     assert main(["table1"]) == 0
     out = capsys.readouterr().out
     assert "this work" in out and "prior work" in out
+
+
+def test_report_command_prints_utilization(capsys):
+    assert main(["report", "--samples", "100000"]) == 0
+    out = capsys.readouterr().out
+    assert "Utilization report - NIPS10" in out
+    assert "plateau" in out
+    assert "DMA/compute overlap" in out
+
+
+def test_report_command_json(capsys):
+    import json
+
+    assert main(["report", "--samples", "50000", "--cores", "1", "--json"]) == 0
+    decoded = json.loads(capsys.readouterr().out)
+    assert decoded["channels"]
+    assert decoded["channels"][0]["plateau_fraction"] > 0.9
