@@ -103,7 +103,12 @@ from repro.host import (
 )
 
 # -- baselines & workloads ---------------------------------------------------------
-from repro.baselines import run_cpu_baseline, run_threaded_cpu_baseline
+from repro.baselines import (
+    ParallelPlanExecutor,
+    run_cpu_baseline,
+    run_sharded_cpu_baseline,
+    run_threaded_cpu_baseline,
+)
 from repro.workloads import NipsCorpusConfig, synthesize_nips_corpus
 
 __all__ = [
@@ -162,6 +167,8 @@ __all__ = [
     "RunStatistics",
     "run_cpu_baseline",
     "run_threaded_cpu_baseline",
+    "run_sharded_cpu_baseline",
+    "ParallelPlanExecutor",
     "NipsCorpusConfig",
     "synthesize_nips_corpus",
 ]

@@ -9,7 +9,9 @@ where ``<artifact>`` is one of ``fig2``, ``table1``, ``fig4``,
 ``plans``, ``report`` or ``all``.  Each command prints the same
 rows/series the paper reports (see EXPERIMENTS.md for the
 interpretation); ``report`` prints the per-channel/per-PE utilization
-of one instrumented run (see docs/observability.md).
+of one instrumented run (see docs/observability.md), or — with
+``--host`` — the worker/shared-memory utilization of a real zero-copy
+executor run on the local CPU (see docs/cpu_baselines.md).
 """
 
 from __future__ import annotations
@@ -48,13 +50,15 @@ def _cmd_fig5(args) -> str:
 def _cmd_fig6(args) -> str:
     from repro.experiments import format_fig6, run_fig6
 
-    return format_fig6(run_fig6(samples_per_core=args.samples))
+    return format_fig6(
+        run_fig6(samples_per_core=args.samples, cpu_backend=args.cpu_backend)
+    )
 
 
 def _cmd_speedups(args) -> str:
     from repro.experiments import format_speedups, run_fig6, run_speedups
 
-    fig6 = run_fig6(samples_per_core=args.samples)
+    fig6 = run_fig6(samples_per_core=args.samples, cpu_backend=args.cpu_backend)
     return format_speedups(run_speedups(fig6))
 
 
@@ -94,18 +98,32 @@ def _cmd_plans(args) -> str:
 
 
 def _cmd_report(args) -> str:
-    from repro.experiments import format_utilization, run_utilization
-
-    report = run_utilization(
-        args.benchmark,
-        args.cores,
-        threads_per_pe=args.threads,
-        samples_per_core=args.samples,
-        block_bytes=args.block_bytes,
+    from repro.experiments import (
+        format_utilization,
+        run_host_utilization,
+        run_utilization,
     )
+
+    if args.host:
+        report = run_host_utilization(
+            args.benchmark,
+            n_samples=args.samples,
+            n_workers=args.host_workers,
+            dtype=args.dtype,
+        )
+        heading = f"{args.benchmark} (host CPU executor)"
+    else:
+        report = run_utilization(
+            args.benchmark,
+            args.cores,
+            threads_per_pe=args.threads,
+            samples_per_core=args.samples,
+            block_bytes=args.block_bytes,
+        )
+        heading = args.benchmark
     if args.json:
         return report.to_json()
-    return format_utilization(report, benchmark=args.benchmark)
+    return format_utilization(report, benchmark=heading)
 
 
 def _cmd_ablations(args) -> str:
@@ -163,6 +181,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=16,
         help="requests per point for the Fig. 2 sweep (default 16)",
     )
+    parser.add_argument(
+        "--cpu-backend",
+        choices=["model", "measured"],
+        default="model",
+        help="fig6/speedups CPU column: calibrated Xeon model (default) "
+        "or a measured zero-copy-executor run on this machine",
+    )
     report = parser.add_argument_group("report options")
     report.add_argument(
         "--benchmark",
@@ -191,6 +216,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the utilization report as JSON instead of text",
+    )
+    report.add_argument(
+        "--host",
+        action="store_true",
+        help="report on a real zero-copy-executor run on this machine's "
+        "CPU instead of the simulated accelerator",
+    )
+    report.add_argument(
+        "--host-workers",
+        type=int,
+        default=None,
+        help="executor worker count for --host (default: all CPUs)",
+    )
+    report.add_argument(
+        "--dtype",
+        choices=["float64", "float32"],
+        default="float64",
+        help="evaluation precision for --host (default float64)",
     )
     return parser
 

@@ -36,7 +36,13 @@ from repro.experiments.format_comparison import run_format_comparison, format_fo
 from repro.experiments.sensitivity import run_sensitivity, format_sensitivity
 from repro.experiments.roofline import run_roofline, format_roofline
 from repro.experiments.plan_speedup import run_plan_speedup, format_plan_speedup
-from repro.experiments.utilization import run_utilization, format_utilization
+from repro.experiments.sweep import parallel_map, shutdown_sweep_pool, sweep_worker_count
+from repro.experiments.utilization import (
+    format_utilization,
+    host_cpu_batch,
+    run_host_utilization,
+    run_utilization,
+)
 from repro.experiments.ablations import (
     run_block_size_ablation,
     run_thread_ablation,
@@ -76,5 +82,10 @@ __all__ = [
     "run_plan_speedup",
     "format_plan_speedup",
     "run_utilization",
+    "run_host_utilization",
+    "host_cpu_batch",
     "format_utilization",
+    "parallel_map",
+    "sweep_worker_count",
+    "shutdown_sweep_pool",
 ]

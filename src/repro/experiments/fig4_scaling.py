@@ -102,7 +102,7 @@ def run_fig4(
         for transfers in (True, False)
         for n in pe_counts
     ]
-    rates = iter(parallel_map(_measure_point, points, workers=workers))
+    rates = iter(parallel_map(_measure_point, points, workers=workers, persistent=True))
     with_transfers: Dict[str, Tuple[float, ...]] = {}
     without_transfers: Dict[str, Tuple[float, ...]] = {}
     for benchmark in benchmarks:

@@ -5,7 +5,10 @@ For every benchmark, the best configuration per platform:
 * **HBM (this work)** — full system simulation (device + runtime),
   best of the deployable core counts with transfers included;
 * **AWS F1 [8]** — the calibrated prior-work system model;
-* **CPU (Xeon E5-2680 v3)** — the calibrated analytic model;
+* **CPU (Xeon E5-2680 v3)** — the calibrated analytic model, or
+  (``cpu_backend="measured"``) a real run of the zero-copy
+  :class:`~repro.baselines.executor.ParallelPlanExecutor` on the
+  local machine's cores (see ``docs/cpu_baselines.md``);
 * **GPU (Tesla V100)** — the calibrated analytic model.
 """
 
@@ -15,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.compiler.design import compose_design
-from repro.errors import ResourceFitError
+from repro.errors import ReproError, ResourceFitError
 from repro.experiments.cache import benchmark_core
 from repro.experiments.reference import PAPER
 from repro.experiments.reporting import format_series
@@ -90,12 +93,24 @@ def _hbm_point(point: Tuple[str, int]) -> float:
     return stats.samples_per_second
 
 
+def _measured_cpu_rate(name: str, n_samples: int) -> float:
+    """Steady-state samples/s of the zero-copy executor on *name*."""
+    from repro.baselines.cpu import run_sharded_cpu_baseline
+    from repro.experiments.utilization import host_cpu_batch
+
+    data = host_cpu_batch(name, n_samples)
+    result = run_sharded_cpu_baseline(nips_benchmark(name).spn, data)
+    return result.samples_per_second
+
+
 def run_fig6(
     benchmarks: Sequence[str] = NIPS_BENCHMARKS,
     *,
     samples_per_core: int = SAMPLES_PER_CORE,
     workers: Optional[int] = None,
     collect_utilization: bool = False,
+    cpu_backend: str = "model",
+    cpu_samples: int = 200_000,
 ) -> Fig6Result:
     """Measure/model all four platforms per benchmark.
 
@@ -106,13 +121,25 @@ def run_fig6(
     :class:`~repro.obs.report.UtilizationReport`; it is capped at 1 M
     samples per core because the span tracer forces the burst-granular
     core model.
+
+    ``cpu_backend`` selects the CPU column: ``"model"`` (default) is
+    the calibrated Xeon E5-2680 v3 analytic model at the paper's
+    hardware scale, ``"measured"`` runs *cpu_samples* rows through the
+    zero-copy :class:`~repro.baselines.executor.ParallelPlanExecutor`
+    on the local machine — a real measurement, but of *this* machine's
+    cores, not the paper's.
     """
+    if cpu_backend not in ("model", "measured"):
+        raise ReproError(
+            f"cpu_backend must be 'model' or 'measured', got {cpu_backend!r}"
+        )
     for name in benchmarks:
         benchmark_core(name, "cfp")
     rates = parallel_map(
         _hbm_point,
         [(name, samples_per_core) for name in benchmarks],
         workers=workers,
+        persistent=True,
     )
     hbm: Dict[str, float] = dict(zip(benchmarks, rates))
     f1: Dict[str, float] = {}
@@ -123,7 +150,10 @@ def run_fig6(
         f1[name] = AWS_F1_SYSTEM.samples_per_second(
             name, bench.input_bytes_per_sample, bench.result_bytes_per_sample
         )
-        cpu[name] = XEON_E5_2680_V3.samples_per_second(bench.spn)
+        if cpu_backend == "measured":
+            cpu[name] = _measured_cpu_rate(name, cpu_samples)
+        else:
+            cpu[name] = XEON_E5_2680_V3.samples_per_second(bench.spn)
         gpu[name] = TESLA_V100.samples_per_second(bench.spn)
     utilization: Dict[str, UtilizationReport] = {}
     if collect_utilization:

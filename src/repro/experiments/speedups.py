@@ -84,10 +84,19 @@ class SpeedupResult:
         return self.per_benchmark_vs_cpu.get("NIPS10", 2.0) < 1.0
 
 
-def run_speedups(fig6: Optional[Fig6Result] = None) -> SpeedupResult:
-    """Compute the §V-D summary (reusing a Fig. 6 run when given)."""
+def run_speedups(
+    fig6: Optional[Fig6Result] = None, *, cpu_backend: str = "model"
+) -> SpeedupResult:
+    """Compute the §V-D summary (reusing a Fig. 6 run when given).
+
+    *cpu_backend* is forwarded to :func:`~repro.experiments.
+    fig6_end_to_end.run_fig6` when no result is supplied:
+    ``"measured"`` states the vs-CPU speedups against a real
+    zero-copy-executor run on the local machine instead of the
+    calibrated Xeon model.
+    """
     if fig6 is None:
-        fig6 = run_fig6()
+        fig6 = run_fig6(cpu_backend=cpu_backend)
     vs_cpu = {n: fig6.hbm[n] / fig6.cpu[n] for n in fig6.benchmarks}
     vs_gpu = {n: fig6.hbm[n] / fig6.gpu[n] for n in fig6.benchmarks}
     vs_f1 = {n: fig6.hbm[n] / fig6.f1[n] for n in fig6.benchmarks}

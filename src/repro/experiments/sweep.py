@@ -7,6 +7,14 @@ points across a ``ProcessPoolExecutor``, preferring the ``fork`` start
 method so workers inherit the parent's warm caches (learned SPNs,
 compiled cores) instead of re-deriving them per process.
 
+With ``persistent=True`` the pool outlives the call and is reused by
+every later persistent sweep — the same fix the zero-copy
+:class:`~repro.baselines.executor.ParallelPlanExecutor` applies to the
+CPU baseline: pool spawn is a one-time setup cost, not a per-sweep tax
+(``repro all`` runs a dozen sweeps back to back).  The shared pool is
+torn down at interpreter exit, or explicitly via
+:func:`shutdown_sweep_pool`.
+
 Environment knobs:
 
 * ``REPRO_SWEEP_WORKERS`` — worker count; ``1`` (or a single-CPU
@@ -19,14 +27,16 @@ order, so drivers can zip them against their point lists.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.errors import RuntimeConfigError
 
-__all__ = ["parallel_map", "sweep_worker_count"]
+__all__ = ["parallel_map", "sweep_worker_count", "shutdown_sweep_pool"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -54,12 +64,44 @@ def _pool_context():
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
+# The shared sweep pool (``persistent=True``): one ProcessPoolExecutor
+# reused across sweeps, so back-to-back drivers (`repro all`) pay pool
+# spawn once instead of once per artifact.
+_PERSISTENT_POOL: Optional[ProcessPoolExecutor] = None
+_PERSISTENT_WORKERS = 0
+
+
+def shutdown_sweep_pool() -> None:
+    """Tear down the shared persistent sweep pool (idempotent)."""
+    global _PERSISTENT_POOL, _PERSISTENT_WORKERS
+    if _PERSISTENT_POOL is not None:
+        _PERSISTENT_POOL.shutdown(wait=True)
+        _PERSISTENT_POOL = None
+        _PERSISTENT_WORKERS = 0
+
+
+atexit.register(shutdown_sweep_pool)
+
+
+def _persistent_pool(n_workers: int) -> ProcessPoolExecutor:
+    """The shared pool, grown (recreated) if *n_workers* outgrew it."""
+    global _PERSISTENT_POOL, _PERSISTENT_WORKERS
+    if _PERSISTENT_POOL is None or _PERSISTENT_WORKERS < n_workers:
+        shutdown_sweep_pool()
+        _PERSISTENT_POOL = ProcessPoolExecutor(
+            max_workers=n_workers, mp_context=_pool_context()
+        )
+        _PERSISTENT_WORKERS = n_workers
+    return _PERSISTENT_POOL
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     *,
     workers: Optional[int] = None,
     chunksize: int = 1,
+    persistent: bool = False,
 ) -> List[R]:
     """Map *fn* over *items*, fanning across processes when it pays.
 
@@ -67,15 +109,24 @@ def parallel_map(
     there is at most one item, or the platform refuses to spawn
     processes (restricted sandboxes) — the result is identical either
     way, parallelism is purely a wall-clock optimisation.
+
+    With *persistent* the call draws on the shared long-lived sweep
+    pool instead of spawning (and tearing down) its own; a broken
+    shared pool is discarded and the sweep completes serially.
     """
     points: Sequence[T] = list(items)
     n_workers = sweep_worker_count(len(points), workers)
     if n_workers <= 1 or len(points) <= 1:
         return [fn(point) for point in points]
     try:
+        if persistent:
+            pool = _persistent_pool(n_workers)
+            return list(pool.map(fn, points, chunksize=chunksize))
         with ProcessPoolExecutor(
             max_workers=n_workers, mp_context=_pool_context()
         ) as pool:
             return list(pool.map(fn, points, chunksize=chunksize))
-    except (OSError, PermissionError):
+    except (OSError, PermissionError, BrokenProcessPool):
+        if persistent:
+            shutdown_sweep_pool()
         return [fn(point) for point in points]

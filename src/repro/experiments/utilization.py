@@ -10,14 +10,26 @@ the paper's central claims live in:
 * DMA↔compute overlap under 2 control threads per PE (§IV-B),
 * DMA-link busy fraction approaching the PCIe limit (§V-C).
 
+:func:`run_host_utilization` (``repro report --host``) is the same
+measurement for the *other* side of the comparison: a real
+batch-inference run through the zero-copy
+:class:`~repro.baselines.executor.ParallelPlanExecutor` on the local
+CPU, reporting per-worker busy fractions, shared-memory traffic and
+dispatch overhead (see ``docs/cpu_baselines.md``).
+
 ``docs/observability.md`` maps every report field to its paper claim.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
+import numpy as np
+
+from repro.baselines.executor import ParallelPlanExecutor
 from repro.compiler.design import compose_design
+from repro.errors import ReproError
 from repro.experiments.cache import benchmark_core
 from repro.host.device import SimulatedDevice
 from repro.host.runtime import InferenceJobConfig, InferenceRuntime
@@ -25,9 +37,15 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.report import UtilizationReport
 from repro.platforms.specs import XUPVVH_HBM_PLATFORM
 from repro.sim.trace import Tracer
+from repro.spn.nips import nips_benchmark, nips_dataset
 from repro.units import MIB
 
-__all__ = ["run_utilization", "format_utilization"]
+__all__ = [
+    "run_utilization",
+    "run_host_utilization",
+    "host_cpu_batch",
+    "format_utilization",
+]
 
 
 def run_utilization(
@@ -65,6 +83,51 @@ def run_utilization(
     return UtilizationReport.from_run(
         metrics, stats.elapsed_seconds, tracer=tracer
     )
+
+
+def host_cpu_batch(
+    benchmark: str, n_samples: int, *, dtype=np.float64
+) -> np.ndarray:
+    """A ``(n_samples, n_vars)`` inference batch for *benchmark*.
+
+    Rows are tiled from the benchmark's synthetic corpus (the same
+    distribution the SPN was learned on), converted once to *dtype* —
+    C-contiguous, so the executor's zero-copy fast path applies.
+    """
+    if n_samples < 1:
+        raise ReproError(f"n_samples must be >= 1, got {n_samples}")
+    corpus = nips_dataset(benchmark)
+    repeats = -(-n_samples // corpus.shape[0])
+    return np.ascontiguousarray(
+        np.tile(corpus, (repeats, 1))[:n_samples], dtype=dtype
+    )
+
+
+def run_host_utilization(
+    benchmark: str = "NIPS10",
+    *,
+    n_samples: int = 200_000,
+    n_workers: Optional[int] = None,
+    dtype=np.float64,
+) -> UtilizationReport:
+    """Measure one instrumented executor run on the local CPU.
+
+    Builds a :class:`~repro.baselines.executor.ParallelPlanExecutor`
+    for the benchmark's SPN with a metrics registry attached, submits
+    one *n_samples*-row batch, and fuses the ``executor.*`` metrics
+    into a host-only :class:`~repro.obs.report.UtilizationReport`
+    (the simulated-hardware sections stay empty).
+    """
+    bench = nips_benchmark(benchmark)
+    data = host_cpu_batch(benchmark, n_samples, dtype=dtype)
+    metrics = MetricsRegistry()
+    with ParallelPlanExecutor(
+        bench.spn, n_workers=n_workers, dtype=dtype, metrics=metrics
+    ) as executor:
+        start = time.perf_counter()
+        executor.submit(data)
+        elapsed = time.perf_counter() - start
+    return UtilizationReport.from_run(metrics, elapsed)
 
 
 def format_utilization(

@@ -10,9 +10,11 @@ from repro.obs.metrics import Counter, Gauge, MetricsRegistry, TimeWeightedStat
 from repro.obs.report import (
     ChannelUtilization,
     DmaUtilization,
+    ExecutorUtilization,
     MemoryBlockStats,
     PEUtilization,
     UtilizationReport,
+    WorkerUtilization,
 )
 
 __all__ = [
@@ -22,7 +24,9 @@ __all__ = [
     "TimeWeightedStat",
     "ChannelUtilization",
     "DmaUtilization",
+    "ExecutorUtilization",
     "MemoryBlockStats",
     "PEUtilization",
     "UtilizationReport",
+    "WorkerUtilization",
 ]

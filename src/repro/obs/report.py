@@ -15,7 +15,12 @@ quantities the paper's claims are stated in:
 * **DMA link busy %** — how close the shared PCIe DMA engine is to the
   §V-C scaling limit;
 * **allocator health** — allocations, transient failures and the
-  high-water mark of each HBM block's device memory.
+  high-water mark of each HBM block's device memory;
+* **host-CPU executor occupancy** — when the run went through the
+  zero-copy :class:`~repro.baselines.executor.ParallelPlanExecutor`
+  (``executor.*`` metrics present), per-worker busy fractions,
+  shared-memory traffic and the pickled-payload counter that the
+  zero-copy regression guard asserts stays at zero.
 
 Reports are plain frozen dataclasses of primitives: picklable (so
 sweep workers can return them) and exportable as JSON for downstream
@@ -36,6 +41,8 @@ __all__ = [
     "PEUtilization",
     "DmaUtilization",
     "MemoryBlockStats",
+    "WorkerUtilization",
+    "ExecutorUtilization",
     "UtilizationReport",
 ]
 
@@ -126,6 +133,37 @@ class MemoryBlockStats:
 
 
 @dataclass(frozen=True)
+class WorkerUtilization:
+    """One host-CPU executor worker process's occupancy over the run."""
+
+    index: int
+    busy_seconds: float
+    #: Worker busy time over the run's elapsed time.
+    busy_fraction: float
+
+
+@dataclass(frozen=True)
+class ExecutorUtilization:
+    """Host-CPU :class:`~repro.baselines.executor.ParallelPlanExecutor`
+    accounting (see ``docs/cpu_baselines.md``)."""
+
+    submits: int
+    rows: int
+    shards: int
+    #: Batch bytes staged into the shared input buffer.
+    bytes_in: int
+    #: Result bytes collected from the shared output buffer.
+    bytes_out: int
+    #: Array payload bytes pickled on the hot path — zero by design;
+    #: the benchmark regression guard asserts it stays that way.
+    pickled_array_bytes: int
+    #: Wall time not covered by the busiest worker (fan-out overhead).
+    dispatch_seconds: float
+    compute_seconds: float
+    workers: Tuple[WorkerUtilization, ...]
+
+
+@dataclass(frozen=True)
 class UtilizationReport:
     """Fused utilization view of one runtime execution."""
 
@@ -139,6 +177,9 @@ class UtilizationReport:
     dma_compute_overlap_seconds: Optional[float]
     #: Overlap over elapsed time; ``None`` without a tracer.
     dma_compute_overlap_fraction: Optional[float]
+    #: Host-CPU executor accounting; ``None`` unless the run recorded
+    #: ``executor.*`` metrics.
+    executor: Optional[ExecutorUtilization] = None
 
     # -- construction -----------------------------------------------------------
     @classmethod
@@ -237,6 +278,34 @@ class UtilizationReport:
             )
             index += 1
 
+        executor: Optional[ExecutorUtilization] = None
+        if metrics.has("executor.submits"):
+            workers: List[WorkerUtilization] = []
+            index = 0
+            while metrics.has(f"executor.worker{index}.busy_seconds"):
+                busy = metrics.value(f"executor.worker{index}.busy_seconds")
+                workers.append(
+                    WorkerUtilization(
+                        index=index,
+                        busy_seconds=busy,
+                        busy_fraction=fraction(busy),
+                    )
+                )
+                index += 1
+            executor = ExecutorUtilization(
+                submits=int(metrics.value("executor.submits")),
+                rows=int(metrics.value("executor.rows")),
+                shards=int(metrics.value("executor.shards")),
+                bytes_in=int(metrics.value("executor.bytes_in")),
+                bytes_out=int(metrics.value("executor.bytes_out")),
+                pickled_array_bytes=int(
+                    metrics.value("executor.pickled_array_bytes")
+                ),
+                dispatch_seconds=metrics.value("executor.dispatch_seconds"),
+                compute_seconds=metrics.value("executor.compute_seconds"),
+                workers=tuple(workers),
+            )
+
         overlap_seconds: Optional[float] = None
         overlap_fraction: Optional[float] = None
         if tracer is not None:
@@ -257,6 +326,7 @@ class UtilizationReport:
             memory=tuple(memory),
             dma_compute_overlap_seconds=overlap_seconds,
             dma_compute_overlap_fraction=overlap_fraction,
+            executor=executor,
         )
 
     # -- export -----------------------------------------------------------------
@@ -265,6 +335,8 @@ class UtilizationReport:
         out = asdict(self)
         for key in ("pes", "channels", "memory"):
             out[key] = list(out[key])
+        if out["executor"] is not None:
+            out["executor"]["workers"] = list(out["executor"]["workers"])
         return out
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -283,14 +355,33 @@ class UtilizationReport:
         if self.pes:
             mean_busy = sum(p.busy_fraction for p in self.pes) / len(self.pes)
             parts.append(f"PE busy {mean_busy:.0%}")
-        parts.append(f"DMA busy {self.dma.busy_fraction:.0%}")
+        if self.executor is None or self.dma.requests_h2d or self.dma.requests_d2h:
+            parts.append(f"DMA busy {self.dma.busy_fraction:.0%}")
         if self.dma_compute_overlap_fraction is not None:
             parts.append(f"overlap {self.dma_compute_overlap_fraction:.0%}")
+        if self.executor is not None and self.executor.workers:
+            mean_busy = sum(
+                w.busy_fraction for w in self.executor.workers
+            ) / len(self.executor.workers)
+            parts.append(
+                f"host workers busy {mean_busy:.0%} "
+                f"({self.executor.shards} shards)"
+            )
         return ", ".join(parts)
 
     def format_text(self) -> str:
-        """Render the full report as an aligned text block."""
+        """Render the full report as an aligned text block.
+
+        Host-CPU-only reports (executor metrics, no device) skip the
+        simulated-hardware sections instead of printing empty tables.
+        """
         lines = [f"utilization report over {self.elapsed_seconds * 1e3:.3f} ms"]
+        host_only = self.executor is not None and not (
+            self.pes or self.channels or self.memory
+        )
+        if host_only:
+            lines.extend(self._format_executor_lines())
+            return "\n".join(lines)
         lines.append("  PEs:")
         for pe in self.pes:
             lines.append(
@@ -328,4 +419,27 @@ class UtilizationReport:
                 f"({block.transient_failures} transient failures), "
                 f"high water {block.high_water_bytes / 1e6:.2f} MB"
             )
+        if self.executor is not None:
+            lines.extend(self._format_executor_lines())
         return "\n".join(lines)
+
+    def _format_executor_lines(self) -> List[str]:
+        """Render the host-CPU executor section of :meth:`format_text`."""
+        ex = self.executor
+        assert ex is not None
+        lines = [
+            "  host CPU executor:",
+            f"    {ex.submits} submits, {ex.rows} rows in {ex.shards} shards, "
+            f"{ex.bytes_in / 1e6:.2f} MB staged in / "
+            f"{ex.bytes_out / 1e6:.2f} MB out via shared memory, "
+            f"{ex.pickled_array_bytes} pickled payload bytes",
+            f"    compute {ex.compute_seconds * 1e3:.3f} ms, "
+            f"dispatch overhead {ex.dispatch_seconds * 1e3:.3f} ms",
+        ]
+        for worker in ex.workers:
+            lines.append(
+                f"    worker{worker.index}: "
+                f"busy {worker.busy_seconds * 1e3:.3f} ms "
+                f"({worker.busy_fraction:.1%} of elapsed)"
+            )
+        return lines

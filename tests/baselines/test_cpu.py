@@ -4,12 +4,15 @@ import numpy as np
 import pytest
 
 from repro.baselines import (
+    CpuBaselineResult,
     naive_log_likelihood,
     run_cpu_baseline,
+    run_pickled_sharded_cpu_baseline,
     run_sharded_cpu_baseline,
     run_threaded_cpu_baseline,
 )
 from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
 from repro.spn import log_likelihood, random_spn
 
 
@@ -72,6 +75,55 @@ def test_sharded_baseline_uneven_shards(setup):
     # More shards than workers, not dividing the row count evenly.
     result = run_sharded_cpu_baseline(spn, data[:101], n_workers=2, n_shards=7)
     np.testing.assert_allclose(result.results, log_likelihood(spn, data[:101]))
+
+
+def test_sharded_baseline_reports_setup_separately(setup):
+    """Pool spawn + plan compilation must be billed to setup_seconds,
+    not to the timed inference region."""
+    spn, data = setup
+    result = run_sharded_cpu_baseline(spn, data, n_workers=2)
+    assert result.setup_seconds >= 0.0
+    assert result.elapsed_seconds >= 0.0
+    # The non-pooled runners have no setup cost by definition.
+    assert run_cpu_baseline(spn, data).setup_seconds == 0.0
+
+
+def test_sharded_baseline_float32(setup):
+    spn, data = setup
+    reference = log_likelihood(spn, data)
+    result = run_sharded_cpu_baseline(spn, data, n_workers=2, dtype=np.float32)
+    np.testing.assert_allclose(result.results, reference, atol=1e-4)
+
+
+def test_pickled_sharded_baseline_matches(setup):
+    """The historical A/B reference runner stays correct and accounts
+    its pickled array payload when a registry is attached."""
+    spn, data = setup
+    metrics = MetricsRegistry()
+    result = run_pickled_sharded_cpu_baseline(
+        spn, data, n_workers=2, metrics=metrics
+    )
+    np.testing.assert_allclose(result.results, log_likelihood(spn, data))
+    # Every input shard and result vector crossed a pipe as a pickle.
+    assert metrics.value("sharded.pickled_array_bytes") >= (
+        data.nbytes + data.shape[0] * 8
+    )
+
+
+def test_samples_per_second_finite_on_subresolution_timer():
+    """A run faster than the clock resolution must report a huge but
+    finite rate, never inf."""
+    result = CpuBaselineResult(
+        results=np.zeros(10), n_samples=10, elapsed_seconds=0.0, n_threads=1
+    )
+    assert np.isfinite(result.samples_per_second)
+    assert result.samples_per_second > 0
+
+
+def test_non_numeric_input_rejected(setup):
+    spn, _ = setup
+    with pytest.raises(ReproError, match="numeric"):
+        run_cpu_baseline(spn, np.array([["a"] * 8, ["b"] * 8]))
 
 
 def test_invalid_inputs_rejected(setup):

@@ -1,0 +1,225 @@
+"""Tests for the zero-copy shared-memory parallel inference executor.
+
+Correctness is anchored two ways: bit-identical float64 agreement with
+the single-process ``run_cpu_baseline`` (the executor must be a pure
+transport, never a numerics change) and agreement with the independent
+scalar oracle ``naive_log_likelihood`` for both precisions.  The rest
+covers lifecycle, adaptive oversharding, the shared-buffer regrow
+path, and the metrics contract the benchmark regression guard relies
+on (``executor.pickled_array_bytes == 0``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ParallelPlanExecutor,
+    check_batch,
+    naive_log_likelihood,
+    run_cpu_baseline,
+)
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.spn import random_spn
+
+
+@pytest.fixture(scope="module")
+def setup():
+    spn = random_spn(8, depth=3, n_bins=8, seed=31)
+    rng = np.random.default_rng(31)
+    data = rng.integers(0, 8, size=(4000, 8)).astype(np.float64)
+    return spn, data
+
+
+@pytest.fixture(scope="module")
+def executor(setup):
+    spn, _ = setup
+    with ParallelPlanExecutor(
+        spn, n_workers=2, min_rows_per_shard=256
+    ) as running:
+        yield running
+
+
+def test_float64_bit_identical_to_single_process(setup, executor):
+    """float64 through the executor is bit-identical, not just close:
+    shard and chunk splits must not change any row's arithmetic."""
+    spn, data = setup
+    reference = run_cpu_baseline(spn, data).results
+    out = executor.submit(data)
+    assert np.array_equal(out, reference)
+
+
+def test_matches_naive_oracle_float64(setup, executor):
+    spn, data = setup
+    out = executor.submit(data[:64])
+    np.testing.assert_allclose(
+        out, naive_log_likelihood(spn, data[:64]), rtol=1e-10
+    )
+
+
+def test_matches_naive_oracle_float32(setup):
+    spn, data = setup
+    with ParallelPlanExecutor(
+        spn, n_workers=2, dtype=np.float32, min_rows_per_shard=256
+    ) as running:
+        out = running.submit(data[:64])
+    assert out.dtype == np.float64  # results are always float64
+    np.testing.assert_allclose(
+        out, naive_log_likelihood(spn, data[:64]), atol=1e-4
+    )
+
+
+def test_marginal_and_missing_queries(setup, executor):
+    """Query semantics pass through the pipe-borne task tuples."""
+    spn, data = setup
+    reference = run_cpu_baseline(spn, data).results
+    marg = executor.submit(data, marginalized=[1, 2])
+    assert not np.array_equal(marg, reference)
+    from repro.spn import marginal_log_likelihood
+
+    np.testing.assert_allclose(
+        marg, marginal_log_likelihood(spn, data, [1, 2]), rtol=1e-12
+    )
+    poked = data.copy()
+    poked[::3, 4] = 255.0
+    missing = executor.submit(poked, missing_value=255.0)
+    from repro.spn.inference import reference_node_log_values
+
+    expected = reference_node_log_values(
+        spn, poked, missing_mask=poked == 255.0
+    )[spn.root.id]
+    np.testing.assert_allclose(missing, expected, rtol=1e-12)
+
+
+def test_repeated_submits_and_buffer_regrow(setup, executor):
+    """Growing batches force the shared segments to be replaced
+    mid-life; results must stay exact throughout."""
+    spn, _ = setup
+    rng = np.random.default_rng(7)
+    for rows in (100, 2500, 11_000):
+        batch = rng.integers(0, 8, size=(rows, 8)).astype(np.float64)
+        out = executor.submit(batch)
+        assert np.array_equal(out, run_cpu_baseline(spn, batch).results)
+
+
+def test_context_manager_lifecycle(setup):
+    spn, data = setup
+    with ParallelPlanExecutor(spn, n_workers=1) as running:
+        assert not running.closed
+        running.submit(data[:16])
+    assert running.closed
+    with pytest.raises(ReproError):
+        running.submit(data[:16])
+    running.close()  # idempotent
+
+
+def test_setup_cost_is_reported(setup):
+    spn, _ = setup
+    with ParallelPlanExecutor(spn, n_workers=2) as running:
+        assert running.setup_seconds >= 0.0
+        assert running.n_workers in (1, 2)  # 1 if the sandbox forbids fork
+        assert running.dtype == np.dtype(np.float64)
+
+
+def test_adaptive_oversharding_counts(setup):
+    """Shards = min(workers * overshard, rows // min_rows_per_shard),
+    observed through the metrics registry."""
+    spn, data = setup
+    metrics = MetricsRegistry()
+    with ParallelPlanExecutor(
+        spn,
+        n_workers=2,
+        overshard=4,
+        min_rows_per_shard=250,
+        metrics=metrics,
+    ) as running:
+        # Capped by workers * overshard (n_workers may have fallen
+        # back to 1 in sandboxes that forbid process spawning).
+        cap = running.n_workers * 4
+        running.submit(data)  # 4000 rows -> 16 by floor, capped
+        total = min(cap, 16)
+        assert metrics.value("executor.shards") == total
+        running.submit(data[:1000])  # floor: 1000 // 250 = 4 shards
+        total += min(cap, 4)
+        assert metrics.value("executor.shards") == total
+        running.submit(data[:100])  # below the floor: one shard
+        total += 1
+        assert metrics.value("executor.shards") == total
+        running.submit(data, n_shards=3)  # explicit override
+        assert metrics.value("executor.shards") == total + 3
+
+
+def test_metrics_traffic_accounting(setup):
+    spn, data = setup
+    metrics = MetricsRegistry()
+    with ParallelPlanExecutor(
+        spn, n_workers=2, min_rows_per_shard=256, metrics=metrics
+    ) as running:
+        running.submit(data)
+        parallel = running.n_workers > 1
+    assert metrics.value("executor.submits") == 1
+    assert metrics.value("executor.rows") == data.shape[0]
+    # The regression guard: no array payload is ever pickled.
+    assert metrics.value("executor.pickled_array_bytes") == 0
+    assert metrics.value("executor.compute_seconds") > 0
+    if parallel:
+        assert metrics.value("executor.bytes_in") == data.nbytes
+        assert metrics.value("executor.bytes_out") == data.shape[0] * 8
+        assert metrics.has("executor.worker0.busy_seconds")
+        assert metrics.value("executor.worker0.busy_seconds") > 0
+
+
+def test_serial_fallback_is_exact(setup):
+    spn, data = setup
+    with ParallelPlanExecutor(spn, n_workers=1) as running:
+        assert running.n_workers == 1
+        out = running.submit(data)
+    assert np.array_equal(out, run_cpu_baseline(spn, data).results)
+
+
+def test_invalid_construction_rejected(setup):
+    spn, data = setup
+    with pytest.raises(ReproError):
+        ParallelPlanExecutor(spn, n_workers=0)
+    with pytest.raises(ReproError):
+        ParallelPlanExecutor(spn, min_rows_per_shard=0)
+    with pytest.raises(ReproError):
+        ParallelPlanExecutor(spn, overshard=0)
+    with pytest.raises(ReproError):
+        ParallelPlanExecutor(spn, dtype=np.int32)
+    with ParallelPlanExecutor(spn, n_workers=1) as running:
+        with pytest.raises(ReproError):
+            running.submit(data, n_shards=0)
+
+
+# -- check_batch -------------------------------------------------------------
+
+
+def test_check_batch_float64_passthrough():
+    data = np.zeros((5, 3), dtype=np.float64)
+    assert check_batch(data) is data
+
+
+def test_check_batch_float32_no_copy():
+    """A C-contiguous float32 batch must not be upcast to a copy."""
+    data = np.zeros((5, 3), dtype=np.float32)
+    assert check_batch(data, dtype=np.float32) is data
+
+
+def test_check_batch_converts_when_needed():
+    ints = np.zeros((5, 3), dtype=np.uint8)
+    out = check_batch(ints)
+    assert out.dtype == np.float64 and out.shape == (5, 3)
+    fortran = np.asfortranarray(np.zeros((5, 3)))
+    assert check_batch(fortran).flags.c_contiguous
+
+
+def test_check_batch_rejects_bad_input():
+    with pytest.raises(ReproError):
+        check_batch(np.array([["a", "b"], ["c", "d"]]))
+    with pytest.raises(ReproError):
+        check_batch(np.zeros((0, 3)))
+    with pytest.raises(ReproError):
+        check_batch(np.zeros(7))
+    with pytest.raises(ReproError):
+        check_batch(np.zeros((5, 3)), dtype=np.int64)

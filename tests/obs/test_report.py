@@ -145,3 +145,49 @@ class TestZeroPerturbation:
         assert fast.value("hbm.ch0.busy_seconds") == pytest.approx(
             granular.value("hbm.ch0.busy_seconds")
         )
+
+
+class TestHostExecutorSection:
+    """The executor.* metrics fuse into a host-CPU report section."""
+
+    def _registry(self) -> MetricsRegistry:
+        metrics = MetricsRegistry()
+        metrics.counter("executor.submits").add(2)
+        metrics.counter("executor.rows").add(1000)
+        metrics.counter("executor.shards").add(8)
+        metrics.counter("executor.bytes_in").add(64_000)
+        metrics.counter("executor.bytes_out").add(8_000)
+        metrics.counter("executor.pickled_array_bytes")
+        metrics.counter("executor.dispatch_seconds").add(0.01)
+        metrics.counter("executor.compute_seconds").add(0.09)
+        metrics.counter("executor.worker0.busy_seconds").add(0.05)
+        metrics.counter("executor.worker1.busy_seconds").add(0.04)
+        return metrics
+
+    def test_executor_discovered_from_metrics(self):
+        report = UtilizationReport.from_run(self._registry(), 0.1)
+        ex = report.executor
+        assert ex is not None
+        assert ex.submits == 2 and ex.rows == 1000 and ex.shards == 8
+        assert ex.bytes_in == 64_000 and ex.bytes_out == 8_000
+        assert ex.pickled_array_bytes == 0
+        assert len(ex.workers) == 2
+        assert ex.workers[0].busy_fraction == pytest.approx(0.5)
+        assert ex.workers[1].busy_fraction == pytest.approx(0.4)
+
+    def test_absent_without_executor_metrics(self):
+        report = UtilizationReport.from_run(MetricsRegistry(), 0.1)
+        assert report.executor is None
+
+    def test_host_only_rendering_and_export(self):
+        report = UtilizationReport.from_run(self._registry(), 0.1)
+        text = report.format_text()
+        assert "host CPU executor" in text
+        assert "worker1" in text
+        # Host-only reports skip the empty simulated-hardware tables.
+        assert "HBM channels" not in text
+        summary = report.summary_line()
+        assert "host workers busy" in summary
+        assert "DMA" not in summary
+        exported = json.loads(report.to_json())
+        assert exported["executor"]["workers"][1]["index"] == 1

@@ -321,3 +321,87 @@ def test_clear_plan_cache_resets_counters():
     clear_plan_cache()
     info = plan_cache_info()
     assert info["size"] == 0 and info["hits"] == 0 and info["misses"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Chunk boundaries and storage precision (dtype=)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def tiny_chunks(monkeypatch):
+    """Force the evaluator's chunk to its 256-row floor so modest
+    batches span several chunks (600 rows -> 256 + 256 + 88)."""
+    monkeypatch.setattr("repro.spn.plan_eval.DEFAULT_CHUNK_BYTES", 1)
+
+
+@pytest.mark.parametrize("dtype,tol", [(np.float64, 1e-12), (np.float32, 1e-4)])
+def test_marginal_query_across_chunk_boundaries(tiny_chunks, dtype, tol):
+    """Marginalisation state must survive the chunked column walk —
+    600 rows do not divide into 256-row chunks evenly."""
+    spn = random_spn(6, depth=3, n_bins=6, seed=19)
+    data = _random_data(spn, 600, seed=20)
+    marg = [1, 3]
+    expected = reference_node_log_values(spn, data, marginalized=marg)[spn.root.id]
+    got = plan_log_likelihood(
+        compile_plan(spn), data, marginalized=marg, dtype=dtype
+    )
+    np.testing.assert_allclose(got, expected, atol=tol, rtol=1e-10)
+
+
+@pytest.mark.parametrize("dtype,tol", [(np.float64, 1e-12), (np.float32, 1e-4)])
+def test_missing_values_across_chunk_boundaries(tiny_chunks, dtype, tol):
+    spn = random_spn(6, depth=3, n_bins=6, seed=21)
+    data = _random_data(spn, 600, seed=22)
+    data[5::7, 2] = 255.0  # sentinel rows in every chunk
+    expected = reference_node_log_values(
+        spn, data, missing_mask=data == 255.0
+    )[spn.root.id]
+    got = plan_log_likelihood(
+        compile_plan(spn), data, missing_value=255.0, dtype=dtype
+    )
+    np.testing.assert_allclose(got, expected, atol=tol, rtol=1e-10)
+
+
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+def test_degenerate_batches(tiny_chunks, dtype):
+    """batch == 0 and batch == 1 through the chunked path."""
+    spn = random_spn(5, depth=3, n_bins=5, seed=23)
+    plan = compile_plan(spn)
+    width = max(spn.scope) + 1
+    empty = plan_log_likelihood(plan, np.empty((0, width)), dtype=dtype)
+    assert empty.shape == (0,) and empty.dtype == np.float64
+    single = _random_data(spn, 1, seed=24)
+    got = plan_log_likelihood(plan, single, dtype=dtype)
+    np.testing.assert_allclose(
+        got, naive_log_likelihood(spn, single), atol=1e-4, rtol=1e-10
+    )
+
+
+def test_chunked_equals_unchunked(monkeypatch):
+    """Chunk splits are invisible in float64 — bit-identical results."""
+    spn = random_spn(6, depth=3, n_bins=6, seed=25)
+    data = _random_data(spn, 600, seed=26)
+    whole = plan_log_likelihood(compile_plan(spn), data)
+    monkeypatch.setattr("repro.spn.plan_eval.DEFAULT_CHUNK_BYTES", 1)
+    chunked = plan_log_likelihood(compile_plan(spn), data)
+    assert np.array_equal(whole, chunked)
+
+
+def test_float32_input_accepted_without_upcast():
+    """float32 data with dtype=float32 must evaluate directly (the
+    executor's zero-copy path) and match the float64 answer closely."""
+    spn = random_spn(6, depth=3, n_bins=6, seed=27)
+    data = _random_data(spn, 257, seed=28)
+    plan = compile_plan(spn)
+    exact = plan_log_likelihood(plan, data)
+    via32 = plan_log_likelihood(plan, data.astype(np.float32), dtype=np.float32)
+    np.testing.assert_allclose(via32, exact, atol=1e-4)
+
+
+def test_invalid_dtype_rejected():
+    spn = random_spn(4, depth=2, n_bins=4, seed=29)
+    with pytest.raises(SPNStructureError):
+        plan_log_likelihood(
+            compile_plan(spn), _random_data(spn, 3, seed=30), dtype=np.int64
+        )
