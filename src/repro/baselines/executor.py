@@ -155,10 +155,13 @@ def _worker_warm() -> int:
     return os.getpid()
 
 
-def _worker_eval(task: tuple) -> Tuple[int, float]:
+def _worker_eval(task: tuple) -> Tuple[int, float, float]:
     """Evaluate one ``(begin, end)`` row span entirely through shm.
 
-    Returns ``(pid, busy_seconds)`` — a few bytes, never an array.
+    Returns ``(pid, start, end)`` wall-clock ``perf_counter`` stamps —
+    a few bytes, never an array.  The stamps are comparable across
+    processes (``CLOCK_MONOTONIC`` is system-wide), so the parent can
+    derive both per-worker busy time and wall-clock trace spans.
     """
     (
         in_name,
@@ -187,7 +190,7 @@ def _worker_eval(task: tuple) -> Tuple[int, float]:
         missing_value=missing_value,
         dtype=dtype,
     )
-    return os.getpid(), time.perf_counter() - start
+    return os.getpid(), start, time.perf_counter()
 
 
 def _pool_context():
@@ -220,6 +223,10 @@ class ParallelPlanExecutor:
     metrics:
         Optional :class:`~repro.obs.metrics.MetricsRegistry`; when
         given the executor records ``executor.*`` counters.
+    host_tracer:
+        Optional :class:`~repro.obs.trace_export.HostSpanRecorder`;
+        when given every shard evaluation records a wall-clock span on
+        its worker's track, exportable to Perfetto (``repro trace``).
     """
 
     def __init__(
@@ -231,6 +238,7 @@ class ParallelPlanExecutor:
         min_rows_per_shard: int = DEFAULT_MIN_ROWS_PER_SHARD,
         overshard: int = DEFAULT_OVERSHARD,
         metrics=None,
+        host_tracer=None,
     ):
         if n_workers is None:
             n_workers = os.cpu_count() or 1
@@ -256,6 +264,7 @@ class ParallelPlanExecutor:
         self._in_shm: Optional[shared_memory.SharedMemory] = None
         self._out_shm: Optional[shared_memory.SharedMemory] = None
         self._registry = metrics
+        self._host_tracer = host_tracer
         self._worker_slots: Dict[int, int] = {}
         if metrics is not None:
             self._m_submits = metrics.counter("executor.submits")
@@ -412,13 +421,31 @@ class ParallelPlanExecutor:
             if bounds[i + 1] > bounds[i]
         ]
 
-    def _record_worker_busy(self, pid: int, busy: float) -> None:
-        if self._registry is None:
-            return
+    def _worker_slot(self, pid: int) -> int:
+        """Stable small index for a worker process id."""
         slot = self._worker_slots.get(pid)
         if slot is None:
             slot = self._worker_slots[pid] = len(self._worker_slots)
-        self._registry.counter(f"executor.worker{slot}.busy_seconds").add(busy)
+        return slot
+
+    def _record_worker_busy(self, pid: int, busy: float) -> None:
+        if self._registry is None:
+            return
+        self._registry.counter(
+            f"executor.worker{self._worker_slot(pid)}.busy_seconds"
+        ).add(busy)
+
+    def _record_worker_span(
+        self, pid: int, shard: int, begin: float, end: float
+    ) -> None:
+        if self._host_tracer is None:
+            return
+        self._host_tracer.record(
+            f"executor worker{self._worker_slot(pid)}",
+            f"shard{shard}",
+            begin,
+            end,
+        )
 
     # -- the hot path -----------------------------------------------------------
     def submit(
@@ -475,8 +502,11 @@ class ParallelPlanExecutor:
         ]
         busy_by_pid: Dict[int, float] = {}
         try:
-            for pid, busy in self._pool.map(_worker_eval, tasks):
-                busy_by_pid[pid] = busy_by_pid.get(pid, 0.0) + busy
+            for shard, (pid, t0, t1) in enumerate(
+                self._pool.map(_worker_eval, tasks)
+            ):
+                busy_by_pid[pid] = busy_by_pid.get(pid, 0.0) + (t1 - t0)
+                self._record_worker_span(pid, shard, t0, t1)
         except BrokenProcessPool:
             # A worker died (OOM killer, hard crash).  Degrade to the
             # serial path rather than losing the batch.
@@ -510,7 +540,8 @@ class ParallelPlanExecutor:
         rows = data.shape[0]
         out = np.empty(rows, dtype=np.float64)
         start = time.perf_counter()
-        for begin, end in spans:
+        for shard, (begin, end) in enumerate(spans):
+            t0 = time.perf_counter()
             out[begin:end] = plan_log_likelihood(
                 self._plan,
                 data[begin:end],
@@ -518,6 +549,7 @@ class ParallelPlanExecutor:
                 missing_value=missing_value,
                 dtype=self._dtype,
             )
+            self._record_worker_span(os.getpid(), shard, t0, time.perf_counter())
         wall = time.perf_counter() - start
         if self._m_submits is not None:
             self._m_submits.add(1)

@@ -6,12 +6,18 @@ Usage::
 
 where ``<artifact>`` is one of ``fig2``, ``table1``, ``fig4``,
 ``fig5``, ``fig6``, ``speedups``, ``outlook``, ``ablations``,
-``plans``, ``report`` or ``all``.  Each command prints the same
-rows/series the paper reports (see EXPERIMENTS.md for the
-interpretation); ``report`` prints the per-channel/per-PE utilization
-of one instrumented run (see docs/observability.md), or — with
-``--host`` — the worker/shared-memory utilization of a real zero-copy
-executor run on the local CPU (see docs/cpu_baselines.md).
+``plans``, ``report``, ``trace``, ``bench`` or ``all``.  Each command
+prints the same rows/series the paper reports (see EXPERIMENTS.md for
+the interpretation); ``report`` prints the per-channel/per-PE
+utilization of one instrumented run (see docs/observability.md), or —
+with ``--host`` — the worker/shared-memory utilization of a real
+zero-copy executor run on the local CPU (see docs/cpu_baselines.md).
+
+``trace`` exports one instrumented simulation run *and* one real
+executor run as a single Chrome/Perfetto JSON file (``--out``), and
+``bench`` records/gates the repo's own performance trajectory (see
+docs/observability.md); both are excluded from ``all`` because they
+write files / can exit nonzero by design.
 """
 
 from __future__ import annotations
@@ -141,6 +147,79 @@ def _cmd_ablations(args) -> str:
     )
 
 
+def _cmd_trace(args) -> str:
+    from repro.experiments.utilization import (
+        run_traced_host_utilization,
+        run_traced_utilization,
+    )
+    from repro.obs.trace_export import HOST_PID, ChromeTraceBuilder
+
+    # The span tracer forces the burst-granular core model, so cap the
+    # instrumented runs at 200k samples regardless of --samples.
+    samples = min(args.samples, 200_000)
+    sim = run_traced_utilization(
+        args.benchmark,
+        args.cores,
+        threads_per_pe=args.threads,
+        samples_per_core=samples,
+        block_bytes=args.block_bytes,
+    )
+    host = run_traced_host_utilization(
+        args.benchmark, n_samples=samples, n_workers=args.host_workers
+    )
+    builder = ChromeTraceBuilder()
+    builder.add_tracer(sim.tracer)
+    builder.add_metrics(sim.metrics, at_seconds=sim.elapsed_seconds)
+    builder.add_host_spans(host.host_spans)
+    builder.add_metrics(
+        host.metrics, at_seconds=host.elapsed_seconds, pid=HOST_PID
+    )
+    summary = builder.write(args.out)
+    return (
+        f"wrote {summary['path']}: {summary['n_events']} events "
+        f"({summary['n_spans']} spans, {summary['n_counters']} counter "
+        f"samples)\n"
+        f"  sim clock:  {args.benchmark} x{args.cores} cores, "
+        f"{samples} samples/core (simulated {sim.elapsed_seconds * 1e3:.2f} ms)\n"
+        f"  wall clock: {samples} rows through the zero-copy executor "
+        f"({host.elapsed_seconds * 1e3:.2f} ms)\n"
+        "open it at https://ui.perfetto.dev or chrome://tracing"
+    )
+
+
+def _cmd_bench(args):
+    from repro.errors import ReproError
+    from repro.obs.bench import (
+        check_scenarios,
+        format_check,
+        format_record,
+        record_scenarios,
+    )
+
+    if not args.record and not args.check:
+        return "bench needs --record and/or --check (see --help)", 2
+    names = args.scenarios or None
+    pieces = []
+    try:
+        if args.record:
+            samples = record_scenarios(names, bench_dir=args.bench_dir)
+            pieces.append(format_record(samples, names or _bench_scenario_names()))
+        if args.check:
+            results = check_scenarios(names, bench_dir=args.bench_dir)
+            pieces.append(format_check(results))
+            if not all(result.ok for result in results):
+                return "\n\n".join(pieces), 1
+    except ReproError as exc:
+        return f"bench error: {exc}", 2
+    return "\n\n".join(pieces), 0
+
+
+def _bench_scenario_names():
+    from repro.obs.bench import SCENARIOS
+
+    return list(SCENARIOS)
+
+
 _COMMANDS: Dict[str, Callable] = {
     "fig2": _cmd_fig2,
     "table1": _cmd_table1,
@@ -155,7 +234,13 @@ _COMMANDS: Dict[str, Callable] = {
     "roofline": _cmd_roofline,
     "plans": _cmd_plans,
     "report": _cmd_report,
+    "trace": _cmd_trace,
+    "bench": _cmd_bench,
 }
+
+#: Commands excluded from ``all``: they write files (``trace``) or are
+#: gates that exit nonzero by design (``bench``).
+_NOT_IN_ALL = frozenset({"trace", "bench"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -235,6 +320,40 @@ def build_parser() -> argparse.ArgumentParser:
         default="float64",
         help="evaluation precision for --host (default float64)",
     )
+    trace = parser.add_argument_group("trace options")
+    trace.add_argument(
+        "--out",
+        default="run.perfetto.json",
+        help="output path for the Chrome/Perfetto trace "
+        "(default run.perfetto.json)",
+    )
+    bench = parser.add_argument_group("bench options")
+    bench.add_argument(
+        "--record",
+        action="store_true",
+        help="run the bench scenarios and append samples to their "
+        "BENCH_<scenario>.json histories",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="gate each scenario's newest sample against the "
+        "fingerprint-matched baseline; exits 1 on regression",
+    )
+    bench.add_argument(
+        "--scenarios",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        help="subset of bench scenarios (default: all; see "
+        "docs/observability.md)",
+    )
+    bench.add_argument(
+        "--bench-dir",
+        default=None,
+        help="directory holding BENCH_*.json histories "
+        "(default benchmarks/trajectory/ at the repo root)",
+    )
     return parser
 
 
@@ -242,14 +361,21 @@ def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.artifact == "all":
-        names = sorted(_COMMANDS)
+        names = [name for name in sorted(_COMMANDS) if name not in _NOT_IN_ALL]
     else:
         names = [args.artifact]
+    exit_code = 0
     for index, name in enumerate(names):
         if index:
             print("\n" + "=" * 72 + "\n")
-        print(_COMMANDS[name](args))
-    return 0
+        result = _COMMANDS[name](args)
+        if isinstance(result, tuple):
+            text, code = result
+            exit_code = exit_code or code
+        else:
+            text = result
+        print(text)
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -38,9 +38,12 @@ from repro.experiments.roofline import run_roofline, format_roofline
 from repro.experiments.plan_speedup import run_plan_speedup, format_plan_speedup
 from repro.experiments.sweep import parallel_map, shutdown_sweep_pool, sweep_worker_count
 from repro.experiments.utilization import (
+    TraceCapture,
     format_utilization,
     host_cpu_batch,
     run_host_utilization,
+    run_traced_host_utilization,
+    run_traced_utilization,
     run_utilization,
 )
 from repro.experiments.ablations import (
@@ -81,8 +84,11 @@ __all__ = [
     "format_roofline",
     "run_plan_speedup",
     "format_plan_speedup",
+    "TraceCapture",
     "run_utilization",
+    "run_traced_utilization",
     "run_host_utilization",
+    "run_traced_host_utilization",
     "host_cpu_batch",
     "format_utilization",
     "parallel_map",

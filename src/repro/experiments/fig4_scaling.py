@@ -24,6 +24,7 @@ from repro.experiments.sweep import parallel_map
 from repro.host.device import SimulatedDevice
 from repro.host.runtime import InferenceJobConfig, InferenceRuntime
 from repro.obs.report import UtilizationReport
+from repro.obs.trace_export import HostSpanRecorder, export_run_trace
 from repro.platforms.specs import XUPVVH_HBM_PLATFORM
 from repro.spn.nips import NIPS_BENCHMARKS
 
@@ -81,6 +82,7 @@ def run_fig4(
     samples_per_core: int = SAMPLES_PER_CORE,
     workers: Optional[int] = None,
     collect_utilization: bool = False,
+    export_trace: Optional[str] = None,
 ) -> Fig4Result:
     """Run the Fig. 4 sweep on the simulated system.
 
@@ -91,6 +93,13 @@ def run_fig4(
     :class:`~repro.obs.report.UtilizationReport` attached to the
     result; it is capped at 1 M samples per core because the span
     tracer forces the burst-granular core model.
+
+    With *export_trace* a Chrome/Perfetto JSON trace of the sweep is
+    written to that path: the sweep pool's wall-clock point spans land
+    in the host process group, and one instrumented run of the first
+    benchmark at the largest PE count contributes the simulated-clock
+    DMA/PE/HBM-channel tracks (capped at 200 k samples per core).
+    Export is observational — the sweep's measured rates are unchanged.
     """
     # Compile each benchmark once before fanning out, so forked workers
     # inherit the warm cache instead of compiling per point.
@@ -102,7 +111,17 @@ def run_fig4(
         for transfers in (True, False)
         for n in pe_counts
     ]
-    rates = iter(parallel_map(_measure_point, points, workers=workers, persistent=True))
+    recorder = HostSpanRecorder() if export_trace is not None else None
+    rates = iter(
+        parallel_map(
+            _measure_point,
+            points,
+            workers=workers,
+            persistent=True,
+            host_tracer=recorder,
+            span_track="fig4 sweep",
+        )
+    )
     with_transfers: Dict[str, Tuple[float, ...]] = {}
     without_transfers: Dict[str, Tuple[float, ...]] = {}
     for benchmark in benchmarks:
@@ -119,6 +138,22 @@ def run_fig4(
                 threads_per_pe=1,
                 samples_per_core=min(samples_per_core, 1_000_000),
             )
+    if export_trace is not None:
+        from repro.experiments.utilization import run_traced_utilization
+
+        capture = run_traced_utilization(
+            benchmarks[0],
+            max(pe_counts),
+            threads_per_pe=1,
+            samples_per_core=min(samples_per_core, 200_000),
+        )
+        export_run_trace(
+            export_trace,
+            tracer=capture.tracer,
+            metrics=capture.metrics,
+            elapsed_seconds=capture.elapsed_seconds,
+            host_spans=recorder.spans,
+        )
     return Fig4Result(
         pe_counts=tuple(pe_counts),
         with_transfers=with_transfers,

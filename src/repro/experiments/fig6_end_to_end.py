@@ -26,6 +26,7 @@ from repro.experiments.sweep import parallel_map
 from repro.host.device import SimulatedDevice
 from repro.host.runtime import InferenceJobConfig, InferenceRuntime
 from repro.obs.report import UtilizationReport
+from repro.obs.trace_export import HostSpanRecorder, export_run_trace
 from repro.platforms.cpu_model import XEON_E5_2680_V3
 from repro.platforms.f1_model import AWS_F1_SYSTEM
 from repro.platforms.gpu_model import TESLA_V100
@@ -111,6 +112,7 @@ def run_fig6(
     collect_utilization: bool = False,
     cpu_backend: str = "model",
     cpu_samples: int = 200_000,
+    export_trace: Optional[str] = None,
 ) -> Fig6Result:
     """Measure/model all four platforms per benchmark.
 
@@ -128,6 +130,12 @@ def run_fig6(
     zero-copy :class:`~repro.baselines.executor.ParallelPlanExecutor`
     on the local machine — a real measurement, but of *this* machine's
     cores, not the paper's.
+
+    With *export_trace* a Chrome/Perfetto JSON trace is written to
+    that path: the HBM sweep's wall-clock point spans land in the host
+    process group, and one instrumented run of the first benchmark at
+    its deployed core count contributes the simulated-clock tracks
+    (capped at 200 k samples per core).
     """
     if cpu_backend not in ("model", "measured"):
         raise ReproError(
@@ -135,11 +143,14 @@ def run_fig6(
         )
     for name in benchmarks:
         benchmark_core(name, "cfp")
+    recorder = HostSpanRecorder() if export_trace is not None else None
     rates = parallel_map(
         _hbm_point,
         [(name, samples_per_core) for name in benchmarks],
         workers=workers,
         persistent=True,
+        host_tracer=recorder,
+        span_track="fig6 sweep",
     )
     hbm: Dict[str, float] = dict(zip(benchmarks, rates))
     f1: Dict[str, float] = {}
@@ -166,6 +177,22 @@ def run_fig6(
                 threads_per_pe=1,
                 samples_per_core=min(samples_per_core, 1_000_000),
             )
+    if export_trace is not None:
+        from repro.experiments.utilization import run_traced_utilization
+
+        capture = run_traced_utilization(
+            benchmarks[0],
+            hbm_core_count(benchmarks[0]),
+            threads_per_pe=1,
+            samples_per_core=min(samples_per_core, 200_000),
+        )
+        export_run_trace(
+            export_trace,
+            tracer=capture.tracer,
+            metrics=capture.metrics,
+            elapsed_seconds=capture.elapsed_seconds,
+            host_spans=recorder.spans,
+        )
     return Fig6Result(
         benchmarks=tuple(benchmarks),
         hbm=hbm,

@@ -30,8 +30,10 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from functools import partial
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.errors import RuntimeConfigError
@@ -95,6 +97,32 @@ def _persistent_pool(n_workers: int) -> ProcessPoolExecutor:
     return _PERSISTENT_POOL
 
 
+def _timed_call(fn: Callable[[T], R], item: T) -> tuple:
+    """Run one sweep point, stamping wall-clock begin/end around it.
+
+    ``perf_counter`` reads ``CLOCK_MONOTONIC``, which is system-wide,
+    so stamps taken inside pool workers are comparable to the parent's
+    :class:`~repro.obs.trace_export.HostSpanRecorder` epoch.
+    """
+    begin = time.perf_counter()
+    return fn(item), os.getpid(), begin, time.perf_counter()
+
+
+def _unwrap_timed(
+    wrapped: Sequence[tuple], host_tracer, span_track: str
+) -> List[R]:
+    """Record spans from timed results and return the bare values."""
+    slots: dict = {}
+    results: List[R] = []
+    for index, (result, pid, begin, end) in enumerate(wrapped):
+        slot = slots.setdefault(pid, len(slots))
+        host_tracer.record(
+            f"{span_track} worker{slot}", f"point{index}", begin, end
+        )
+        results.append(result)
+    return results
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -102,6 +130,8 @@ def parallel_map(
     workers: Optional[int] = None,
     chunksize: int = 1,
     persistent: bool = False,
+    host_tracer=None,
+    span_track: str = "sweep",
 ) -> List[R]:
     """Map *fn* over *items*, fanning across processes when it pays.
 
@@ -113,20 +143,32 @@ def parallel_map(
     With *persistent* the call draws on the shared long-lived sweep
     pool instead of spawning (and tearing down) its own; a broken
     shared pool is discarded and the sweep completes serially.
+
+    With *host_tracer* (a :class:`~repro.obs.trace_export.
+    HostSpanRecorder`) every point records a wall-clock span on its
+    worker's ``{span_track} worker{n}`` track — only ``(pid, t0, t1)``
+    extra floats cross the pipe per point, and with no recorder the
+    path is byte-identical to before.
     """
     points: Sequence[T] = list(items)
     n_workers = sweep_worker_count(len(points), workers)
+    mapper = partial(_timed_call, fn) if host_tracer is not None else fn
     if n_workers <= 1 or len(points) <= 1:
-        return [fn(point) for point in points]
-    try:
-        if persistent:
-            pool = _persistent_pool(n_workers)
-            return list(pool.map(fn, points, chunksize=chunksize))
-        with ProcessPoolExecutor(
-            max_workers=n_workers, mp_context=_pool_context()
-        ) as pool:
-            return list(pool.map(fn, points, chunksize=chunksize))
-    except (OSError, PermissionError, BrokenProcessPool):
-        if persistent:
-            shutdown_sweep_pool()
-        return [fn(point) for point in points]
+        raw = [mapper(point) for point in points]
+    else:
+        try:
+            if persistent:
+                pool = _persistent_pool(n_workers)
+                raw = list(pool.map(mapper, points, chunksize=chunksize))
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=n_workers, mp_context=_pool_context()
+                ) as pool:
+                    raw = list(pool.map(mapper, points, chunksize=chunksize))
+        except (OSError, PermissionError, BrokenProcessPool):
+            if persistent:
+                shutdown_sweep_pool()
+            raw = [mapper(point) for point in points]
+    if host_tracer is not None:
+        return _unwrap_timed(raw, host_tracer, span_track)
+    return raw

@@ -23,6 +23,7 @@ dispatch overhead (see ``docs/cpu_baselines.md``).
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -35,17 +36,84 @@ from repro.host.device import SimulatedDevice
 from repro.host.runtime import InferenceJobConfig, InferenceRuntime
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.report import UtilizationReport
+from repro.obs.trace_export import HostSpanRecorder, export_run_trace
 from repro.platforms.specs import XUPVVH_HBM_PLATFORM
 from repro.sim.trace import Tracer
 from repro.spn.nips import nips_benchmark, nips_dataset
 from repro.units import MIB
 
 __all__ = [
+    "TraceCapture",
+    "run_traced_utilization",
     "run_utilization",
+    "run_traced_host_utilization",
     "run_host_utilization",
     "host_cpu_batch",
     "format_utilization",
 ]
+
+
+@dataclass(frozen=True)
+class TraceCapture:
+    """One instrumented run's report plus its raw observability data.
+
+    The raw tracer/metrics are what the Perfetto exporter consumes
+    (:mod:`repro.obs.trace_export`); the fused report is what the
+    text/JSON renderers consume.  ``tracer`` is ``None`` for untraced
+    runs and host-only runs; ``host_spans`` is empty for simulated
+    runs.
+    """
+
+    report: UtilizationReport
+    metrics: MetricsRegistry
+    elapsed_seconds: float
+    tracer: Optional[Tracer] = None
+    host_spans: tuple = ()
+
+
+def run_traced_utilization(
+    benchmark: str = "NIPS10",
+    n_cores: int = 2,
+    *,
+    threads_per_pe: int = 2,
+    samples_per_core: int = 500_000,
+    block_bytes: int = 1 * MIB,
+    scheduling: str = "static",
+    trace: bool = True,
+) -> TraceCapture:
+    """Run one instrumented simulation, keeping the raw tracer/metrics.
+
+    This is :func:`run_utilization` minus the final report-only
+    projection: the returned :class:`TraceCapture` still holds the
+    tracer spans (DMA, PE and per-HBM-channel tracks) and the metrics
+    registry, so callers can export a Chrome/Perfetto trace of the run.
+    """
+    core = benchmark_core(benchmark, "cfp")
+    design = compose_design(core, n_cores, XUPVVH_HBM_PLATFORM)
+    metrics = MetricsRegistry()
+    device = SimulatedDevice(design, metrics=metrics)
+    tracer: Optional[Tracer] = Tracer(device.env) if trace else None
+    if tracer is not None:
+        device.attach_tracer(tracer)
+    runtime = InferenceRuntime(
+        device,
+        InferenceJobConfig(
+            block_bytes=block_bytes,
+            threads_per_pe=threads_per_pe,
+            scheduling=scheduling,
+        ),
+        tracer=tracer,
+    )
+    stats = runtime.run_timing_only(samples_per_core * n_cores)
+    report = UtilizationReport.from_run(
+        metrics, stats.elapsed_seconds, tracer=tracer
+    )
+    return TraceCapture(
+        report=report,
+        metrics=metrics,
+        elapsed_seconds=stats.elapsed_seconds,
+        tracer=tracer,
+    )
 
 
 def run_utilization(
@@ -57,6 +125,7 @@ def run_utilization(
     block_bytes: int = 1 * MIB,
     scheduling: str = "static",
     trace: bool = True,
+    export_trace: Optional[str] = None,
 ) -> UtilizationReport:
     """Run one instrumented end-to-end simulation and report on it.
 
@@ -64,25 +133,30 @@ def run_utilization(
     so the report includes the DMA↔compute overlap; tracing forces the
     burst-granular core model, so very large sample counts should
     disable it and accept ``overlap = None``.
+
+    With *export_trace* the run's spans and metrics are additionally
+    written to that path as a Chrome/Perfetto JSON trace (see
+    ``docs/observability.md``).  Export happens after the simulation
+    finished and only reads recorded data: simulated timings are
+    bit-identical with and without it.
     """
-    core = benchmark_core(benchmark, "cfp")
-    design = compose_design(core, n_cores, XUPVVH_HBM_PLATFORM)
-    metrics = MetricsRegistry()
-    device = SimulatedDevice(design, metrics=metrics)
-    tracer: Optional[Tracer] = Tracer(device.env) if trace else None
-    runtime = InferenceRuntime(
-        device,
-        InferenceJobConfig(
-            block_bytes=block_bytes,
-            threads_per_pe=threads_per_pe,
-            scheduling=scheduling,
-        ),
-        tracer=tracer,
+    capture = run_traced_utilization(
+        benchmark,
+        n_cores,
+        threads_per_pe=threads_per_pe,
+        samples_per_core=samples_per_core,
+        block_bytes=block_bytes,
+        scheduling=scheduling,
+        trace=trace,
     )
-    stats = runtime.run_timing_only(samples_per_core * n_cores)
-    return UtilizationReport.from_run(
-        metrics, stats.elapsed_seconds, tracer=tracer
-    )
+    if export_trace is not None:
+        export_run_trace(
+            export_trace,
+            tracer=capture.tracer,
+            metrics=capture.metrics,
+            elapsed_seconds=capture.elapsed_seconds,
+        )
+    return capture.report
 
 
 def host_cpu_batch(
@@ -103,12 +177,48 @@ def host_cpu_batch(
     )
 
 
+def run_traced_host_utilization(
+    benchmark: str = "NIPS10",
+    *,
+    n_samples: int = 200_000,
+    n_workers: Optional[int] = None,
+    dtype=np.float64,
+) -> TraceCapture:
+    """Measure one instrumented executor run, keeping its host spans.
+
+    Like :func:`run_host_utilization`, but the returned
+    :class:`TraceCapture` also carries the wall-clock shard spans each
+    executor worker recorded, for Perfetto export.
+    """
+    bench = nips_benchmark(benchmark)
+    data = host_cpu_batch(benchmark, n_samples, dtype=dtype)
+    metrics = MetricsRegistry()
+    recorder = HostSpanRecorder()
+    with ParallelPlanExecutor(
+        bench.spn,
+        n_workers=n_workers,
+        dtype=dtype,
+        metrics=metrics,
+        host_tracer=recorder,
+    ) as executor:
+        start = time.perf_counter()
+        executor.submit(data)
+        elapsed = time.perf_counter() - start
+    return TraceCapture(
+        report=UtilizationReport.from_run(metrics, elapsed),
+        metrics=metrics,
+        elapsed_seconds=elapsed,
+        host_spans=tuple(recorder.spans),
+    )
+
+
 def run_host_utilization(
     benchmark: str = "NIPS10",
     *,
     n_samples: int = 200_000,
     n_workers: Optional[int] = None,
     dtype=np.float64,
+    export_trace: Optional[str] = None,
 ) -> UtilizationReport:
     """Measure one instrumented executor run on the local CPU.
 
@@ -116,18 +226,21 @@ def run_host_utilization(
     for the benchmark's SPN with a metrics registry attached, submits
     one *n_samples*-row batch, and fuses the ``executor.*`` metrics
     into a host-only :class:`~repro.obs.report.UtilizationReport`
-    (the simulated-hardware sections stay empty).
+    (the simulated-hardware sections stay empty).  With *export_trace*
+    the per-worker wall-clock shard spans are written to that path as
+    a Chrome/Perfetto JSON trace.
     """
-    bench = nips_benchmark(benchmark)
-    data = host_cpu_batch(benchmark, n_samples, dtype=dtype)
-    metrics = MetricsRegistry()
-    with ParallelPlanExecutor(
-        bench.spn, n_workers=n_workers, dtype=dtype, metrics=metrics
-    ) as executor:
-        start = time.perf_counter()
-        executor.submit(data)
-        elapsed = time.perf_counter() - start
-    return UtilizationReport.from_run(metrics, elapsed)
+    capture = run_traced_host_utilization(
+        benchmark, n_samples=n_samples, n_workers=n_workers, dtype=dtype
+    )
+    if export_trace is not None:
+        export_run_trace(
+            export_trace,
+            metrics=capture.metrics,
+            elapsed_seconds=capture.elapsed_seconds,
+            host_spans=capture.host_spans,
+        )
+    return capture.report
 
 
 def format_utilization(

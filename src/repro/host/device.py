@@ -112,6 +112,18 @@ class SimulatedDevice:
             for index in range(design.n_cores)
         ]
 
+    def attach_tracer(self, tracer) -> None:
+        """Attach a span tracer to the device's HBM channels.
+
+        Each channel then records a span per request on its
+        ``hbm ch{i}`` track (simulated clock), which the Perfetto
+        exporter renders next to the runtime's DMA/PE tracks.  Purely
+        observational — recording only reads ``env.now``, so simulated
+        timings are unchanged.
+        """
+        for channel in self.hbm.channels:
+            channel.tracer = tracer
+
     # -- TaPaSCo-like API -------------------------------------------------------
     @property
     def n_pes(self) -> int:

@@ -153,6 +153,11 @@ class HBMChannel:
         self.bytes_read = 0
         self.bytes_written = 0
         self.refresh_count = 0
+        #: Optional :class:`repro.sim.trace.Tracer`; when attached
+        #: (see :meth:`repro.host.device.SimulatedDevice.attach_tracer`)
+        #: every request records a span on the ``hbm ch{i}`` track.
+        #: Purely observational: recording only reads ``env.now``.
+        self.tracer = None
         # Metrics are resolved once here and updated from the transfer
         # callbacks; with no registry every update site is one is-None
         # check (see repro.obs.metrics for the zero-perturbation rules).
@@ -223,6 +228,7 @@ class HBMChannel:
         if n_bytes <= 0:
             raise MemoryModelError(f"n_bytes must be positive, got {n_bytes}")
         done = Event(self.env)
+        granted_at = 0.0
 
         def on_done(_event: Event) -> None:
             # Grant the oldest queued waiter before signalling
@@ -240,10 +246,19 @@ class HBMChannel:
                     self.request_overhead + n_bytes / self.effective_bandwidth
                 )
                 self._m_queue.update(self._engine.queue_length, self.env.now)
+            if self.tracer is not None:
+                self.tracer.record(
+                    f"hbm ch{self.index}",
+                    "wr" if is_write else "rd",
+                    granted_at,
+                    self.env.now,
+                )
             done.succeed(None)
 
         def on_grant(_event: Event) -> None:
             # Fixed command/activation overhead, then data occupancy.
+            nonlocal granted_at
+            granted_at = self.env.now
             busy = self.env.timeout(
                 self.request_overhead + n_bytes / self.effective_bandwidth
             )

@@ -1,11 +1,22 @@
-"""Observability: metrics registry and utilization reporting.
+"""Observability: metrics, utilization reports, trace export, bench.
 
 See :mod:`repro.obs.metrics` for the registry the simulated components
-update and :mod:`repro.obs.report` for the fused
-:class:`UtilizationReport`; ``docs/observability.md`` maps every
-report field to the paper claim it measures.
+update, :mod:`repro.obs.report` for the fused
+:class:`UtilizationReport`, :mod:`repro.obs.trace_export` for the
+Chrome/Perfetto exporter (``repro trace``) and :mod:`repro.obs.bench`
+for the benchmark trajectory recorder (``repro bench``);
+``docs/observability.md`` maps every report field to the paper claim
+it measures.
 """
 
+from repro.obs.bench import (
+    BenchSample,
+    BenchScenario,
+    CheckResult,
+    check_scenarios,
+    env_fingerprint,
+    record_scenarios,
+)
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, TimeWeightedStat
 from repro.obs.report import (
     ChannelUtilization,
@@ -15,6 +26,12 @@ from repro.obs.report import (
     PEUtilization,
     UtilizationReport,
     WorkerUtilization,
+)
+from repro.obs.trace_export import (
+    ChromeTraceBuilder,
+    HostSpan,
+    HostSpanRecorder,
+    export_run_trace,
 )
 
 __all__ = [
@@ -29,4 +46,14 @@ __all__ = [
     "PEUtilization",
     "UtilizationReport",
     "WorkerUtilization",
+    "ChromeTraceBuilder",
+    "HostSpan",
+    "HostSpanRecorder",
+    "export_run_trace",
+    "BenchSample",
+    "BenchScenario",
+    "CheckResult",
+    "check_scenarios",
+    "env_fingerprint",
+    "record_scenarios",
 ]

@@ -1,0 +1,515 @@
+"""Benchmark trajectory recorder (`repro bench`).
+
+The repo's performance story is itself a claim that needs instruments:
+"the executor is zero-copy", "fast-forwarding makes paper-scale sweeps
+affordable" are throughput statements that silently rot as the code
+grows.  This module runs a small canonical scenario suite and appends
+each measurement to a per-scenario history file, so the performance of
+the codebase becomes a *trajectory* committed alongside it:
+
+* ``fig4_point`` — one fig. 4 sweep point (NIPS10, 2 cores, 1 M
+  samples per core, transfers included), measured as simulated samples
+  per wall-clock second — the fast-forward simulator's own speed;
+* ``plan_speedup`` — the compiled-plan vs graph-walk ratio on NIPS20
+  (the software analog of the paper's compile-once move);
+* ``executor_throughput`` — rows/s of one 1 M-row NIPS10 batch through
+  the zero-copy :class:`~repro.baselines.executor.ParallelPlanExecutor`;
+* ``des_events`` — scheduled events per wall second of a burst-granular
+  (traced) simulation — the discrete-event engine's raw speed.
+
+Each sample carries a host/environment fingerprint (CPU count, python,
+numpy, machine, git SHA), and ``repro bench --check`` compares the
+newest sample against the *median of prior samples with the same
+fingerprint key* within a per-scenario tolerance band — so a slower CI
+runner or laptop trivially passes until it has accumulated its own
+baseline, while a real regression on a known host exits nonzero.
+
+History files are plain JSON (``BENCH_<scenario>.json``), schema
+versioned, append-only, and small enough to commit; the default
+location is ``benchmarks/trajectory/`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchScenario",
+    "BenchSample",
+    "CheckResult",
+    "SCENARIOS",
+    "CHEAP_SCENARIOS",
+    "default_bench_dir",
+    "env_fingerprint",
+    "fingerprint_key",
+    "history_path",
+    "load_history",
+    "record_scenarios",
+    "check_scenarios",
+    "format_record",
+    "format_check",
+]
+
+#: Version of the BENCH_*.json sample schema.  Bump when the sample
+#: shape changes; ``load_history`` rejects files from the future.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One canonical measurement in the trajectory suite.
+
+    ``runner`` performs the measurement and returns ``(value,
+    wall_seconds)``; ``tolerance`` is the relative band ``--check``
+    allows the newest sample to fall below (above, for
+    lower-is-better scenarios) the fingerprint-matched baseline.
+    """
+
+    name: str
+    unit: str
+    higher_is_better: bool
+    tolerance: float
+    description: str
+    runner: Callable[[], Tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class BenchSample:
+    """One recorded measurement of a scenario."""
+
+    value: float
+    wall_seconds: float
+    recorded_at: str
+    fingerprint: Dict[str, object]
+
+    def to_dict(self) -> dict:
+        """The JSON-object form stored in the history file."""
+        return {
+            "value": self.value,
+            "wall_seconds": self.wall_seconds,
+            "recorded_at": self.recorded_at,
+            "fingerprint": dict(self.fingerprint),
+        }
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of comparing one scenario's newest sample to baseline."""
+
+    scenario: str
+    ok: bool
+    message: str
+    newest: Optional[float] = None
+    baseline: Optional[float] = None
+
+
+# -- scenario runners ------------------------------------------------------------
+#: Minimum accumulated wall time per micro-scenario measurement; the
+#: fast-forward simulator finishes one run in a few ms, far below
+#: timer noise, so micro-runs repeat until this much wall has elapsed.
+_MIN_MEASURE_SECONDS = 0.25
+
+
+def _accumulate(
+    run_once: Callable[[], float],
+    *,
+    min_wall: float = _MIN_MEASURE_SECONDS,
+    max_iters: int = 200,
+) -> Tuple[float, float]:
+    """Repeat a micro-run until enough wall time accumulates.
+
+    *run_once* performs one full measurement (setup included — setup
+    cost is part of the speed being tracked) and returns the number of
+    units it processed; the result is ``(units_per_second,
+    total_wall)`` over at least 3 and at most *max_iters* repeats.
+    """
+    units = 0.0
+    wall = 0.0
+    iters = 0
+    while iters < 3 or (wall < min_wall and iters < max_iters):
+        start = time.perf_counter()
+        units += run_once()
+        wall += time.perf_counter() - start
+        iters += 1
+    return units / wall, wall
+
+
+def _run_fig4_point() -> Tuple[float, float]:
+    from repro.compiler.design import compose_design
+    from repro.experiments.cache import benchmark_core
+    from repro.host.device import SimulatedDevice
+    from repro.host.runtime import InferenceJobConfig, InferenceRuntime
+    from repro.platforms.specs import XUPVVH_HBM_PLATFORM
+
+    n_cores, samples_per_core = 2, 1_000_000
+    core = benchmark_core("NIPS10", "cfp")
+
+    def run_once() -> float:
+        design = compose_design(core, n_cores, XUPVVH_HBM_PLATFORM)
+        device = SimulatedDevice(design)
+        runtime = InferenceRuntime(device, InferenceJobConfig(threads_per_pe=1))
+        runtime.run_timing_only(samples_per_core * n_cores)
+        return samples_per_core * n_cores
+
+    return _accumulate(run_once)
+
+
+def _run_plan_speedup() -> Tuple[float, float]:
+    from repro.experiments.plan_speedup import run_plan_speedup
+
+    start = time.perf_counter()
+    rows = run_plan_speedup(("NIPS20",), n_samples=20_000, repeats=3)
+    wall = time.perf_counter() - start
+    return rows[0].speedup, wall
+
+
+def _run_executor_throughput() -> Tuple[float, float]:
+    from repro.baselines.executor import ParallelPlanExecutor
+    from repro.experiments.utilization import host_cpu_batch
+    from repro.spn.nips import nips_benchmark
+
+    n_rows = 1_000_000
+    bench = nips_benchmark("NIPS10")
+    data = host_cpu_batch("NIPS10", n_rows)
+    with ParallelPlanExecutor(bench.spn) as executor:
+        start = time.perf_counter()
+        executor.submit(data)
+        wall = time.perf_counter() - start
+    return n_rows / wall, wall
+
+
+def _run_des_events() -> Tuple[float, float]:
+    from repro.compiler.design import compose_design
+    from repro.experiments.cache import benchmark_core
+    from repro.host.device import SimulatedDevice
+    from repro.host.runtime import InferenceJobConfig, InferenceRuntime
+    from repro.platforms.specs import XUPVVH_HBM_PLATFORM
+    from repro.sim.trace import Tracer
+
+    n_cores, samples_per_core = 2, 200_000
+    core = benchmark_core("NIPS10", "cfp")
+
+    def run_once() -> float:
+        design = compose_design(core, n_cores, XUPVVH_HBM_PLATFORM)
+        device = SimulatedDevice(design)
+        # A tracer forces the burst-granular core model, so the engine
+        # actually schedules per-burst events instead of fast-forwarding.
+        tracer = Tracer(device.env)
+        runtime = InferenceRuntime(
+            device, InferenceJobConfig(threads_per_pe=1), tracer=tracer
+        )
+        runtime.run_timing_only(samples_per_core * n_cores)
+        return device.env._sequence
+
+    return _accumulate(run_once)
+
+
+#: The canonical suite, in recording order.
+SCENARIOS: Dict[str, BenchScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        BenchScenario(
+            name="fig4_point",
+            unit="simulated samples / wall second",
+            higher_is_better=True,
+            tolerance=0.40,
+            description="one fig. 4 sweep point (NIPS10, 2 cores, 1 M "
+            "samples/core, transfers included) through the fast-forward "
+            "simulator",
+            runner=_run_fig4_point,
+        ),
+        BenchScenario(
+            name="plan_speedup",
+            unit="walk/plan ratio",
+            higher_is_better=True,
+            tolerance=0.40,
+            description="compiled-plan vs graph-walk log-likelihood on "
+            "NIPS20 (20 k samples, best of 3)",
+            runner=_run_plan_speedup,
+        ),
+        BenchScenario(
+            name="executor_throughput",
+            unit="rows / wall second",
+            higher_is_better=True,
+            tolerance=0.40,
+            description="1 M NIPS10 rows through the zero-copy "
+            "ParallelPlanExecutor",
+            runner=_run_executor_throughput,
+        ),
+        BenchScenario(
+            name="des_events",
+            unit="scheduled events / wall second",
+            higher_is_better=True,
+            tolerance=0.40,
+            description="discrete-event engine speed on a burst-granular "
+            "(traced) NIPS10 run",
+            runner=_run_des_events,
+        ),
+    )
+}
+
+#: The two cheapest scenarios — what CI's bench-trajectory step runs.
+CHEAP_SCENARIOS: Tuple[str, ...] = ("fig4_point", "des_events")
+
+
+# -- environment fingerprint -----------------------------------------------------
+def _git_sha() -> str:
+    repo_root = Path(__file__).resolve().parents[3]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def env_fingerprint() -> Dict[str, object]:
+    """The host/environment identity stamped onto every sample."""
+    import numpy
+
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "git_sha": _git_sha(),
+    }
+
+
+def fingerprint_key(fingerprint: Dict[str, object]) -> Tuple[object, ...]:
+    """The subset of a fingerprint that defines a comparable host.
+
+    Samples only gate against samples with the same key: machine
+    architecture, CPU count and python ``major.minor`` — a different
+    CI runner or laptop starts its own baseline instead of failing
+    against someone else's hardware.
+    """
+    python = str(fingerprint.get("python", ""))
+    return (
+        fingerprint.get("machine"),
+        fingerprint.get("cpu_count"),
+        ".".join(python.split(".")[:2]),
+    )
+
+
+# -- history files ---------------------------------------------------------------
+def default_bench_dir() -> str:
+    """``benchmarks/trajectory/`` at the repo root."""
+    return str(Path(__file__).resolve().parents[3] / "benchmarks" / "trajectory")
+
+
+def history_path(bench_dir: str, scenario: str) -> Path:
+    """Path of one scenario's ``BENCH_<scenario>.json`` history file."""
+    return Path(bench_dir) / f"BENCH_{scenario}.json"
+
+
+def load_history(bench_dir: str, scenario: str) -> Optional[dict]:
+    """Load one scenario's history file, validating its schema.
+
+    Returns ``None`` when the file does not exist yet; raises
+    :class:`ReproError` on malformed or future-schema files.
+    """
+    path = history_path(bench_dir, scenario)
+    if not path.exists():
+        return None
+    try:
+        with open(path) as handle:
+            history = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read bench history {path}: {exc}") from exc
+    version = history.get("schema_version")
+    if not isinstance(version, int) or version > SCHEMA_VERSION:
+        raise ReproError(
+            f"bench history {path} has schema_version {version!r}; this "
+            f"build understands <= {SCHEMA_VERSION}"
+        )
+    if history.get("scenario") != scenario or not isinstance(
+        history.get("samples"), list
+    ):
+        raise ReproError(f"bench history {path} is malformed")
+    return history
+
+
+def _fresh_history(scenario: BenchScenario) -> dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "scenario": scenario.name,
+        "unit": scenario.unit,
+        "higher_is_better": scenario.higher_is_better,
+        "tolerance": scenario.tolerance,
+        "description": scenario.description,
+        "samples": [],
+    }
+
+
+def _resolve(names: Optional[Sequence[str]]) -> List[BenchScenario]:
+    if names is None:
+        return list(SCENARIOS.values())
+    scenarios = []
+    for name in names:
+        if name not in SCENARIOS:
+            raise ReproError(
+                f"unknown bench scenario {name!r}; known: "
+                + ", ".join(sorted(SCENARIOS))
+            )
+        scenarios.append(SCENARIOS[name])
+    return scenarios
+
+
+# -- record / check --------------------------------------------------------------
+def record_scenarios(
+    names: Optional[Sequence[str]] = None,
+    *,
+    bench_dir: Optional[str] = None,
+) -> List[BenchSample]:
+    """Run scenarios and append one sample each to their history files.
+
+    Creates *bench_dir* (and fresh history files) as needed.  Returns
+    the recorded samples in scenario order.
+    """
+    bench_dir = bench_dir or default_bench_dir()
+    Path(bench_dir).mkdir(parents=True, exist_ok=True)
+    fingerprint = env_fingerprint()
+    samples: List[BenchSample] = []
+    for scenario in _resolve(names):
+        value, wall = scenario.runner()
+        sample = BenchSample(
+            value=value,
+            wall_seconds=wall,
+            recorded_at=datetime.now(timezone.utc).isoformat(),
+            fingerprint=fingerprint,
+        )
+        history = load_history(bench_dir, scenario.name)
+        if history is None:
+            history = _fresh_history(scenario)
+        history["samples"].append(sample.to_dict())
+        path = history_path(bench_dir, scenario.name)
+        with open(path, "w") as handle:
+            json.dump(history, handle, indent=2)
+            handle.write("\n")
+        samples.append(sample)
+    return samples
+
+
+def _baseline(history: dict, newest_fp: Dict[str, object]) -> Optional[float]:
+    """Median value of prior samples sharing the newest fingerprint key."""
+    key = fingerprint_key(newest_fp)
+    prior = [
+        sample["value"]
+        for sample in history["samples"][:-1]
+        if fingerprint_key(sample.get("fingerprint", {})) == key
+    ]
+    return statistics.median(prior) if prior else None
+
+
+def check_scenarios(
+    names: Optional[Sequence[str]] = None,
+    *,
+    bench_dir: Optional[str] = None,
+) -> List[CheckResult]:
+    """Gate each scenario's newest sample against its host baseline.
+
+    The baseline is the median of all *prior* samples with the same
+    :func:`fingerprint_key`; a scenario passes when the newest value is
+    within the scenario's tolerance band of that baseline, or when no
+    comparable baseline exists yet (first run on this host).
+    """
+    bench_dir = bench_dir or default_bench_dir()
+    results: List[CheckResult] = []
+    for scenario in _resolve(names):
+        history = load_history(bench_dir, scenario.name)
+        if history is None or not history["samples"]:
+            results.append(
+                CheckResult(
+                    scenario=scenario.name,
+                    ok=False,
+                    message="no samples recorded (run `repro bench --record`)",
+                )
+            )
+            continue
+        newest = history["samples"][-1]
+        baseline = _baseline(history, newest.get("fingerprint", {}))
+        tolerance = float(history.get("tolerance", scenario.tolerance))
+        higher = bool(history.get("higher_is_better", scenario.higher_is_better))
+        if baseline is None:
+            results.append(
+                CheckResult(
+                    scenario=scenario.name,
+                    ok=True,
+                    message="no comparable baseline yet (first sample on "
+                    "this host) - pass",
+                    newest=newest["value"],
+                )
+            )
+            continue
+        if higher:
+            floor = baseline * (1.0 - tolerance)
+            regressed = newest["value"] < floor
+            band = f">= {floor:.6g}"
+        else:
+            ceiling = baseline * (1.0 + tolerance)
+            regressed = newest["value"] > ceiling
+            band = f"<= {ceiling:.6g}"
+        verdict = "REGRESSION" if regressed else "ok"
+        results.append(
+            CheckResult(
+                scenario=scenario.name,
+                ok=not regressed,
+                message=(
+                    f"{verdict}: newest {newest['value']:.6g} vs baseline "
+                    f"{baseline:.6g} (allowed {band}, tolerance "
+                    f"{tolerance:.0%})"
+                ),
+                newest=newest["value"],
+                baseline=baseline,
+            )
+        )
+    return results
+
+
+# -- rendering -------------------------------------------------------------------
+def format_record(samples: Sequence[BenchSample], names: Sequence[str]) -> str:
+    """Render recorded samples for the CLI."""
+    lines = ["bench trajectory - recorded:"]
+    for name, sample in zip(names, samples):
+        scenario = SCENARIOS[name]
+        lines.append(
+            f"  {name}: {sample.value:.6g} {scenario.unit} "
+            f"(measured in {sample.wall_seconds:.2f} s wall)"
+        )
+    fp = samples[0].fingerprint if samples else env_fingerprint()
+    lines.append(
+        "  fingerprint: "
+        + ", ".join(f"{key}={value}" for key, value in sorted(fp.items()))
+    )
+    return "\n".join(lines)
+
+
+def format_check(results: Sequence[CheckResult]) -> str:
+    """Render check verdicts for the CLI."""
+    lines = ["bench trajectory - check:"]
+    for result in results:
+        lines.append(f"  {result.scenario}: {result.message}")
+    lines.append(
+        "  PASS" if all(result.ok for result in results) else "  FAIL"
+    )
+    return "\n".join(lines)

@@ -28,6 +28,8 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterable, Optional
 
+from repro.errors import ReproError
+
 __all__ = ["Counter", "Gauge", "TimeWeightedStat", "MetricsRegistry"]
 
 
@@ -113,10 +115,30 @@ class MetricsRegistry:
         self._stats: Dict[str, TimeWeightedStat] = {}
 
     # -- get-or-create ----------------------------------------------------------
+    def _registered_kind(self, name: str) -> Optional[str]:
+        """The instrument type *name* is registered as, if any."""
+        if name in self._counters:
+            return "counter"
+        if name in self._gauges:
+            return "gauge"
+        if name in self._stats:
+            return "time_stat"
+        return None
+
+    def _check_collision(self, name: str, kind: str) -> None:
+        """Reject registering *name* as a second instrument type."""
+        existing = self._registered_kind(name)
+        if existing is not None and existing != kind:
+            raise ReproError(
+                f"metric {name!r} is already registered as a {existing}; "
+                f"cannot re-register it as a {kind}"
+            )
+
     def counter(self, name: str) -> Counter:
         """The counter registered as *name* (created on first use)."""
         counter = self._counters.get(name)
         if counter is None:
+            self._check_collision(name, "counter")
             counter = self._counters[name] = Counter(name)
         return counter
 
@@ -124,6 +146,7 @@ class MetricsRegistry:
         """The gauge registered as *name* (created on first use)."""
         gauge = self._gauges.get(name)
         if gauge is None:
+            self._check_collision(name, "gauge")
             gauge = self._gauges[name] = Gauge(name)
         return gauge
 
@@ -131,6 +154,7 @@ class MetricsRegistry:
         """The time-weighted stat registered as *name*."""
         stat = self._stats.get(name)
         if stat is None:
+            self._check_collision(name, "time_stat")
             stat = self._stats[name] = TimeWeightedStat(name)
         return stat
 

@@ -29,7 +29,7 @@ from repro.sim.engine import Engine, Event, Process, Timeout, AllOf, AnyOf
 from repro.sim.channel import Channel, ClosedChannelError
 from repro.sim.resource import SimResource, TokenBucket
 from repro.sim.stats import Counter, ThroughputProbe, UtilizationProbe
-from repro.sim.trace import Span, Tracer
+from repro.sim.trace import Span, SpanHandle, Tracer
 
 __all__ = [
     "Engine",
@@ -46,5 +46,6 @@ __all__ = [
     "ThroughputProbe",
     "UtilizationProbe",
     "Span",
+    "SpanHandle",
     "Tracer",
 ]

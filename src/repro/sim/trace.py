@@ -19,7 +19,7 @@ from typing import Dict, List, Optional
 from repro.errors import SimulationError
 from repro.sim.engine import Engine
 
-__all__ = ["Span", "Tracer"]
+__all__ = ["Span", "SpanHandle", "Tracer"]
 
 
 @dataclass(frozen=True)
@@ -37,29 +37,84 @@ class Span:
         return self.end - self.begin
 
 
+class SpanHandle:
+    """One in-flight span opened by :meth:`Tracer.begin`.
+
+    Holding a handle (instead of relying on the ``(track, label)`` key)
+    lets several same-label spans be open simultaneously — two
+    in-flight DMA transfers with the same label each close their *own*
+    interval.  Closing is idempotent-checked: a handle ends exactly
+    once.
+    """
+
+    __slots__ = ("_tracer", "track", "label", "begin", "_closed")
+
+    def __init__(self, tracer: "Tracer", track: str, label: str, begin: float):
+        self._tracer = tracer
+        self.track = track
+        self.label = label
+        self.begin = begin
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """True once the span has been recorded."""
+        return self._closed
+
+    def end(self) -> Span:
+        """Close this span at the tracer's current time."""
+        return self._tracer._close_handle(self)
+
+
 class Tracer:
     """Records spans against an engine's clock."""
 
     def __init__(self, env: Engine):
         self.env = env
         self.spans: List[Span] = []
-        self._open: Dict[tuple, float] = {}
+        # Per-(track, label) stacks of open handles: same-label spans
+        # may overlap, `end()` closes the most recently opened one.
+        self._open: Dict[tuple, List[SpanHandle]] = {}
 
     # -- recording -----------------------------------------------------------
-    def begin(self, track: str, label: str) -> None:
-        """Open a span on *track* at the current simulated time."""
-        key = (track, label)
-        if key in self._open:
-            raise SimulationError(f"span {key} already open")
-        self._open[key] = self.env.now
+    def begin(self, track: str, label: str) -> SpanHandle:
+        """Open a span on *track* at the current simulated time.
 
-    def end(self, track: str, label: str) -> None:
-        """Close the matching open span at the current time."""
-        key = (track, label)
-        begin = self._open.pop(key, None)
-        if begin is None:
-            raise SimulationError(f"span {key} was never opened")
-        self.spans.append(Span(track, label, begin, self.env.now))
+        Returns a :class:`SpanHandle`; overlapping spans with the same
+        ``(track, label)`` key stack, so re-entrant begins are legal.
+        Close via :meth:`SpanHandle.end` (exact) or :meth:`end`
+        (most-recently-opened, backward compatible).
+        """
+        handle = SpanHandle(self, track, label, self.env.now)
+        self._open.setdefault((track, label), []).append(handle)
+        return handle
+
+    def end(self, track: str, label: str) -> Span:
+        """Close the most recently opened span with this key."""
+        stack = self._open.get((track, label))
+        if not stack:
+            raise SimulationError(f"span {(track, label)} was never opened")
+        return self._close_handle(stack[-1])
+
+    def _close_handle(self, handle: SpanHandle) -> Span:
+        """Record *handle*'s span and drop it from its open stack."""
+        if handle._closed:
+            raise SimulationError(
+                f"span {(handle.track, handle.label)} already ended"
+            )
+        handle._closed = True
+        key = (handle.track, handle.label)
+        stack = self._open.get(key)
+        if stack is not None:
+            try:
+                stack.remove(handle)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            if not stack:
+                del self._open[key]
+        span = Span(handle.track, handle.label, handle.begin, self.env.now)
+        self.spans.append(span)
+        return span
 
     def record(self, track: str, label: str, begin: float, end: float) -> None:
         """Record a completed span directly."""

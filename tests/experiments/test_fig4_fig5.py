@@ -62,6 +62,31 @@ class TestFig4:
         assert "utilization at 2 PEs" in text
         assert "of plateau" in text
 
+    def test_export_trace_writes_merged_trace(self, tmp_path):
+        import json
+
+        path = tmp_path / "fig4.perfetto.json"
+        result = run_fig4(
+            benchmarks=("NIPS10",),
+            pe_counts=(1, 2),
+            samples_per_core=100_000,
+            export_trace=str(path),
+        )
+        assert result.with_transfers["NIPS10"]  # rates unaffected
+        trace = json.loads(path.read_text())
+        tracks = {
+            (event["pid"], event["args"]["name"])
+            for event in trace["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        # Simulated-clock tracks (pid 1) from the instrumented run...
+        assert any(pid == 1 and name.startswith("pe") for pid, name in tracks)
+        # ...and wall-clock sweep-pool point spans (pid 2).
+        assert any(
+            pid == 2 and name.startswith("fig4 sweep worker")
+            for pid, name in tracks
+        )
+
 
 @pytest.fixture(scope="module")
 def fig5():

@@ -1,0 +1,200 @@
+"""Benchmark trajectory recorder tests.
+
+Covers the `repro bench` contract: --record appends schema-versioned
+samples stamped with the host fingerprint (incl. git SHA), --check
+gates the newest sample against the median of prior same-fingerprint
+samples and fails (CLI exits nonzero) on an injected regression.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import bench
+from repro.obs.bench import (
+    SCHEMA_VERSION,
+    BenchScenario,
+    check_scenarios,
+    env_fingerprint,
+    fingerprint_key,
+    history_path,
+    load_history,
+    record_scenarios,
+)
+
+
+@pytest.fixture()
+def fake_scenario(monkeypatch):
+    """A deterministic, instant scenario injected into the suite."""
+    values = iter([100.0, 101.0, 99.0, 100.5, 42.0])
+
+    scenario = BenchScenario(
+        name="fake",
+        unit="widgets/s",
+        higher_is_better=True,
+        tolerance=0.25,
+        description="deterministic test scenario",
+        runner=lambda: (next(values), 0.01),
+    )
+    monkeypatch.setitem(bench.SCENARIOS, "fake", scenario)
+    return scenario
+
+
+class TestFingerprint:
+    def test_fingerprint_carries_host_identity_and_git_sha(self):
+        fingerprint = env_fingerprint()
+        for key in ("cpu_count", "python", "numpy", "machine", "git_sha"):
+            assert key in fingerprint
+        assert fingerprint["cpu_count"] >= 1
+        assert fingerprint["git_sha"]  # short SHA in a repo, else "unknown"
+
+    def test_key_groups_by_machine_cpus_and_python_minor(self):
+        base = {"machine": "x86_64", "cpu_count": 8, "python": "3.11.7"}
+        patch_bump = dict(base, python="3.11.9", git_sha="other")
+        assert fingerprint_key(base) == fingerprint_key(patch_bump)
+        assert fingerprint_key(base) != fingerprint_key(
+            dict(base, cpu_count=4)
+        )
+        assert fingerprint_key(base) != fingerprint_key(
+            dict(base, python="3.12.1")
+        )
+
+
+class TestRecord:
+    def test_record_creates_then_appends(self, tmp_path, fake_scenario):
+        (first,) = record_scenarios(["fake"], bench_dir=str(tmp_path))
+        (second,) = record_scenarios(["fake"], bench_dir=str(tmp_path))
+        history = load_history(str(tmp_path), "fake")
+        assert history["schema_version"] == SCHEMA_VERSION
+        assert history["scenario"] == "fake"
+        assert history["unit"] == "widgets/s"
+        assert history["tolerance"] == 0.25
+        assert [s["value"] for s in history["samples"]] == [
+            first.value,
+            second.value,
+        ]
+        for sample in history["samples"]:
+            assert sample["fingerprint"]["git_sha"]
+            assert sample["recorded_at"]
+            assert sample["wall_seconds"] == 0.01
+
+    def test_unknown_scenario_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="unknown bench scenario"):
+            record_scenarios(["nope"], bench_dir=str(tmp_path))
+
+    def test_future_schema_rejected(self, tmp_path, fake_scenario):
+        record_scenarios(["fake"], bench_dir=str(tmp_path))
+        path = history_path(str(tmp_path), "fake")
+        history = json.loads(path.read_text())
+        history["schema_version"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(history))
+        with pytest.raises(ReproError, match="schema_version"):
+            load_history(str(tmp_path), "fake")
+
+
+class TestCheck:
+    def test_no_samples_fails_with_hint(self, tmp_path, fake_scenario):
+        (result,) = check_scenarios(["fake"], bench_dir=str(tmp_path))
+        assert not result.ok
+        assert "--record" in result.message
+
+    def test_first_sample_passes_without_baseline(self, tmp_path, fake_scenario):
+        record_scenarios(["fake"], bench_dir=str(tmp_path))
+        (result,) = check_scenarios(["fake"], bench_dir=str(tmp_path))
+        assert result.ok
+        assert "no comparable baseline" in result.message
+
+    def test_steady_samples_pass(self, tmp_path, fake_scenario):
+        for _ in range(4):
+            record_scenarios(["fake"], bench_dir=str(tmp_path))
+        (result,) = check_scenarios(["fake"], bench_dir=str(tmp_path))
+        assert result.ok
+        assert result.baseline == pytest.approx(100.0)  # median of 100,101,99
+
+    def test_injected_regression_fails(self, tmp_path, fake_scenario):
+        for _ in range(5):  # the fifth fake value is 42.0: a regression
+            record_scenarios(["fake"], bench_dir=str(tmp_path))
+        (result,) = check_scenarios(["fake"], bench_dir=str(tmp_path))
+        assert not result.ok
+        assert "REGRESSION" in result.message
+        assert result.newest == pytest.approx(42.0)
+
+    def test_other_hosts_samples_are_not_a_baseline(self, tmp_path, fake_scenario):
+        for _ in range(3):
+            record_scenarios(["fake"], bench_dir=str(tmp_path))
+        # Rewrite all prior samples as if they came from another host.
+        path = history_path(str(tmp_path), "fake")
+        history = json.loads(path.read_text())
+        for sample in history["samples"][:-1]:
+            sample["fingerprint"]["cpu_count"] = 4096
+        path.write_text(json.dumps(history))
+        (result,) = check_scenarios(["fake"], bench_dir=str(tmp_path))
+        assert result.ok
+        assert "no comparable baseline" in result.message
+
+
+class TestCli:
+    def test_record_then_check_exit_zero(self, tmp_path, fake_scenario, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "bench",
+                "--record",
+                "--check",
+                "--scenarios",
+                "fake",
+                "--bench-dir",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recorded" in out and "PASS" in out
+
+    def test_injected_regression_exits_nonzero(
+        self, tmp_path, fake_scenario, capsys
+    ):
+        from repro.cli import main
+
+        for _ in range(4):
+            record_scenarios(["fake"], bench_dir=str(tmp_path))
+        # Inject a synthetic regression as the newest sample.
+        path = history_path(str(tmp_path), "fake")
+        history = json.loads(path.read_text())
+        bad = dict(history["samples"][-1])
+        bad["value"] = history["samples"][-1]["value"] * 0.1
+        history["samples"].append(bad)
+        path.write_text(json.dumps(history))
+        code = main(
+            ["bench", "--check", "--scenarios", "fake", "--bench-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSION" in out and "FAIL" in out
+
+    def test_bench_without_flags_is_an_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench"]) == 2
+        assert "--record" in capsys.readouterr().out
+
+    def test_unknown_scenario_exits_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["bench", "--check", "--scenarios", "zzz", "--bench-dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "unknown bench scenario" in capsys.readouterr().out
+
+
+class TestRealScenario:
+    def test_des_events_scenario_records_a_real_sample(self, tmp_path):
+        (sample,) = record_scenarios(["des_events"], bench_dir=str(tmp_path))
+        assert sample.value > 0
+        assert sample.wall_seconds > 0
+        history = load_history(str(tmp_path), "des_events")
+        assert history["samples"][0]["value"] == sample.value
+        assert history["higher_is_better"] is True

@@ -88,6 +88,29 @@ class TestMetricsRegistry:
         assert not registry.has("zzz")
         assert sorted(registry.names()) == ["c", "g", "t"]
 
+    def test_name_collision_across_kinds_rejected(self):
+        from repro.errors import ReproError
+
+        registry = MetricsRegistry()
+        registry.counter("hbm.ch0.bytes_read")
+        with pytest.raises(ReproError, match="already registered as a counter"):
+            registry.gauge("hbm.ch0.bytes_read")
+        with pytest.raises(ReproError, match="cannot re-register it as a time_stat"):
+            registry.time_stat("hbm.ch0.bytes_read")
+        registry.gauge("depth")
+        with pytest.raises(ReproError, match="already registered as a gauge"):
+            registry.counter("depth")
+        registry.time_stat("queue")
+        with pytest.raises(ReproError, match="already registered as a time_stat"):
+            registry.gauge("queue")
+
+    def test_same_kind_reregistration_is_not_a_collision(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.add(2)
+        assert registry.counter("c") is counter
+        assert registry.counter("c").value == 2
+
     def test_snapshot_round_trips_through_json(self):
         registry = MetricsRegistry()
         registry.counter("hbm.ch0.requests").add(3)

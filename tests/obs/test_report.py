@@ -74,6 +74,32 @@ class TestUtilizationReport:
         assert decoded["elapsed_seconds"] == report.elapsed_seconds
         assert len(decoded["channels"]) == len(report.channels)
 
+    def test_to_dict_uses_only_json_native_types(self, report):
+        """Regression guard for the exporters: every leaf of to_dict()
+        (and of MetricsRegistry.snapshot()) must be a JSON-native type,
+        not e.g. a numpy scalar that json.dumps would reject."""
+
+        def walk(value, path):
+            if isinstance(value, dict):
+                for key, child in value.items():
+                    assert type(key) is str, f"non-str key at {path}: {key!r}"
+                    walk(child, f"{path}.{key}")
+            elif isinstance(value, (list, tuple)):
+                for index, child in enumerate(value):
+                    walk(child, f"{path}[{index}]")
+            else:
+                assert value is None or type(value) in (bool, int, float, str), (
+                    f"non-JSON leaf at {path}: {type(value).__name__}"
+                )
+
+        walk(report.to_dict(), "report")
+        registry = MetricsRegistry()
+        registry.counter("c").add(2)
+        registry.gauge("g").set(1.5)
+        registry.time_stat("t").update(1.0, now=0.0)
+        walk(registry.snapshot(), "snapshot")
+        assert json.loads(json.dumps(registry.snapshot())) == registry.snapshot()
+
     def test_report_is_picklable(self, report):
         clone = pickle.loads(pickle.dumps(report))
         assert clone == report

@@ -1,0 +1,219 @@
+"""Chrome/Perfetto trace-export acceptance tests.
+
+Covers the exporter's contract: every emitted event carries the
+mandatory Chrome Trace Event Format fields, simulated-clock and host
+wall-clock events live in separate process groups with the clock
+domain announced in metadata, and export is strictly observational —
+simulated elapsed times are bit-identical with and without it.
+"""
+
+import json
+import struct
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace_export import (
+    HOST_PID,
+    SIM_PID,
+    ChromeTraceBuilder,
+    HostSpan,
+    HostSpanRecorder,
+    export_run_trace,
+)
+
+MANDATORY_FIELDS = ("name", "ph", "ts", "pid", "tid")
+
+
+def _thread_names(trace: dict) -> dict:
+    """pid -> list of announced thread (track) names."""
+    names: dict = {}
+    for event in trace["traceEvents"]:
+        if event["ph"] == "M" and event["name"] == "thread_name":
+            names.setdefault(event["pid"], []).append(event["args"]["name"])
+    return names
+
+
+class TestHostSpanRecorder:
+    def test_normalises_against_epoch(self):
+        recorder = HostSpanRecorder(epoch=100.0)
+        recorder.record("w0", "shard0", 100.5, 101.25)
+        (span,) = recorder.spans
+        assert span.begin == pytest.approx(0.5)
+        assert span.end == pytest.approx(1.25)
+        assert span.duration == pytest.approx(0.75)
+        assert recorder.tracks() == ["w0"]
+
+    def test_span_context_manager_times_its_body(self):
+        recorder = HostSpanRecorder()
+        with recorder.span("pool", "task"):
+            pass
+        (span,) = recorder.spans
+        assert span.track == "pool"
+        assert span.end >= span.begin >= 0.0
+
+    def test_backwards_span_rejected(self):
+        recorder = HostSpanRecorder(epoch=0.0)
+        with pytest.raises(ReproError, match="ends before it begins"):
+            recorder.record("w", "x", 2.0, 1.0)
+
+
+class TestChromeTraceBuilder:
+    def test_tracks_get_stable_tids_per_process(self):
+        builder = ChromeTraceBuilder()
+        builder.add_span(SIM_PID, "pe0", "job", 0.0, 1.0, category="sim")
+        builder.add_span(SIM_PID, "dma", "xfer", 0.0, 1.0, category="sim")
+        builder.add_span(SIM_PID, "pe0", "job2", 1.0, 2.0, category="sim")
+        builder.add_span(HOST_PID, "pe0", "other-clock", 0.0, 1.0, category="host")
+        spans = [e for e in builder.to_dict()["traceEvents"] if e["ph"] == "X"]
+        assert spans[0]["tid"] == spans[2]["tid"]  # same (pid, track)
+        assert spans[0]["tid"] != spans[1]["tid"]  # different track
+        # The same track name in another process is another thread.
+        assert spans[3]["pid"] == HOST_PID
+
+    def test_timestamps_are_microseconds(self):
+        builder = ChromeTraceBuilder()
+        builder.add_span(SIM_PID, "t", "x", 0.5, 2.0, category="sim")
+        (span,) = [e for e in builder.to_dict()["traceEvents"] if e["ph"] == "X"]
+        assert span["ts"] == pytest.approx(0.5e6)
+        assert span["dur"] == pytest.approx(1.5e6)
+
+    def test_counter_events_carry_values(self):
+        builder = ChromeTraceBuilder()
+        builder.add_counter(SIM_PID, "bytes", 4096.0, at_seconds=1.0)
+        (counter,) = [e for e in builder.to_dict()["traceEvents"] if e["ph"] == "C"]
+        assert counter["args"]["value"] == 4096.0
+        assert counter["ts"] == pytest.approx(1e6)
+
+
+class TestExportRunTrace:
+    def test_needs_at_least_one_source(self, tmp_path):
+        with pytest.raises(ReproError, match="needs a tracer"):
+            export_run_trace(str(tmp_path / "t.json"))
+
+    def test_metrics_need_elapsed_seconds(self, tmp_path):
+        with pytest.raises(ReproError, match="elapsed_seconds"):
+            export_run_trace(str(tmp_path / "t.json"), metrics=MetricsRegistry())
+
+    def test_host_only_export_uses_host_process_group(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("executor.rows").add(100)
+        path = tmp_path / "host.json"
+        export_run_trace(
+            str(path),
+            metrics=registry,
+            elapsed_seconds=0.5,
+            host_spans=[HostSpan("executor worker0", "shard0", 0.0, 0.5)],
+        )
+        trace = json.loads(path.read_text())
+        pids = {e["pid"] for e in trace["traceEvents"]}
+        assert pids == {HOST_PID}
+
+
+@pytest.fixture(scope="module")
+def exported_sim_trace(tmp_path_factory):
+    """One instrumented simulation run exported through run_utilization."""
+    from repro.experiments.utilization import run_utilization
+
+    path = tmp_path_factory.mktemp("trace") / "sim.perfetto.json"
+    report = run_utilization(
+        "NIPS10",
+        2,
+        threads_per_pe=2,
+        samples_per_core=100_000,
+        export_trace=str(path),
+    )
+    return report, json.loads(path.read_text())
+
+
+class TestExportedTraceSchema:
+    def test_every_event_has_mandatory_fields(self, exported_sim_trace):
+        _, trace = exported_sim_trace
+        assert trace["traceEvents"], "trace must not be empty"
+        for event in trace["traceEvents"]:
+            for field in MANDATORY_FIELDS:
+                assert field in event, f"event missing {field}: {event}"
+            assert event["ph"] in {"X", "C", "M"}
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+            if event["ph"] == "C":
+                assert "value" in event["args"]
+
+    def test_sim_spans_cover_dma_pe_and_hbm_tracks(self, exported_sim_trace):
+        _, trace = exported_sim_trace
+        sim_tracks = set(_thread_names(trace).get(SIM_PID, []))
+        assert "dma h2d" in sim_tracks
+        assert "dma d2h" in sim_tracks
+        assert any(track.startswith("pe") for track in sim_tracks)
+        assert any(track.startswith("hbm ch") for track in sim_tracks)
+
+    def test_clock_domains_are_announced(self, exported_sim_trace):
+        _, trace = exported_sim_trace
+        domains = trace["otherData"]["clock_domains"]
+        assert f"pid {SIM_PID}" in domains
+        assert "sim" in domains[f"pid {SIM_PID}"]
+        process_names = [
+            event["args"]["name"]
+            for event in trace["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "process_name"
+        ]
+        assert any("sim clock" in name for name in process_names)
+
+    def test_metric_counters_present(self, exported_sim_trace):
+        _, trace = exported_sim_trace
+        counters = {
+            event["name"]
+            for event in trace["traceEvents"]
+            if event["ph"] == "C"
+        }
+        assert any(name.startswith("hbm.") for name in counters)
+
+
+class TestMergedTraceHasBothClockDomains:
+    def test_host_executor_spans_join_sim_spans(self, tmp_path):
+        from repro.experiments.utilization import (
+            run_traced_host_utilization,
+            run_traced_utilization,
+        )
+
+        sim = run_traced_utilization(
+            "NIPS10", 1, threads_per_pe=1, samples_per_core=50_000
+        )
+        host = run_traced_host_utilization("NIPS10", n_samples=20_000)
+        assert host.host_spans, "executor must record worker spans"
+        path = tmp_path / "merged.json"
+        export_run_trace(
+            str(path),
+            tracer=sim.tracer,
+            metrics=sim.metrics,
+            elapsed_seconds=sim.elapsed_seconds,
+            host_spans=host.host_spans,
+        )
+        trace = json.loads(path.read_text())
+        tracks = _thread_names(trace)
+        assert any(t.startswith("pe") for t in tracks[SIM_PID])
+        assert any(t.startswith("executor worker") for t in tracks[HOST_PID])
+        # Sim and host events never share a process group.
+        for event in trace["traceEvents"]:
+            assert event["pid"] in (SIM_PID, HOST_PID)
+
+
+class TestZeroPerturbation:
+    def test_simulated_elapsed_bit_identical_with_export(self, tmp_path):
+        from repro.experiments.utilization import run_utilization
+
+        bare = run_utilization(
+            "NIPS10", 1, threads_per_pe=2, samples_per_core=100_000
+        )
+        exported = run_utilization(
+            "NIPS10",
+            1,
+            threads_per_pe=2,
+            samples_per_core=100_000,
+            export_trace=str(tmp_path / "run.json"),
+        )
+        assert struct.pack("<d", bare.elapsed_seconds) == struct.pack(
+            "<d", exported.elapsed_seconds
+        )
+        assert (tmp_path / "run.json").exists()

@@ -29,11 +29,55 @@ def test_end_without_begin_rejected():
         tracer.end("t", "x")
 
 
-def test_double_begin_rejected():
-    tracer = Tracer(Engine())
-    tracer.begin("t", "x")
-    with pytest.raises(SimulationError):
+def test_reentrant_same_label_spans_both_record():
+    """Overlapping spans with the same (track, label) key each record
+    their own interval (two in-flight DMA transfers may share a label)."""
+    eng = Engine()
+    tracer = Tracer(eng)
+
+    def proc(env):
+        first = tracer.begin("dma", "xfer")
+        yield env.timeout(1.0)
+        second = tracer.begin("dma", "xfer")  # first still open
+        yield env.timeout(1.0)
+        first.end()
+        yield env.timeout(1.0)
+        second.end()
+
+    eng.run(until_event=eng.process(proc(eng)))
+    assert [(s.begin, s.end) for s in tracer.spans] == [(0.0, 2.0), (1.0, 3.0)]
+
+
+def test_begin_returns_handle_and_end_closes_most_recent():
+    """tracer.end(track, label) stays backward compatible: it closes
+    the most recently opened span with that key."""
+    eng = Engine()
+    tracer = Tracer(eng)
+
+    def proc(env):
         tracer.begin("t", "x")
+        yield env.timeout(1.0)
+        tracer.begin("t", "x")
+        yield env.timeout(1.0)
+        tracer.end("t", "x")  # closes the second (begin=1.0)
+        yield env.timeout(1.0)
+        tracer.end("t", "x")  # closes the first (begin=0.0)
+
+    eng.run(until_event=eng.process(proc(eng)))
+    assert [(s.begin, s.end) for s in tracer.spans] == [(1.0, 2.0), (0.0, 3.0)]
+
+
+def test_span_handle_double_end_rejected():
+    tracer = Tracer(Engine())
+    handle = tracer.begin("t", "x")
+    assert not handle.closed
+    handle.end()
+    assert handle.closed
+    with pytest.raises(SimulationError, match="already ended"):
+        handle.end()
+    # The key's stack is gone too: a bare end() has nothing to close.
+    with pytest.raises(SimulationError, match="never opened"):
+        tracer.end("t", "x")
 
 
 def test_record_validates_ordering():
@@ -81,8 +125,11 @@ def test_timeline_rendering():
 
 
 def test_empty_timeline():
+    """Regression: an empty tracer renders a clear one-line message
+    instead of raising on the max() of zero spans."""
     tracer = Tracer(Engine())
-    assert "no spans" in tracer.timeline()
+    assert tracer.timeline() == "(no spans recorded)"
+    assert tracer.timeline(width=7, until=5.0) == "(no spans recorded)"
 
 
 def test_zero_duration_span_is_rendered():

@@ -7,7 +7,7 @@ from repro.cli import build_parser, main
 
 def test_parser_accepts_all_artifacts():
     parser = build_parser()
-    for name in ("fig2", "table1", "fig4", "fig5", "fig6", "speedups", "outlook", "ablations", "formats", "sensitivity", "roofline", "plans", "report", "all"):
+    for name in ("fig2", "table1", "fig4", "fig5", "fig6", "speedups", "outlook", "ablations", "formats", "sensitivity", "roofline", "plans", "report", "trace", "bench", "all"):
         args = parser.parse_args([name])
         assert args.artifact == name
 
@@ -66,3 +66,26 @@ def test_report_command_json(capsys):
     decoded = json.loads(capsys.readouterr().out)
     assert decoded["channels"]
     assert decoded["channels"][0]["plateau_fraction"] > 0.9
+
+
+def test_trace_command_writes_chrome_trace(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "run.perfetto.json"
+    assert main(["trace", "--out", str(out_path), "--samples", "50000"]) == 0
+    stdout = capsys.readouterr().out
+    assert "perfetto" in stdout
+    trace = json.loads(out_path.read_text())
+    assert trace["traceEvents"]
+    pids = {event["pid"] for event in trace["traceEvents"]}
+    assert pids == {1, 2}  # sim clock and host wall clock groups
+    for event in trace["traceEvents"]:
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            assert field in event
+
+
+def test_trace_and_bench_are_excluded_from_all():
+    from repro.cli import _COMMANDS, _NOT_IN_ALL
+
+    assert {"trace", "bench"} <= set(_COMMANDS)
+    assert _NOT_IN_ALL == frozenset({"trace", "bench"})
