@@ -31,6 +31,11 @@ bound to begin with.
   :func:`~repro.spn.plan_eval.plan_log_likelihood`, halving the
   memory traffic of the chunked evaluation (float64 accumulation in
   the log-sum-exp keeps the error ~1e-4 absolute);
+* **backend control** — ``backend="native"`` runs every shard on the
+  per-plan compiled C kernel (:mod:`repro.compiler.native_build`);
+  the parent builds the artifact once during setup and workers only
+  ``dlopen`` the inherited path, so the one-time compile cost never
+  multiplies with the pool size;
 * **observability** — with a :class:`~repro.obs.metrics.MetricsRegistry`
   attached the executor records shards dispatched, shared-memory bytes
   staged in/out, per-worker busy seconds and dispatch latency under
@@ -110,21 +115,43 @@ def check_batch(data: np.ndarray, *, dtype=np.float64) -> np.ndarray:
 _FORK_REGISTRY: Dict[str, SPN] = {}
 _W_SPN: Optional[SPN] = None
 _W_PLAN: Optional[InferencePlan] = None
+_W_KERNEL = None
 _W_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
 
 
-def _worker_init_fork(token: str) -> None:
+def _worker_load_kernel(native_path: Optional[str], dtype_str: str) -> None:
+    """Bind the parent-built native artifact, if the executor has one.
+
+    Workers never invoke the C compiler: the parent built (or
+    cache-hit) the artifact during setup and the workers only dlopen
+    the inherited *path* — per-fork rebuilds would multiply the build
+    cost by the pool size and race on the cache.
+    """
+    global _W_KERNEL
+    _W_KERNEL = None
+    if native_path is None:
+        return
+    from repro.compiler.native_build import load_kernel
+
+    _W_KERNEL = load_kernel(native_path, _W_PLAN, np.dtype(dtype_str))
+
+
+def _worker_init_fork(token: str, native_path: Optional[str] = None,
+                      dtype_str: str = "float64") -> None:
     """Pool initializer (fork): adopt the inherited SPN + plan."""
     global _W_SPN, _W_PLAN
     _W_SPN = _FORK_REGISTRY[token]
     _W_PLAN = get_plan(_W_SPN)
+    _worker_load_kernel(native_path, dtype_str)
 
 
-def _worker_init_pickle(spn: SPN) -> None:
+def _worker_init_pickle(spn: SPN, native_path: Optional[str] = None,
+                        dtype_str: str = "float64") -> None:
     """Pool initializer (spawn): receive the SPN once, compile its plan."""
     global _W_SPN, _W_PLAN
     _W_SPN = spn
     _W_PLAN = get_plan(spn)
+    _worker_load_kernel(native_path, dtype_str)
 
 
 def _worker_attach(name: str) -> shared_memory.SharedMemory:
@@ -183,19 +210,33 @@ def _worker_eval(task: tuple) -> Tuple[int, float, float]:
     out = np.ndarray(
         (n_rows,), dtype=np.float64, buffer=_worker_attach(out_name).buf
     )
-    out[begin:end] = plan_log_likelihood(
-        _W_PLAN,
-        data[begin:end],
-        marginalized=marginalized,
-        missing_value=missing_value,
-        dtype=dtype,
-    )
+    if _W_KERNEL is not None:
+        out[begin:end] = _W_KERNEL.log_likelihood(
+            data[begin:end],
+            marginalized=marginalized,
+            missing_value=missing_value,
+        )
+    else:
+        out[begin:end] = plan_log_likelihood(
+            _W_PLAN,
+            data[begin:end],
+            marginalized=marginalized,
+            missing_value=missing_value,
+            dtype=dtype,
+        )
     return os.getpid(), start, time.perf_counter()
 
 
 def _pool_context():
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _global_backend() -> str:
+    """The process-wide inference backend (lazy import, no cycle)."""
+    from repro.spn.inference import get_inference_backend
+
+    return get_inference_backend()
 
 
 class ParallelPlanExecutor:
@@ -216,6 +257,18 @@ class ParallelPlanExecutor:
         Evaluation storage precision, ``float64`` (bit-identical to
         :func:`~repro.baselines.cpu.run_cpu_baseline`) or ``float32``
         (half the memory traffic, ~1e-4 absolute error).
+    backend:
+        Which optimised evaluator the shards run on.  ``None``
+        (default) follows the process-wide selection
+        (:func:`repro.spn.inference.get_inference_backend`), degrading
+        from ``native`` to the numpy plan backend (with the usual
+        one-time warning) when no kernel can be built.  An explicit
+        ``"native"`` is strict — construction raises
+        :class:`~repro.errors.NativeBackendError` when the kernel is
+        unavailable; an explicit ``"plan"`` pins the numpy kernels.
+        With the native backend the parent builds (or cache-hits) the
+        kernel artifact during setup and workers only ``dlopen`` the
+        inherited path — never rebuild per fork.
     min_rows_per_shard:
         Adaptive-oversharding floor: never split finer than this.
     overshard:
@@ -235,6 +288,7 @@ class ParallelPlanExecutor:
         *,
         n_workers: Optional[int] = None,
         dtype=np.float64,
+        backend: Optional[str] = None,
         min_rows_per_shard: int = DEFAULT_MIN_ROWS_PER_SHARD,
         overshard: int = DEFAULT_OVERSHARD,
         metrics=None,
@@ -253,6 +307,11 @@ class ParallelPlanExecutor:
         dtype = np.dtype(dtype)
         if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
             raise ReproError(f"dtype must be float32 or float64, got {dtype}")
+        if backend not in (None, "plan", "native"):
+            raise ReproError(
+                f"unknown executor backend {backend!r}; "
+                "pick None, 'plan' or 'native'"
+            )
 
         self._spn = spn
         self._dtype = dtype
@@ -280,6 +339,21 @@ class ParallelPlanExecutor:
 
         start = time.perf_counter()
         self._plan = get_plan(spn)
+        self._kernel = None
+        self._native_path: Optional[str] = None
+        if backend == "native" or (
+            backend is None and _global_backend() == "native"
+        ):
+            from repro.compiler.native_build import get_native_kernel
+
+            # Strict on explicit request (raise before any pool spawn),
+            # graceful when merely following the process-wide switch.
+            self._kernel = get_native_kernel(
+                self._plan, dtype, require=backend == "native"
+            )
+            if self._kernel is not None:
+                self._native_path = str(self._kernel.path)
+        self._backend = "native" if self._kernel is not None else "plan"
         self._pool = self._start_pool()
         self.setup_seconds = time.perf_counter() - start
 
@@ -305,14 +379,22 @@ class ParallelPlanExecutor:
                     max_workers=self._n_workers,
                     mp_context=context,
                     initializer=_worker_init_fork,
-                    initargs=(self._token,),
+                    initargs=(
+                        self._token,
+                        self._native_path,
+                        self._dtype.name,
+                    ),
                 )
             else:
                 pool = ProcessPoolExecutor(
                     max_workers=self._n_workers,
                     mp_context=context,
                     initializer=_worker_init_pickle,
-                    initargs=(self._spn,),
+                    initargs=(
+                        self._spn,
+                        self._native_path,
+                        self._dtype.name,
+                    ),
                 )
             # Touch every worker so spawn + plan compilation happen
             # now, inside setup, not inside the first submit.
@@ -371,6 +453,16 @@ class ParallelPlanExecutor:
     def dtype(self) -> np.dtype:
         """The evaluation storage precision."""
         return self._dtype
+
+    @property
+    def backend(self) -> str:
+        """The evaluator the shards actually run on: "native" or "plan".
+
+        May read ``"plan"`` even though ``backend=None`` was requested
+        while the process-wide switch said native — that is the
+        graceful degradation on hosts without a C compiler.
+        """
+        return self._backend
 
     @property
     def closed(self) -> bool:
@@ -542,13 +634,20 @@ class ParallelPlanExecutor:
         start = time.perf_counter()
         for shard, (begin, end) in enumerate(spans):
             t0 = time.perf_counter()
-            out[begin:end] = plan_log_likelihood(
-                self._plan,
-                data[begin:end],
-                marginalized=marginalized,
-                missing_value=missing_value,
-                dtype=self._dtype,
-            )
+            if self._kernel is not None:
+                out[begin:end] = self._kernel.log_likelihood(
+                    data[begin:end],
+                    marginalized=marginalized,
+                    missing_value=missing_value,
+                )
+            else:
+                out[begin:end] = plan_log_likelihood(
+                    self._plan,
+                    data[begin:end],
+                    marginalized=marginalized,
+                    missing_value=missing_value,
+                    dtype=self._dtype,
+                )
             self._record_worker_span(os.getpid(), shard, t0, time.perf_counter())
         wall = time.perf_counter() - start
         if self._m_submits is not None:

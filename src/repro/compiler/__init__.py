@@ -14,6 +14,11 @@ an achievable-clock model in :mod:`repro.compiler.frequency`.
 Together these reproduce the quantities the paper's evaluation rests
 on: Table I's resource utilisation, the 225 MHz operating point, and
 the per-core throughput of one sample per cycle.
+
+The package also hosts the *native CPU* compilation path
+(:mod:`repro.compiler.cgen` / :mod:`repro.compiler.native_build`):
+per-plan C code generation plus a runtime build cache, backing the
+``backend="native"`` inference switch.
 """
 
 from repro.compiler.operators import (
@@ -31,6 +36,18 @@ from repro.compiler.schedule import PipelineSchedule, schedule_datapath
 from repro.compiler.resources import ResourceVector, DeviceResources, ResourceReport
 from repro.compiler.frequency import achievable_frequency
 from repro.compiler.design import AcceleratorDesign, CoreSpec, compile_core, compose_design
+from repro.compiler.cgen import CODEGEN_VERSION, generate_kernel_source
+from repro.compiler.native_build import (
+    NativeKernel,
+    build_kernel,
+    clear_native_kernels,
+    compiler_command,
+    get_native_kernel,
+    load_kernel,
+    native_log_likelihood,
+    native_or_plan_log_likelihood,
+    set_native_observability,
+)
 
 __all__ = [
     "HWOp",
@@ -54,4 +71,15 @@ __all__ = [
     "CoreSpec",
     "compile_core",
     "compose_design",
+    "CODEGEN_VERSION",
+    "generate_kernel_source",
+    "NativeKernel",
+    "build_kernel",
+    "clear_native_kernels",
+    "compiler_command",
+    "get_native_kernel",
+    "load_kernel",
+    "native_log_likelihood",
+    "native_or_plan_log_likelihood",
+    "set_native_observability",
 ]

@@ -1,0 +1,510 @@
+"""Per-plan C code generation for the native inference backend.
+
+The numpy plan evaluator (:mod:`repro.spn.plan_eval`) already turned
+the SPN into a fixed dataflow, but it still pays one Python-dispatched
+numpy kernel per layer per chunk.  This module walks an
+:class:`~repro.spn.plan.InferencePlan` the same way the interpreter
+and the Verilog emitter do and emits one *specialized C translation
+unit* for it: the whole bottom-up pass — leaf stage fused with every
+layered CSR reduction — becomes a single C function over a
+cache-blocked column chunk, with every structural constant (node rows,
+child rows, mixture weights, leaf tables, layer offsets) baked in as a
+compile-time constant so the C compiler can unroll and vectorize.
+This is the software form of the Serpens observation (PAPERS.md) that
+the layered-CSR log-sum-exp shape is a streaming SpMV: the row
+chunking keeps the value matrix cache-resident, and the block geometry
+is an explicit codegen parameter instead of an accident of numpy
+temporaries.
+
+Kernel semantics mirror :func:`repro.spn.plan_eval.plan_log_likelihood`
+exactly:
+
+* histogram leaves evaluate via the per-variable composite-table row
+  code (``fmin``/``fmax`` clamping so NaN lands on a sentinel row);
+* Gaussian leaves use the closed form, categorical leaves the LUT
+  gather with numpy's ``isclose`` integrality test;
+* product layers are segment adds, sum layers a stable max-shift
+  log-sum-exp whose accumulation always runs in ``double`` — on
+  float32 storage this is the paper-motivated "float64 accumulation
+  over float32 storage" split;
+* ``marginalized`` arrives as a per-variable byte mask, per-sample
+  missing features as a sentinel value compare — both applied inside
+  the leaf stage, exactly like the numpy kernels.
+
+Generic-block leaves are compiled when they are irregular
+:class:`~repro.spn.nodes.HistogramLeaf` instances (the NIPS benchmark
+networks contain a few): their ``searchsorted`` bin lookup becomes a
+small branchless count over the static break array.  A generic block
+containing any *other* leaf family evaluates through arbitrary Python
+callables and cannot be compiled; generation then raises
+:class:`~repro.errors.NativeBackendError` and the caller falls back to
+the numpy plan backend.
+
+Numeric literals are emitted as C99 hex floats, so every constant
+round-trips bit-exactly from the plan's float64 (or float32-cast)
+parameters into the compiled kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import NativeBackendError
+from repro.spn.nodes import HistogramLeaf
+from repro.spn.plan import CsrLayer, InferencePlan
+from repro.spn.plan_eval import DEFAULT_CHUNK_BYTES
+
+__all__ = [
+    "CODEGEN_VERSION",
+    "KERNEL_SYMBOL",
+    "kernel_block_size",
+    "generate_kernel_source",
+]
+
+#: Version of the generated-kernel ABI/semantics.  Bump on ANY change
+#: to the emitted code or the call signature: the version is part of
+#: the on-disk artifact key, so old cached kernels are invalidated
+#: instead of silently reused.
+CODEGEN_VERSION = 1
+
+#: Exported entry-point symbol of every generated kernel.
+KERNEL_SYMBOL = "repro_plan_eval"
+
+#: Nodes with more children than this get a data-driven child loop
+#: (static index/weight arrays) instead of a fully unrolled expression.
+_MAX_UNROLLED_CHILDREN = 24
+
+#: Bounds on the compile-time column-chunk size (rows per block).
+_MIN_BLOCK = 256
+_MAX_BLOCK = 8192
+
+
+def _c_double(value: float) -> str:
+    """A C99 ``double`` literal reproducing *value* bit-exactly."""
+    value = float(value)
+    if math.isnan(value):
+        return "NAN"
+    if math.isinf(value):
+        return "INFINITY" if value > 0 else "(-INFINITY)"
+    return float.hex(value)
+
+
+def _c_real(value: float, dtype: np.dtype) -> str:
+    """A ``real_t`` literal: float32 storage casts then suffixes ``f``."""
+    if dtype == np.dtype(np.float32):
+        value = float(np.float32(value))
+        if math.isnan(value):
+            return "NAN"
+        if math.isinf(value):
+            return "INFINITY" if value > 0 else "(-INFINITY)"
+        return float.hex(value) + "f"
+    return _c_double(value)
+
+
+def _const_i64(name: str, values) -> str:
+    items = ", ".join(str(int(v)) for v in values)
+    return f"static const int64_t {name}[{len(values)}] = {{ {items} }};"
+
+
+def _const_real(name: str, values, dtype: np.dtype) -> str:
+    items = ", ".join(_c_real(v, dtype) for v in values)
+    return f"static const real_t {name}[{len(values)}] = {{ {items} }};"
+
+
+def kernel_block_size(plan: InferencePlan, dtype=np.float64) -> int:
+    """Rows per cache block, fixed at codegen time.
+
+    Sized like :func:`repro.spn.plan_eval._chunk_size` — the per-block
+    value matrix targets :data:`~repro.spn.plan_eval.DEFAULT_CHUNK_BYTES`
+    so the working set stays L2/L3-resident — then rounded to a
+    multiple of 64 and clamped, because here the block is a
+    compile-time constant the C compiler unrolls against.
+    """
+    itemsize = np.dtype(dtype).itemsize
+    raw = DEFAULT_CHUNK_BYTES // (itemsize * max(plan.n_nodes, 1))
+    block = (raw // 64) * 64
+    return int(max(_MIN_BLOCK, min(_MAX_BLOCK, block)))
+
+
+def _emit_histogram(block, dtype: np.dtype, lines: List[str]) -> None:
+    """Leaf stage for the fused unit-bin histogram block.
+
+    One row code per (variable, sample) — clamp, scale, offset — then
+    one table gather per leaf, sharing the code across all leaves of a
+    variable exactly like the numpy kernel shares its code matrix.
+    """
+    by_var: Dict[int, List[Tuple[int, int]]] = {}
+    for i in range(len(block)):
+        var = int(block.variables[i])
+        by_var.setdefault(var, []).append(
+            (block.row_start + i, int(block.columns[i]))
+        )
+    for var in sorted(by_var):
+        lo = _c_double(block.code_lo[var])
+        hi = _c_double(block.code_hi[var])
+        scale = _c_double(block.code_scale[var])
+        base = _c_double(block.code_base[var])
+        lines += [
+            f"    {{ /* histogram leaves on variable {var} */",
+            "        int64_t code[BLOCK];",
+            "        for (long r = 0; r < rows; ++r) {",
+            f"            double x = floor((double) d[r * n_cols + {var}]);",
+            f"            x = fmin(x, {hi});",
+            f"            x = fmax(x, {lo});",
+            f"            code[r] = (int64_t)((x - {lo}) * {scale} + {base});",
+            "        }",
+        ]
+        for row, col in by_var[var]:
+            lines += [
+                f"        {{ /* leaf row {row} */",
+                f"            real_t* restrict dst = v + {row}L * BLOCK;",
+                f"            if (marg != 0 && marg[{var}]) {{",
+                "                for (long r = 0; r < rows; ++r)"
+                " dst[r] = (real_t) 0;",
+                "            } else {",
+                "                for (long r = 0; r < rows; ++r) {",
+                f"                    real_t val = T_HIST[code[r] + {col}L];",
+                "                    if (has_missing && (double) d[r * n_cols"
+                f" + {var}] == miss) val = (real_t) 0;",
+                "                    dst[r] = val;",
+                "                }",
+                "            }",
+                "        }",
+            ]
+        lines.append("    }")
+
+
+def _emit_gaussian(block, dtype: np.dtype, lines: List[str]) -> None:
+    """Leaf stage for the fused Gaussian block (closed form per leaf)."""
+    for i in range(len(block)):
+        row = block.row_start + i
+        var = int(block.variables[i])
+        mu = _c_real(block.means[i], dtype)
+        sigma = _c_real(block.stdevs[i], dtype)
+        log_norm = _c_real(block.log_norm[i], dtype)
+        lines += [
+            f"    {{ /* gaussian leaf row {row}, variable {var} */",
+            f"        real_t* restrict dst = v + {row}L * BLOCK;",
+            f"        if (marg != 0 && marg[{var}]) {{",
+            "            for (long r = 0; r < rows; ++r) dst[r] = (real_t) 0;",
+            "        } else {",
+            "            for (long r = 0; r < rows; ++r) {",
+            f"                const real_t x = d[r * n_cols + {var}];",
+            f"                const real_t z = (x - {mu}) / {sigma};",
+            "                real_t val = (real_t) -0.5 * z * z + "
+            f"{log_norm};",
+            "                if (has_missing && (double) x == miss)"
+            " val = (real_t) 0;",
+            "                dst[r] = val;",
+            "            }",
+            "        }",
+            "    }",
+        ]
+
+
+def _emit_categorical(block, dtype: np.dtype, lines: List[str]) -> None:
+    """Leaf stage for the categorical LUT block.
+
+    Mirrors the numpy kernel's integrality test: a value counts as a
+    category iff ``|x - rint(x)| <= 1e-8 + 1e-5 * |rint(x)|`` (numpy's
+    ``isclose`` defaults) and the category is in range.
+    """
+    for i in range(len(block)):
+        row = block.row_start + i
+        var = int(block.variables[i])
+        n_cat = _c_double(block.n_categories[i])
+        offset = int(block.table_offsets[i])
+        log_floor = _c_real(block.log_floor[i], dtype)
+        lines += [
+            f"    {{ /* categorical leaf row {row}, variable {var} */",
+            f"        real_t* restrict dst = v + {row}L * BLOCK;",
+            f"        if (marg != 0 && marg[{var}]) {{",
+            "            for (long r = 0; r < rows; ++r) dst[r] = (real_t) 0;",
+            "        } else {",
+            "            for (long r = 0; r < rows; ++r) {",
+            f"                const real_t xr = d[r * n_cols + {var}];",
+            "                const double x = (double) xr;",
+            "                const double cat = rint(x);",
+            "                const int inside = (cat >= 0.0) & "
+            f"(cat < {n_cat}) & "
+            "(fabs(x - cat) <= 0x1.5798ee2308c3ap-27 + "
+            "0x1.4f8b588e368f1p-17 * fabs(cat));",
+            "                real_t val = inside ? "
+            f"T_CAT[(int64_t) cat + {offset}L] : {log_floor};",
+            "                if (has_missing && x == miss) val = (real_t) 0;",
+            "                dst[r] = val;",
+            "            }",
+            "        }",
+            "    }",
+        ]
+
+
+def _emit_generic_histogram(block, dtype: np.dtype, lines: List[str]) -> None:
+    """Leaf stage for irregular histogram leaves in the generic block.
+
+    Replicates ``HistogramLeaf.log_density`` exactly: ``searchsorted
+    (side='right')`` is a count of breaks ``<= x`` (NaN compares false
+    everywhere, landing out of support on the floor — the same result
+    numpy reaches through its NaN-sorts-last convention), then a bin
+    table lookup of ``log(max(density, floor))``.
+    """
+    for i, leaf in enumerate(block.leaves):
+        row = block.row_start + i
+        var = int(block.variables[i])
+        n_bins = leaf.n_bins
+        breaks = [_c_double(b) for b in leaf.breaks]
+        log_probs = np.log(np.maximum(leaf.densities, leaf.floor))
+        log_floor = _c_real(math.log(leaf.floor), dtype)
+        lines += [
+            f"    {{ /* irregular histogram leaf row {row}, "
+            f"variable {var} */",
+            f"        static const double brk_{row}[{n_bins + 1}] = "
+            "{ " + ", ".join(breaks) + " };",
+            "        " + _const_real(f"lp_{row}", log_probs, dtype),
+            f"        real_t* restrict dst = v + {row}L * BLOCK;",
+            f"        if (marg != 0 && marg[{var}]) {{",
+            "            for (long r = 0; r < rows; ++r) dst[r] = (real_t) 0;",
+            "        } else {",
+            "            for (long r = 0; r < rows; ++r) {",
+            f"                const double x = (double) d[r * n_cols + {var}];",
+            "                int64_t idx = 0;",
+            f"                for (int k = 0; k < {n_bins + 1}; ++k)",
+            f"                    idx += (x >= brk_{row}[k]);",
+            f"                real_t val = (idx >= 1 && idx <= {n_bins}) ? "
+            f"lp_{row}[idx - 1] : {log_floor};",
+            "                if (has_missing && x == miss) val = (real_t) 0;",
+            "                dst[r] = val;",
+            "            }",
+            "        }",
+            "    }",
+        ]
+
+
+def _emit_product_node(
+    row: int, children: List[int], lines: List[str]
+) -> None:
+    """One product node: a segment add over constant child rows."""
+    lines.append(f"    {{ /* product row {row} */")
+    lines.append(f"        real_t* restrict dst = v + {row}L * BLOCK;")
+    if len(children) <= _MAX_UNROLLED_CHILDREN:
+        terms = " + ".join(f"v[{c}L * BLOCK + r]" for c in children)
+        lines += [
+            "        for (long r = 0; r < rows; ++r)",
+            f"            dst[r] = {terms};",
+        ]
+    else:
+        lines.append(
+            "        " + _const_i64(f"ch_{row}", children)
+        )
+        lines += [
+            "        for (long r = 0; r < rows; ++r) {",
+            f"            real_t acc = v[ch_{row}[0] * BLOCK + r];",
+            f"            for (long k = 1; k < {len(children)}L; ++k)",
+            f"                acc += v[ch_{row}[k] * BLOCK + r];",
+            "            dst[r] = acc;",
+            "        }",
+        ]
+    lines.append("    }")
+
+
+def _emit_sum_node(
+    row: int,
+    children: List[int],
+    weights: List[float],
+    dtype: np.dtype,
+    lines: List[str],
+) -> None:
+    """One sum node: stable max-shift log-sum-exp over constant children.
+
+    The shift and peak run in the storage type (matching the numpy
+    kernels); the exponential accumulation always runs in ``double``,
+    which is what keeps float32 storage within ~1e-4 of the
+    double-precision root.
+    """
+    shift_t = "float" if dtype == np.dtype(np.float32) else "double"
+    k = len(children)
+    lines.append(f"    {{ /* sum row {row} */")
+    lines.append(f"        real_t* restrict dst = v + {row}L * BLOCK;")
+    if k <= _MAX_UNROLLED_CHILDREN:
+        lines.append("        for (long r = 0; r < rows; ++r) {")
+        for j, (child, weight) in enumerate(zip(children, weights)):
+            w = _c_real(weight, dtype)
+            lines.append(
+                f"            const {shift_t} s{j} = "
+                f"v[{child}L * BLOCK + r] + {w};"
+            )
+            if j == 0:
+                lines.append(f"            {shift_t} peak = s0;")
+            else:
+                lines.append(
+                    f"            if (s{j} > peak) peak = s{j};"
+                )
+        lines.append(
+            f"            const {shift_t} safe = "
+            f"(peak == -INFINITY) ? ({shift_t}) 0 : peak;"
+        )
+        lines.append("            double acc = exp((double)(s0 - safe));")
+        for j in range(1, k):
+            lines.append(
+                f"            acc += exp((double)(s{j} - safe));"
+            )
+        lines.append(
+            "            dst[r] = (real_t)((double) peak + log(acc));"
+        )
+        lines.append("        }")
+    else:
+        lines.append("        " + _const_i64(f"ch_{row}", children))
+        lines.append(
+            "        " + _const_real(f"w_{row}", weights, dtype)
+        )
+        lines += [
+            "        for (long r = 0; r < rows; ++r) {",
+            f"            {shift_t} peak = -INFINITY;",
+            f"            for (long k = 0; k < {k}L; ++k) {{",
+            f"                const {shift_t} s = "
+            f"v[ch_{row}[k] * BLOCK + r] + w_{row}[k];",
+            "                if (s > peak) peak = s;",
+            "            }",
+            f"            const {shift_t} safe = "
+            f"(peak == -INFINITY) ? ({shift_t}) 0 : peak;",
+            "            double acc = 0.0;",
+            f"            for (long k = 0; k < {k}L; ++k)",
+            f"                acc += exp((double)(v[ch_{row}[k] * BLOCK + r]"
+            f" + w_{row}[k] - safe));",
+            "            dst[r] = (real_t)((double) peak + log(acc));",
+            "        }",
+        ]
+    lines.append("    }")
+
+
+def _emit_layer(layer: CsrLayer, dtype: np.dtype, lines: List[str]) -> None:
+    """Emit every node of one CSR layer with its constants inlined."""
+    lines.append(
+        f"    /* layer: {layer.kind}, {layer.n_nodes} node(s), "
+        f"rows [{layer.row_start}, {layer.row_start + layer.n_nodes}) */"
+    )
+    for j in range(layer.n_nodes):
+        start, stop = int(layer.indptr[j]), int(layer.indptr[j + 1])
+        children = [int(c) for c in layer.child_rows[start:stop]]
+        row = layer.row_start + j
+        if layer.kind == "product":
+            _emit_product_node(row, children, lines)
+        else:
+            weights = [float(w) for w in layer.log_weights[start:stop]]
+            _emit_sum_node(row, children, weights, dtype, lines)
+
+
+def generate_kernel_source(plan: InferencePlan, dtype=np.float64) -> str:
+    """Emit the complete C translation unit for *plan* at *dtype*.
+
+    The returned source defines one exported function::
+
+        int repro_plan_eval(const void* data, long n_rows, long n_cols,
+                            const unsigned char* marg, double missing_value,
+                            int has_missing, double* out);
+
+    ``data`` is the row-major ``(n_rows, n_cols)`` batch in the storage
+    dtype, ``marg`` an optional per-variable byte mask (NULL when no
+    variables are marginalised), and ``out`` the float64 root
+    log-likelihood vector.  Returns 0 on success, 1 on allocation
+    failure.
+
+    Raises :class:`~repro.errors.NativeBackendError` when the plan
+    contains leaves without a fused kernel (generic leaf block) — those
+    evaluate through arbitrary Python callables and cannot be compiled.
+    """
+    dtype = np.dtype(dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise NativeBackendError(
+            f"native kernels support float32/float64 storage, got {dtype}"
+        )
+    if plan.generic_block is not None:
+        foreign = sorted(
+            {
+                type(leaf).__name__
+                for leaf in plan.generic_block.leaves
+                if not isinstance(leaf, HistogramLeaf)
+            }
+        )
+        if foreign:
+            raise NativeBackendError(
+                f"plan {plan.name!r} has generic leaves of type "
+                f"{', '.join(foreign)} that evaluate through Python "
+                "callables; the native backend cannot compile them - use "
+                "the numpy plan backend"
+            )
+
+    real = "float" if dtype == np.dtype(np.float32) else "double"
+    block_size = kernel_block_size(plan, dtype)
+    lines: List[str] = [
+        "/* Generated by repro.compiler.cgen - do not edit.",
+        f" * codegen version: {CODEGEN_VERSION}",
+        f" * plan: {plan.name}  nodes={plan.n_nodes}  "
+        f"leaves={plan.n_leaves}  layers={plan.n_layers}",
+        f" * storage dtype: {dtype.name}  block: {block_size} rows",
+        " */",
+        "#include <math.h>",
+        "#include <stdint.h>",
+        "#include <stdlib.h>",
+        "",
+        f"typedef {real} real_t;",
+        f"#define BLOCK {block_size}L",
+        "",
+    ]
+
+    if plan.histogram_block is not None:
+        lines.append(
+            _const_real("T_HIST", plan.histogram_block.table, dtype)
+        )
+    if plan.categorical_block is not None:
+        lines.append(
+            _const_real("T_CAT", plan.categorical_block.table, dtype)
+        )
+    lines += [
+        "",
+        "static void eval_block(const real_t* restrict d, const long n_cols,",
+        "                       const long rows,",
+        "                       const unsigned char* restrict marg,",
+        "                       const double miss, const int has_missing,",
+        "                       real_t* restrict v)",
+        "{",
+    ]
+    if plan.histogram_block is not None:
+        _emit_histogram(plan.histogram_block, dtype, lines)
+    if plan.gaussian_block is not None:
+        _emit_gaussian(plan.gaussian_block, dtype, lines)
+    if plan.categorical_block is not None:
+        _emit_categorical(plan.categorical_block, dtype, lines)
+    if plan.generic_block is not None:
+        _emit_generic_histogram(plan.generic_block, dtype, lines)
+    for layer in plan.layers:
+        _emit_layer(layer, dtype, lines)
+    lines += [
+        "}",
+        "",
+        f"int {KERNEL_SYMBOL}(const void* data, long n_rows, long n_cols,",
+        "                    const unsigned char* marg, double missing_value,",
+        "                    int has_missing, double* out)",
+        "{",
+        "    const real_t* d = (const real_t*) data;",
+        "    real_t* v = (real_t*) malloc("
+        f"(size_t) {plan.n_nodes}L * BLOCK * sizeof(real_t));",
+        "    if (v == 0) return 1;",
+        "    for (long r0 = 0; r0 < n_rows; r0 += BLOCK) {",
+        "        const long rows = "
+        "(n_rows - r0 < BLOCK) ? (n_rows - r0) : BLOCK;",
+        "        eval_block(d + r0 * n_cols, n_cols, rows, marg,",
+        "                   missing_value, has_missing, v);",
+        f"        const real_t* root = v + {plan.root_row}L * BLOCK;",
+        "        double* o = out + r0;",
+        "        for (long r = 0; r < rows; ++r) o[r] = (double) root[r];",
+        "    }",
+        "    free(v);",
+        "    return 0;",
+        "}",
+        "",
+    ]
+    return "\n".join(lines)

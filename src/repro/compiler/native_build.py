@@ -1,0 +1,546 @@
+"""Runtime build cache and zero-copy loader for native plan kernels.
+
+:mod:`repro.compiler.cgen` turns an
+:class:`~repro.spn.plan.InferencePlan` into C source; this module turns
+that source into a callable.  The pipeline is
+
+1. **generate** the translation unit (pure function of plan + dtype),
+2. **compile** it once into the shared on-disk cache
+   (``$REPRO_CACHE_DIR``, default ``.repro_cache/`` — the same cache
+   the NIPS structure learner uses), keyed by a hash of the *generated
+   source* plus the compiler identity, with the storage dtype and
+   :data:`~repro.compiler.cgen.CODEGEN_VERSION` spelled out in the
+   artifact name so stale-revision artifacts are invalidated rather
+   than silently reused,
+3. **load** the artifact — through :mod:`cffi` when importable (the
+   preferred FFI per ISSUE/ROADMAP), else :mod:`ctypes` — and wrap it
+   in a :class:`NativeKernel` that calls the C entry point *zero-copy*:
+   the numpy batch's own buffer is handed to C, and only the float64
+   result vector is allocated.
+
+Both loaders release the GIL for the duration of the C call, so the
+thread-pool baseline scales across cores with the native backend just
+like it does with the numpy kernels.
+
+Failure policy (the "loud-but-graceful" contract):
+
+* the *explicit* APIs — :func:`native_log_likelihood`,
+  :func:`get_native_kernel` with ``require=True`` — raise
+  :class:`~repro.errors.NativeBackendError` when no C compiler exists,
+  the plan is uncompilable (generic leaves), or the build fails;
+* the *implicit* path — :func:`native_or_plan_log_likelihood`, used by
+  the process-wide ``backend="native"`` switch — warns once per
+  process (:class:`RuntimeWarning`) and falls back to the numpy plan
+  backend, keeping every environment without a toolchain green.
+
+Set ``REPRO_NATIVE_CC`` to pick a specific compiler binary; pointing it
+at a nonexistent path masks the toolchain entirely (used by the no-cc
+CI leg and the fallback tests).
+
+Observability: when a registry/tracer pair is attached via
+:func:`set_native_observability`, builds bump ``native.build_seconds``
+and ``native.cache_misses``, loads of cached artifacts bump
+``native.cache_hits``, and every kernel invocation records a
+``native`` host span (visible in the Perfetto export).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import time
+import warnings
+import weakref
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import NativeBackendError
+from repro.spn.plan import InferencePlan
+from repro.spn.plan_eval import (
+    _as_batch,
+    _check_dtype,
+    _check_marginalized,
+    plan_log_likelihood,
+)
+from repro.compiler.cgen import (
+    CODEGEN_VERSION,
+    KERNEL_SYMBOL,
+    generate_kernel_source,
+)
+
+__all__ = [
+    "compiler_command",
+    "native_cache_dir",
+    "NativeKernel",
+    "build_kernel",
+    "load_kernel",
+    "get_native_kernel",
+    "native_log_likelihood",
+    "native_or_plan_log_likelihood",
+    "set_native_observability",
+    "clear_native_kernels",
+]
+
+#: Compilation flags.  No ``-ffast-math`` (it breaks the inf/NaN
+#: semantics the kernels rely on) and no ``-march=native`` (artifacts
+#: in the shared cache must survive being read on a sibling host).
+_CFLAGS: Tuple[str, ...] = (
+    "-O3",
+    "-std=c11",
+    "-fPIC",
+    "-shared",
+    "-fno-math-errno",
+)
+
+#: Extra flags that unlock glibc's vectorized math library (libmvec).
+#: ``-D__FAST_MATH__`` only flips on the SIMD ``exp``/``log``
+#: declarations guarded in ``<bits/math-vector.h>`` — none of the
+#: value-changing ``-ffast-math`` codegen relaxations are enabled.
+#: ``-fno-trapping-math``/``-fno-signaling-nans`` let the vectorizer
+#: if-convert the IEEE selects inside the sum-node loops (without them
+#: GCC reports "control flow in loop" and stays scalar).  The libmvec
+#: variants were verified to match scalar libm bit-for-bit on the
+#: kernel's special values (``exp(-inf)``, NaN propagation).
+_VEC_CFLAGS: Tuple[str, ...] = (
+    "-fno-trapping-math",
+    "-fno-signaling-nans",
+    "-D__FAST_MATH__",
+)
+
+#: Probe source for :func:`_vector_math_supported`: links against
+#: libmvec and calls ``exp`` from a countable loop.
+_VEC_PROBE_SRC = (
+    "#include <math.h>\n"
+    "double f(const double* restrict a, double* restrict o, long n) {\n"
+    "    double s = 0.0;\n"
+    "    for (long i = 0; i < n; ++i) { o[i] = exp(a[i]); s += o[i]; }\n"
+    "    return s;\n"
+    "}\n"
+    "int main(void) { double a[4] = {0}, o[4]; return (int) f(a, o, 4); }\n"
+)
+
+#: Memoized probe results keyed by resolved compiler path.
+_VEC_PROBED: Dict[str, bool] = {}
+
+#: Candidate compiler binaries, probed in order.
+_CC_CANDIDATES: Tuple[str, ...] = ("cc", "gcc", "clang")
+
+#: In-process kernel memo: ``(plan id, dtype str) -> NativeKernel``.
+#: Entries are evicted by a ``weakref.finalize`` on the plan so a dead
+#: plan's id being recycled can never resurrect a stale kernel.
+_KERNELS: Dict[Tuple[int, str], "NativeKernel"] = {}
+
+#: Reasons already warned about on the implicit-fallback path (warn
+#: once per process per reason, not once per call).
+_WARNED: set = set()
+
+#: Attached observability sinks (metrics registry, host-span recorder).
+_OBS: List[Optional[object]] = [None, None]
+
+
+def set_native_observability(metrics=None, host_tracer=None):
+    """Attach obs sinks for native builds/calls; returns the previous pair.
+
+    *metrics* is a :class:`repro.obs.metrics.MetricsRegistry` (receives
+    ``native.build_seconds``, ``native.cache_hits``,
+    ``native.cache_misses`` and ``native.calls`` counters);
+    *host_tracer* a :class:`repro.obs.trace_export.HostSpanRecorder`
+    (receives one ``native`` span per kernel invocation).  Pass the
+    returned pair back in to restore the prior sinks.
+    """
+    previous = (_OBS[0], _OBS[1])
+    _OBS[0] = metrics
+    _OBS[1] = host_tracer
+    return previous
+
+
+def _count(name: str, amount: float = 1.0) -> None:
+    if _OBS[0] is not None:
+        _OBS[0].counter(name).add(amount)
+
+
+def compiler_command() -> Optional[List[str]]:
+    """The C compiler invocation prefix, or None when unavailable.
+
+    ``REPRO_NATIVE_CC`` overrides discovery: its value is used verbatim
+    when it resolves to an executable, and masks the toolchain entirely
+    (returns None) when it does not — which is how the no-compiler CI
+    leg and the fallback tests simulate a bare environment.
+    """
+    import shutil
+
+    override = os.environ.get("REPRO_NATIVE_CC")
+    if override is not None:
+        resolved = shutil.which(override)
+        return [resolved] if resolved else None
+    for candidate in _CC_CANDIDATES:
+        resolved = shutil.which(candidate)
+        if resolved:
+            return [resolved]
+    return None
+
+
+def _vector_math_supported(cc0: str) -> bool:
+    """Whether *cc0* can build against libmvec with the vec flags.
+
+    Compiles and links :data:`_VEC_PROBE_SRC` with
+    :data:`_VEC_CFLAGS` + ``-lmvec`` in a throwaway directory; any
+    failure (flag unknown to the compiler, libmvec absent on a
+    non-glibc host) disables vectorized math for the process and the
+    kernels fall back to scalar libm.  Memoized per compiler path.
+    """
+    cached = _VEC_PROBED.get(cc0)
+    if cached is not None:
+        return cached
+    import tempfile
+
+    supported = False
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-vecprobe-") as tmp:
+            src = Path(tmp) / "probe.c"
+            out = Path(tmp) / "probe"
+            src.write_text(_VEC_PROBE_SRC)
+            result = subprocess.run(
+                [cc0, "-O3", "-std=c11", "-fno-math-errno", *_VEC_CFLAGS,
+                 "-o", str(out), str(src), "-lmvec", "-lm"],
+                capture_output=True,
+                text=True,
+            )
+            supported = result.returncode == 0
+    except OSError:
+        supported = False
+    _VEC_PROBED[cc0] = supported
+    return supported
+
+
+def native_cache_dir() -> Path:
+    """The on-disk kernel cache: ``$REPRO_CACHE_DIR/native`` (created)."""
+    base = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    path = Path(base) / "native"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_" else "-" for c in name)[:48]
+
+
+def _artifact_stem(plan: InferencePlan, dtype: np.dtype, source: str,
+                   compiler_id: str) -> str:
+    """Cache key: plan name + dtype + codegen version + content hash.
+
+    The dtype tag and ``cg<version>`` are spelled out (not only folded
+    into the hash) so a directory listing shows exactly which revision
+    and precision produced each artifact, and so bumping
+    :data:`~repro.compiler.cgen.CODEGEN_VERSION` visibly strands the
+    old files instead of silently reusing them.
+    """
+    digest = hashlib.blake2b(
+        (source + "\0" + compiler_id).encode(), digest_size=8
+    ).hexdigest()
+    return (
+        f"{_sanitize(plan.name)}-{dtype.name}-cg{CODEGEN_VERSION}-{digest}"
+    )
+
+
+def build_kernel(plan: InferencePlan, dtype=np.float64) -> Path:
+    """Compile (or reuse) the kernel artifact for *plan*; returns its path.
+
+    Raises :class:`~repro.errors.NativeBackendError` when no compiler
+    is available, the plan is uncompilable, or compilation fails.  The
+    build is atomic (tmp file + ``os.replace``) so concurrent processes
+    racing on the same plan converge on one valid artifact.
+    """
+    dtype = np.dtype(dtype)
+    cc = compiler_command()
+    if cc is None:
+        raise NativeBackendError(
+            "no C compiler found (tried $REPRO_NATIVE_CC, cc, gcc, clang); "
+            "the native backend needs one - use the numpy plan backend"
+        )
+    source = generate_kernel_source(plan, dtype)
+    flags = list(_CFLAGS)
+    libs = ["-lm"]
+    if _vector_math_supported(cc[0]):
+        flags += list(_VEC_CFLAGS)
+        libs = ["-lmvec", "-lm"]
+    cache = native_cache_dir()
+    stem = _artifact_stem(plan, dtype, source, cc[0] + ":" + ",".join(flags))
+    artifact = cache / f"{stem}.so"
+    if artifact.exists():
+        _count("native.cache_hits")
+        return artifact
+    _count("native.cache_misses")
+    c_path = cache / f"{stem}.c"
+    tmp = cache / f"{stem}.so.tmp.{os.getpid()}"
+    began = time.perf_counter()
+    c_path.write_text(source)
+    result = subprocess.run(
+        cc + flags + ["-o", str(tmp), str(c_path)] + libs,
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        tmp.unlink(missing_ok=True)
+        raise NativeBackendError(
+            f"native kernel build failed for plan {plan.name!r} "
+            f"(compiler {cc[0]}):\n{result.stderr[:2000]}"
+        )
+    os.replace(tmp, artifact)
+    _count("native.build_seconds", time.perf_counter() - began)
+    return artifact
+
+
+def _load_cffi(path: Path):
+    """Load the artifact through cffi; returns the bound function."""
+    from cffi import FFI
+
+    ffi = FFI()
+    ffi.cdef(
+        "int repro_plan_eval(const void* data, long n_rows, long n_cols,"
+        " const unsigned char* marg, double missing_value,"
+        " int has_missing, double* out);"
+    )
+    lib = ffi.dlopen(str(path))
+    fn = getattr(lib, KERNEL_SYMBOL)
+
+    def call(data_ptr, n_rows, n_cols, marg_ptr, missing, has_missing,
+             out_ptr):
+        """Invoke the kernel with raw buffer addresses (GIL released)."""
+        return fn(
+            ffi.cast("void *", data_ptr),
+            n_rows,
+            n_cols,
+            ffi.cast("unsigned char *", marg_ptr or 0),
+            missing,
+            has_missing,
+            ffi.cast("double *", out_ptr),
+        )
+
+    call.loader = "cffi"
+    call.keepalive = (ffi, lib)
+    return call
+
+
+def _load_ctypes(path: Path):
+    """Load the artifact through ctypes; returns the bound function."""
+    import ctypes
+
+    lib = ctypes.CDLL(str(path))
+    fn = getattr(lib, KERNEL_SYMBOL)
+    fn.restype = ctypes.c_int
+    fn.argtypes = [
+        ctypes.c_void_p,
+        ctypes.c_long,
+        ctypes.c_long,
+        ctypes.c_void_p,
+        ctypes.c_double,
+        ctypes.c_int,
+        ctypes.c_void_p,
+    ]
+
+    def call(data_ptr, n_rows, n_cols, marg_ptr, missing, has_missing,
+             out_ptr):
+        """Invoke the kernel with raw buffer addresses (GIL released)."""
+        return fn(data_ptr, n_rows, n_cols, marg_ptr or None, missing,
+                  has_missing, out_ptr)
+
+    call.loader = "ctypes"
+    call.keepalive = (lib,)
+    return call
+
+
+def _load_fn(path: Path):
+    """Bind the kernel entry point: cffi when importable, else ctypes."""
+    try:
+        import cffi  # noqa: F401 - availability probe only
+    except ImportError:
+        return _load_ctypes(path)
+    return _load_cffi(path)
+
+
+class NativeKernel:
+    """A loaded per-plan C kernel with the plan-evaluator call contract.
+
+    Wraps the compiled entry point with the exact validation and
+    semantics of :func:`repro.spn.plan_eval.plan_log_likelihood`:
+    same dtype/shape checks, same marginal-subset validation, same
+    float64 result vector.  The input batch is passed zero-copy (its
+    own buffer pointer goes to C) whenever it is already contiguous in
+    the kernel's storage dtype.
+    """
+
+    def __init__(self, fn, path: Path, plan: InferencePlan, dtype: np.dtype):
+        self._fn = fn
+        #: Path of the loaded shared object (workers reuse it verbatim).
+        self.path = Path(path)
+        #: Storage dtype the kernel was generated for.
+        self.dtype = np.dtype(dtype)
+        #: FFI used to bind the symbol (``"cffi"`` or ``"ctypes"``).
+        self.loader = fn.loader
+        self._n_data_columns = plan.n_data_columns
+        self._scope = plan.scope
+        self._plan = plan
+
+    def log_likelihood(
+        self,
+        data: np.ndarray,
+        *,
+        marginalized: Optional[Sequence[int]] = None,
+        missing_value: Optional[float] = None,
+    ) -> np.ndarray:
+        """Root log-likelihood per row, straight from the C kernel.
+
+        Mirrors :func:`repro.spn.plan_eval.plan_log_likelihood` for the
+        kernel's storage dtype: float64 results; *marginalized* zeroes
+        whole variables, *missing_value* masks per-sample entries.
+        """
+        data = _as_batch(data, self._n_data_columns, self.dtype)
+        marg = _check_marginalized(self._plan, marginalized)
+        data = np.ascontiguousarray(data)
+        n_rows, n_cols = data.shape
+        out = np.empty(n_rows)
+        marg_ptr = 0
+        marg_mask = None
+        if marg is not None and len(marg):
+            marg_mask = np.zeros(max(n_cols, 1), dtype=np.uint8)
+            marg_mask[marg] = 1
+            marg_ptr = marg_mask.ctypes.data
+        began = time.perf_counter()
+        rc = self._fn(
+            data.ctypes.data,
+            n_rows,
+            n_cols,
+            marg_ptr,
+            float(missing_value) if missing_value is not None else 0.0,
+            1 if missing_value is not None else 0,
+            out.ctypes.data,
+        )
+        ended = time.perf_counter()
+        _count("native.calls")
+        if _OBS[1] is not None:
+            _OBS[1].record(
+                "native", f"kernel:{_sanitize(self._plan.name)}", began, ended
+            )
+        if rc != 0:
+            raise NativeBackendError(
+                f"native kernel for plan {self._plan.name!r} failed "
+                f"(return code {rc}: allocation failure)"
+            )
+        return out
+
+
+def load_kernel(path, plan: InferencePlan, dtype=np.float64) -> NativeKernel:
+    """Bind an already-built artifact without touching the compiler.
+
+    This is the executor-worker entry point: the parent builds once,
+    workers inherit the artifact *path* and only ``dlopen`` it — no
+    per-fork rebuild, no compiler requirement in the workers.
+    """
+    dtype = _check_dtype(dtype)
+    path = Path(path)
+    if not path.exists():
+        raise NativeBackendError(f"native kernel artifact missing: {path}")
+    return NativeKernel(_load_fn(path), path, plan, dtype)
+
+
+def get_native_kernel(
+    plan: InferencePlan, dtype=np.float64, *, require: bool = False
+) -> Optional[NativeKernel]:
+    """The (memoized) native kernel for *plan*, or None when unavailable.
+
+    With ``require=True`` unavailability raises
+    :class:`~repro.errors.NativeBackendError`; otherwise the first
+    failure per reason emits one :class:`RuntimeWarning` and the
+    function returns None so callers can fall back to the numpy plan
+    backend.  Kernels are memoized per (plan identity, dtype); a
+    cache-resident artifact is only ``dlopen``-ed, never rebuilt.
+    """
+    dtype = _check_dtype(dtype)
+    key = (id(plan), dtype.str)
+    kernel = _KERNELS.get(key)
+    if kernel is not None:
+        return kernel
+    try:
+        artifact = build_kernel(plan, dtype)
+        kernel = NativeKernel(_load_fn(artifact), artifact, plan, dtype)
+    except NativeBackendError as exc:
+        if require:
+            raise
+        reason = str(exc)
+        if reason not in _WARNED:
+            _WARNED.add(reason)
+            warnings.warn(
+                "native inference backend unavailable, falling back to the "
+                f"numpy plan backend: {reason}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return None
+    _KERNELS[key] = kernel
+    weakref.finalize(plan, _KERNELS.pop, key, None)
+    return kernel
+
+
+def clear_native_kernels() -> None:
+    """Drop the in-process kernel memo and re-arm the one-time warnings.
+
+    On-disk artifacts are untouched (they are content-addressed); this
+    only forgets the loaded handles, so tests can exercise cold-load
+    and fallback paths repeatedly.
+    """
+    _KERNELS.clear()
+    _WARNED.clear()
+
+
+def native_log_likelihood(
+    plan: InferencePlan,
+    data: np.ndarray,
+    *,
+    marginalized: Optional[Sequence[int]] = None,
+    missing_value: Optional[float] = None,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Root log-likelihood via the native kernel; raises if unavailable.
+
+    The explicit-request API: signature-compatible with
+    :func:`repro.spn.plan_eval.plan_log_likelihood` but never silently
+    degrades — no compiler or an uncompilable plan is a
+    :class:`~repro.errors.NativeBackendError`.
+    """
+    kernel = get_native_kernel(plan, dtype, require=True)
+    return kernel.log_likelihood(
+        data, marginalized=marginalized, missing_value=missing_value
+    )
+
+
+def native_or_plan_log_likelihood(
+    plan: InferencePlan,
+    data: np.ndarray,
+    *,
+    marginalized: Optional[Sequence[int]] = None,
+    missing_value: Optional[float] = None,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Native kernel when possible, numpy plan backend otherwise.
+
+    The implicit path behind the process-wide ``backend="native"``
+    switch: unavailability warns once per process (RuntimeWarning) and
+    degrades to :func:`~repro.spn.plan_eval.plan_log_likelihood`, so
+    compiler-less environments stay functional.
+    """
+    kernel = get_native_kernel(plan, dtype, require=False)
+    if kernel is not None:
+        return kernel.log_likelihood(
+            data, marginalized=marginalized, missing_value=missing_value
+        )
+    return plan_log_likelihood(
+        plan,
+        data,
+        marginalized=marginalized,
+        missing_value=missing_value,
+        dtype=dtype,
+    )

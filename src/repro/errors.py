@@ -39,6 +39,17 @@ class CompilerError(ReproError):
     """The hardware compiler cannot translate or schedule an SPN."""
 
 
+class NativeBackendError(CompilerError):
+    """The native (compiled-C) inference backend is unavailable or failed.
+
+    Raised on explicit ``backend="native"`` requests when no C compiler
+    is present, when a plan contains leaves the code generator cannot
+    compile (generic leaf blocks), or when a kernel build fails.
+    Implicit use through the process-wide backend switch degrades to the
+    numpy plan backend with a warning instead of raising.
+    """
+
+
 class ResourceFitError(CompilerError):
     """A composed design does not fit the target device's resources."""
 

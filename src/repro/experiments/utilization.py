@@ -183,27 +183,40 @@ def run_traced_host_utilization(
     n_samples: int = 200_000,
     n_workers: Optional[int] = None,
     dtype=np.float64,
+    backend: Optional[str] = None,
 ) -> TraceCapture:
     """Measure one instrumented executor run, keeping its host spans.
 
     Like :func:`run_host_utilization`, but the returned
     :class:`TraceCapture` also carries the wall-clock shard spans each
-    executor worker recorded, for Perfetto export.
+    executor worker recorded, for Perfetto export.  While the run is
+    in flight the native-backend observability sinks are pointed at
+    the same registry/recorder (and restored afterwards), so a
+    ``backend="native"`` run surfaces its ``native.*`` counters —
+    build seconds, cache hits, kernel calls — and per-call kernel
+    spans next to the executor's own.
     """
+    from repro.compiler.native_build import set_native_observability
+
     bench = nips_benchmark(benchmark)
     data = host_cpu_batch(benchmark, n_samples, dtype=dtype)
     metrics = MetricsRegistry()
     recorder = HostSpanRecorder()
-    with ParallelPlanExecutor(
-        bench.spn,
-        n_workers=n_workers,
-        dtype=dtype,
-        metrics=metrics,
-        host_tracer=recorder,
-    ) as executor:
-        start = time.perf_counter()
-        executor.submit(data)
-        elapsed = time.perf_counter() - start
+    previous_sinks = set_native_observability(metrics, recorder)
+    try:
+        with ParallelPlanExecutor(
+            bench.spn,
+            n_workers=n_workers,
+            dtype=dtype,
+            backend=backend,
+            metrics=metrics,
+            host_tracer=recorder,
+        ) as executor:
+            start = time.perf_counter()
+            executor.submit(data)
+            elapsed = time.perf_counter() - start
+    finally:
+        set_native_observability(*previous_sinks)
     return TraceCapture(
         report=UtilizationReport.from_run(metrics, elapsed),
         metrics=metrics,
@@ -218,6 +231,7 @@ def run_host_utilization(
     n_samples: int = 200_000,
     n_workers: Optional[int] = None,
     dtype=np.float64,
+    backend: Optional[str] = None,
     export_trace: Optional[str] = None,
 ) -> UtilizationReport:
     """Measure one instrumented executor run on the local CPU.
@@ -226,12 +240,18 @@ def run_host_utilization(
     for the benchmark's SPN with a metrics registry attached, submits
     one *n_samples*-row batch, and fuses the ``executor.*`` metrics
     into a host-only :class:`~repro.obs.report.UtilizationReport`
-    (the simulated-hardware sections stay empty).  With *export_trace*
-    the per-worker wall-clock shard spans are written to that path as
-    a Chrome/Perfetto JSON trace.
+    (the simulated-hardware sections stay empty).  *backend* picks the
+    executor's evaluation backend (``"native"`` also records the
+    ``native.*`` build/call counters).  With *export_trace* the
+    per-worker wall-clock shard spans are written to that path as a
+    Chrome/Perfetto JSON trace.
     """
     capture = run_traced_host_utilization(
-        benchmark, n_samples=n_samples, n_workers=n_workers, dtype=dtype
+        benchmark,
+        n_samples=n_samples,
+        n_workers=n_workers,
+        dtype=dtype,
+        backend=backend,
     )
     if export_trace is not None:
         export_run_trace(

@@ -33,6 +33,7 @@ from repro.spn.graph import SPN
 from repro.spn.inference import (
     MISSING_VALUE,
     get_inference_backend,
+    inference_backend,
     likelihood,
     log_likelihood,
     log_likelihood_with_missing,
@@ -77,6 +78,7 @@ __all__ = [
     "reference_node_log_values",
     "set_inference_backend",
     "get_inference_backend",
+    "inference_backend",
     "InferencePlan",
     "compile_plan",
     "get_plan",

@@ -4,7 +4,7 @@ Inference on a valid SPN is one bottom-up pass: leaves evaluate their
 log-density on their variable's column, product nodes add child
 log-values, and sum nodes compute a log-sum-exp of weighted children.
 
-Two backends implement the pass:
+Three backends implement the pass:
 
 * **plan** (default) — a compiled, cached tensorized plan
   (:mod:`repro.spn.plan` / :mod:`repro.spn.plan_eval`): the SPN is
@@ -12,10 +12,21 @@ Two backends implement the pass:
   then a batch evaluates with a handful of segment-reduction kernels
   instead of one numpy op per node.  Plans are cached per SPN and
   invalidated by content fingerprint on mutation.
+* **native** — the plan additionally code-generated into one
+  specialized C kernel and executed zero-copy
+  (:mod:`repro.compiler.cgen` / :mod:`repro.compiler.native_build`).
+  Selecting it process-wide is *graceful*: environments without a C
+  compiler (or plans with generic leaves) warn once and evaluate
+  through the plan backend, so the switch never breaks a host —
+  explicit per-call APIs in :mod:`repro.compiler.native_build` raise
+  instead.  ``node_log_values`` always uses the plan path (the native
+  kernel computes the root only).
 * **reference** — the direct per-node graph walk
   (:func:`reference_node_log_values`), kept as the slow-path oracle
-  the tests compare the plan against, and selectable globally with
-  :func:`set_inference_backend`.
+  the tests compare the plan against.
+
+The backend is selected globally with :func:`set_inference_backend`,
+or temporarily with the :func:`inference_backend` context manager.
 
 Marginal queries (integrating out a subset of variables) follow the
 standard SPN rule: a marginalised leaf evaluates to probability 1
@@ -28,6 +39,7 @@ array whose column *i* holds variable *i*.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -48,6 +60,7 @@ __all__ = [
     "reference_node_log_values",
     "set_inference_backend",
     "get_inference_backend",
+    "inference_backend",
 ]
 
 #: Sentinel feature value meaning "this feature is missing" in
@@ -56,7 +69,7 @@ __all__ = [
 #: range), so missing-feature queries ship over the same wire format.
 MISSING_VALUE = 255.0
 
-_BACKENDS = ("plan", "reference")
+_BACKENDS = ("plan", "native", "reference")
 _backend = "plan"
 
 
@@ -64,8 +77,13 @@ def set_inference_backend(backend: str) -> None:
     """Select the process-wide inference backend.
 
     ``"plan"`` (default) routes every public query through the compiled
-    tensorized plans; ``"reference"`` restores the per-node graph walk
-    (the validation oracle).  Mainly useful for tests and A/B timing.
+    tensorized plans; ``"native"`` additionally compiles each plan to
+    a specialized C kernel (falling back to the plan backend, with one
+    RuntimeWarning, where no C compiler exists); ``"reference"``
+    restores the per-node graph walk (the validation oracle).  Mainly
+    useful for tests and A/B timing; prefer the
+    :func:`inference_backend` context manager in code that must restore
+    the previous backend.
     """
     global _backend
     if backend not in _BACKENDS:
@@ -76,6 +94,38 @@ def set_inference_backend(backend: str) -> None:
 def get_inference_backend() -> str:
     """The currently selected inference backend name."""
     return _backend
+
+
+@contextmanager
+def inference_backend(backend: str):
+    """Context manager scoping the process-wide backend selection.
+
+    Selects *backend* on entry and restores the previously selected
+    backend on exit (also on exceptions), so tests and experiments
+    cannot leak a backend switch into unrelated code::
+
+        with inference_backend("native"):
+            ll = log_likelihood(spn, batch)
+    """
+    previous = get_inference_backend()
+    set_inference_backend(backend)
+    try:
+        yield
+    finally:
+        set_inference_backend(previous)
+
+
+def _root_log_likelihood(plan, data, **query):
+    """Route a root-only query through the selected optimised backend.
+
+    Under ``"native"`` this is the loud-but-graceful path: kernel when
+    buildable, numpy plan backend (after a one-time warning) otherwise.
+    """
+    if _backend == "native":
+        from repro.compiler.native_build import native_or_plan_log_likelihood
+
+        return native_or_plan_log_likelihood(plan, data, **query)
+    return plan_log_likelihood(plan, data, **query)
 
 
 def _as_batch(data: np.ndarray, n_variables: int) -> np.ndarray:
@@ -176,7 +226,8 @@ def node_log_values(
     and by tests.  Evaluates through the compiled-plan backend by
     default (scattering the plan's value matrix back into the dict
     contract); :func:`set_inference_backend` selects the reference
-    graph walk instead.
+    graph walk instead.  The ``"native"`` backend also takes the plan
+    path here — its C kernels compute the root only.
 
     Parameters
     ----------
@@ -201,7 +252,7 @@ def log_likelihood(spn: SPN, data: np.ndarray) -> np.ndarray:
     """Joint log-likelihood of each batch row under the SPN."""
     if _backend == "reference":
         return reference_node_log_values(spn, data)[spn.root.id]
-    return plan_log_likelihood(get_plan(spn), data)
+    return _root_log_likelihood(get_plan(spn), data)
 
 
 def likelihood(spn: SPN, data: np.ndarray) -> np.ndarray:
@@ -220,7 +271,7 @@ def marginal_log_likelihood(
     """
     if _backend == "reference":
         return reference_node_log_values(spn, data, marginalized)[spn.root.id]
-    return plan_log_likelihood(get_plan(spn), data, marginalized=marginalized)
+    return _root_log_likelihood(get_plan(spn), data, marginalized=marginalized)
 
 
 def log_likelihood_with_missing(
@@ -240,6 +291,6 @@ def log_likelihood_with_missing(
         data = _as_batch(np.asarray(data, dtype=np.float64), max(spn.scope) + 1)
         missing = data == missing_value
         return reference_node_log_values(spn, data, missing_mask=missing)[spn.root.id]
-    return plan_log_likelihood(
+    return _root_log_likelihood(
         get_plan(spn), data, missing_value=float(missing_value)
     )

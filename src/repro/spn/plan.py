@@ -64,12 +64,21 @@ __all__ = [
     "GenericLeafBlock",
     "CsrLayer",
     "InferencePlan",
+    "PLAN_FORMAT_VERSION",
     "compile_plan",
     "plan_fingerprint",
     "get_plan",
     "clear_plan_cache",
     "plan_cache_info",
 ]
+
+#: Version of the compiled-plan layout/semantics.  Folded into
+#: :func:`plan_fingerprint`, so any derived cache — the in-process plan
+#: cache and every on-disk artifact keyed by the fingerprint (e.g. the
+#: native-kernel build cache) — is invalidated when the plan format
+#: changes, instead of silently serving a stale layout.  Bump on any
+#: change to row assignment, leaf-block encoding or layer structure.
+PLAN_FORMAT_VERSION = 1
 
 _LOG_2PI = float(np.log(2.0 * np.pi))
 
@@ -509,9 +518,12 @@ def plan_fingerprint(spn: SPN) -> str:
 
     Two calls agree iff no node attribute (weights, tables, children)
     changed in between; the plan cache uses this to detect in-place
-    mutation and recompile instead of serving a stale plan.
+    mutation and recompile instead of serving a stale plan.  The hash
+    also covers :data:`PLAN_FORMAT_VERSION`, so fingerprints from an
+    older plan-format revision never match the current one.
     """
     h = hashlib.blake2b(digest_size=16)
+    h.update(struct.pack("<q", PLAN_FORMAT_VERSION))
     for node in spn.nodes:
         h.update(type(node).__name__.encode())
         h.update(struct.pack("<q", node.id))

@@ -1,0 +1,397 @@
+"""Cross-backend property tests for the native compiled-kernel backend.
+
+The per-plan C kernels (:mod:`repro.compiler.cgen` /
+:mod:`repro.compiler.native_build`) must be *indistinguishable* from
+the numpy plan evaluator at the root: float64 kernels agree to within
+a few ULP (libm vs numpy rounding), float32 kernels to within the
+documented ``rtol=1e-6 / atol=1e-4`` envelope, across all three query
+types (full likelihood, marginal, missing-value), odd chunk-boundary
+batch sizes, and single-row batches.  The suite also locks in the
+operational contract: no-compiler environments degrade to the numpy
+plan backend with a single loud warning (and raise only on explicit
+``backend="native"`` requests), the on-disk cache is keyed by dtype
+and codegen version, and ``inference_backend`` restores the previous
+process-wide backend on exit.
+"""
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.compiler.cgen import kernel_block_size
+from repro.compiler.native_build import (
+    build_kernel,
+    clear_native_kernels,
+    compiler_command,
+    get_native_kernel,
+    load_kernel,
+    native_log_likelihood,
+    native_or_plan_log_likelihood,
+    set_native_observability,
+)
+from repro.errors import NativeBackendError, ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.spn import (
+    SPN,
+    CategoricalLeaf,
+    GaussianLeaf,
+    HistogramLeaf,
+    ProductNode,
+    SumNode,
+    compile_plan,
+    get_inference_backend,
+    get_plan,
+    inference_backend,
+    log_likelihood,
+    log_likelihood_with_missing,
+    marginal_log_likelihood,
+    nips_benchmark,
+    plan_log_likelihood,
+    random_spn,
+    set_inference_backend,
+)
+
+#: float64 kernels only differ from numpy through libm-vs-numpy ULP
+#: divergence in exp/log; observed max ~1.4e-14 relative on NIPS-scale
+#: plans.
+F64_RTOL, F64_ATOL = 1e-12, 1e-12
+#: float32 storage carries ~1 ULP relative error at the root (the
+#: documented envelope, dominated by relative error at large |LL|).
+F32_RTOL, F32_ATOL = 1e-6, 1e-4
+
+needs_cc = pytest.mark.skipif(
+    compiler_command() is None, reason="no C compiler on this host"
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_native_cache(tmp_path, monkeypatch):
+    """Route kernel artifacts to a throwaway dir and drop the memo."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    clear_native_kernels()
+    yield
+    clear_native_kernels()
+
+
+def _mixed_spn():
+    """One SPN exercising every leaf family the codegen emits.
+
+    Variable 3's histograms have irregular bin widths, forcing them
+    through the generic-leaf path rather than the composite table.
+    """
+    return SPN(
+        SumNode(
+            [
+                ProductNode(
+                    [
+                        HistogramLeaf(
+                            0,
+                            np.arange(7, dtype=float),
+                            np.array([0.1, 0.2, 0.3, 0.2, 0.1, 0.1]),
+                        ),
+                        GaussianLeaf(1, 1.0, 2.0),
+                        CategoricalLeaf(2, [0.2, 0.3, 0.5]),
+                        HistogramLeaf(
+                            3,
+                            np.array([0.0, 2.5, 5.0]),
+                            np.array([0.3, 0.1]),
+                        ),
+                    ]
+                ),
+                ProductNode(
+                    [
+                        HistogramLeaf(
+                            0,
+                            np.arange(7, dtype=float),
+                            np.array([0.3, 0.1, 0.1, 0.1, 0.2, 0.2]),
+                        ),
+                        GaussianLeaf(1, -1.0, 0.5),
+                        CategoricalLeaf(2, [0.6, 0.3, 0.1]),
+                        HistogramLeaf(
+                            3,
+                            np.array([1.0, 4.0]),
+                            np.array([1.0 / 3.0]),
+                        ),
+                    ]
+                ),
+            ],
+            [0.4, 0.6],
+        )
+    )
+
+
+def _batch(plan, n_rows, seed, high=6):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, high, size=(n_rows, plan.n_data_columns)).astype(
+        np.float64
+    )
+
+
+# ---------------------------------------------------------------------------
+# Root agreement with the numpy plan backend
+# ---------------------------------------------------------------------------
+
+
+@needs_cc
+@pytest.mark.parametrize("seed", [0, 7, 23])
+def test_native_matches_plan_on_random_spns(seed):
+    """float64 kernels agree with numpy near bit-for-bit."""
+    spn = random_spn(4, depth=3, n_bins=5, seed=seed)
+    plan = compile_plan(spn)
+    kernel = get_native_kernel(plan, np.float64, require=True)
+    data = _batch(plan, 257, seed + 1, high=5)
+    np.testing.assert_allclose(
+        kernel.log_likelihood(data),
+        plan_log_likelihood(plan, data),
+        rtol=F64_RTOL,
+        atol=F64_ATOL,
+    )
+
+
+@needs_cc
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+def test_native_all_query_types_mixed_leaves(dtype):
+    """Likelihood, marginal and missing-value queries on every leaf
+    family (incl. the generic irregular-histogram path), both dtypes."""
+    plan = compile_plan(_mixed_spn())
+    kernel = get_native_kernel(plan, dtype, require=True)
+    rng = np.random.default_rng(5)
+    data = rng.uniform(-2.0, 6.0, size=(301, plan.n_data_columns))
+    data[rng.random(data.shape) < 0.15] = 255.0
+    rtol, atol = (
+        (F64_RTOL, F64_ATOL) if dtype is np.float64 else (F32_RTOL, F32_ATOL)
+    )
+    for kwargs in (
+        {},
+        {"marginalized": [1, 3]},
+        {"missing_value": 255.0},
+        {"marginalized": [0], "missing_value": 255.0},
+    ):
+        np.testing.assert_allclose(
+            kernel.log_likelihood(data, **kwargs),
+            plan_log_likelihood(plan, data, dtype=dtype, **kwargs),
+            rtol=rtol,
+            atol=atol,
+            err_msg=f"query {kwargs!r} dtype {np.dtype(dtype).name}",
+        )
+
+
+@needs_cc
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+def test_native_matches_plan_on_nips_scale(dtype):
+    """NIPS10-scale agreement across all three query types."""
+    plan = get_plan(nips_benchmark("NIPS10").spn)
+    kernel = get_native_kernel(plan, dtype, require=True)
+    data = _batch(plan, 2000, 11, high=2)
+    rtol, atol = (
+        (F64_RTOL, F64_ATOL) if dtype is np.float64 else (F32_RTOL, F32_ATOL)
+    )
+    for kwargs in ({}, {"marginalized": [0, 5, 9]}, {"missing_value": 255.0}):
+        np.testing.assert_allclose(
+            kernel.log_likelihood(data, **kwargs),
+            plan_log_likelihood(plan, data, dtype=dtype, **kwargs),
+            rtol=rtol,
+            atol=atol,
+            err_msg=f"query {kwargs!r} dtype {np.dtype(dtype).name}",
+        )
+
+
+@needs_cc
+def test_native_chunk_boundaries_and_single_row():
+    """Batch sizes straddling the kernel's internal block size (and a
+    single-row batch) all agree — no off-by-one at chunk seams."""
+    spn = random_spn(3, depth=2, n_bins=4, seed=3)
+    plan = compile_plan(spn)
+    kernel = get_native_kernel(plan, np.float64, require=True)
+    block = kernel_block_size(plan, np.float64)
+    data = _batch(plan, 2 * block + 3, 4, high=4)
+    for n in (1, 2, block - 1, block, block + 1, 2 * block + 3):
+        np.testing.assert_allclose(
+            kernel.log_likelihood(data[:n]),
+            plan_log_likelihood(plan, data[:n]),
+            rtol=F64_RTOL,
+            atol=F64_ATOL,
+            err_msg=f"batch size {n} (block {block})",
+        )
+
+
+@needs_cc
+def test_backend_switch_routes_inference_api():
+    """The process-wide ``native`` backend answers through the kernel
+    and matches the plan backend on the public inference functions."""
+    spn = random_spn(3, depth=2, n_bins=4, seed=9)
+    data = _batch(get_plan(spn), 64, 10, high=4)
+    expected = log_likelihood(spn, data)
+    expected_marg = marginal_log_likelihood(spn, data, [1])
+    expected_missing = log_likelihood_with_missing(spn, data)
+    with inference_backend("native"):
+        np.testing.assert_allclose(
+            log_likelihood(spn, data), expected, rtol=F64_RTOL, atol=F64_ATOL
+        )
+        np.testing.assert_allclose(
+            marginal_log_likelihood(spn, data, [1]),
+            expected_marg,
+            rtol=F64_RTOL,
+            atol=F64_ATOL,
+        )
+        np.testing.assert_allclose(
+            log_likelihood_with_missing(spn, data),
+            expected_missing,
+            rtol=F64_RTOL,
+            atol=F64_ATOL,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Backend selection and the context manager
+# ---------------------------------------------------------------------------
+
+
+def test_inference_backend_context_manager_restores():
+    assert get_inference_backend() == "plan"
+    with inference_backend("reference"):
+        assert get_inference_backend() == "reference"
+    assert get_inference_backend() == "plan"
+    with pytest.raises(ReproError):
+        with inference_backend("reference"):
+            raise ReproError("boom")
+    assert get_inference_backend() == "plan"
+
+
+def test_inference_backend_rejects_unknown():
+    with pytest.raises(ReproError, match="backend"):
+        set_inference_backend("fpga")
+    with pytest.raises(ReproError, match="backend"):
+        with inference_backend("nativ"):
+            pass  # pragma: no cover - never entered
+
+
+# ---------------------------------------------------------------------------
+# No-compiler degradation
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def _no_compiler(monkeypatch):
+    """Mask the toolchain the way the no-cc CI leg does."""
+    monkeypatch.setenv("REPRO_NATIVE_CC", "/nonexistent/repro-no-cc")
+    from repro.compiler import native_build
+
+    monkeypatch.setattr(native_build, "_WARNED", set())
+
+
+def test_no_compiler_graceful_fallback(_no_compiler):
+    """Implicit native requests warn once and fall back to numpy."""
+    spn = random_spn(3, depth=2, n_bins=4, seed=14)
+    plan = compile_plan(spn)
+    data = _batch(plan, 32, 15, high=4)
+    with pytest.warns(RuntimeWarning, match="no C compiler"):
+        kernel = get_native_kernel(plan, np.float64)
+    assert kernel is None
+    expected = plan_log_likelihood(plan, data)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # second request must stay silent
+        got = native_or_plan_log_likelihood(plan, data)
+    np.testing.assert_allclose(got, expected, rtol=1e-15)
+    with inference_backend("native"):
+        np.testing.assert_allclose(
+            log_likelihood(spn, data), expected, rtol=1e-15
+        )
+
+
+def test_no_compiler_explicit_requests_raise(_no_compiler):
+    """Explicit ``native`` asks fail loudly instead of degrading."""
+    spn = random_spn(3, depth=2, n_bins=4, seed=16)
+    plan = compile_plan(spn)
+    data = _batch(plan, 8, 17, high=4)
+    with pytest.raises(NativeBackendError, match="no C compiler"):
+        native_log_likelihood(plan, data)
+    with pytest.raises(NativeBackendError, match="no C compiler"):
+        get_native_kernel(plan, np.float64, require=True)
+    from repro.baselines import ParallelPlanExecutor
+
+    with pytest.raises(NativeBackendError, match="no C compiler"):
+        ParallelPlanExecutor(spn, n_workers=1, backend="native")
+
+
+# ---------------------------------------------------------------------------
+# Build cache keying and observability
+# ---------------------------------------------------------------------------
+
+
+@needs_cc
+def test_cache_hit_and_dtype_keyed_artifacts():
+    """Rebuilding the same plan is a cache hit; dtype and codegen
+    version are visible in the on-disk artifact name."""
+    plan = compile_plan(random_spn(3, depth=2, n_bins=4, seed=20))
+    registry = MetricsRegistry()
+    previous = set_native_observability(registry)
+    try:
+        path64 = build_kernel(plan, np.float64)
+        again = build_kernel(plan, np.float64)
+        path32 = build_kernel(plan, np.float32)
+    finally:
+        set_native_observability(*previous)
+    assert again == path64
+    assert path32 != path64
+    assert "float64" in path64.name and "float32" in path32.name
+    from repro.compiler.cgen import CODEGEN_VERSION
+
+    assert f"cg{CODEGEN_VERSION}" in path64.name
+    assert registry.value("native.cache_hits") == 1
+    assert registry.value("native.cache_misses") == 2
+    assert registry.value("native.build_seconds") > 0.0
+
+
+@needs_cc
+def test_load_kernel_reuses_artifact_without_compiler(monkeypatch):
+    """Workers dlopen a prebuilt artifact even with the toolchain
+    masked — the never-rebuild-per-fork contract."""
+    plan = compile_plan(random_spn(3, depth=2, n_bins=4, seed=21))
+    path = build_kernel(plan, np.float64)
+    monkeypatch.setenv("REPRO_NATIVE_CC", "/nonexistent/repro-no-cc")
+    kernel = load_kernel(path, plan, np.float64)
+    data = _batch(plan, 40, 22, high=4)
+    np.testing.assert_allclose(
+        kernel.log_likelihood(data),
+        plan_log_likelihood(plan, data),
+        rtol=F64_RTOL,
+        atol=F64_ATOL,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Executor integration
+# ---------------------------------------------------------------------------
+
+
+@needs_cc
+@pytest.mark.parametrize("n_workers", [1, 2])
+def test_executor_native_backend(n_workers):
+    """Explicit ``backend="native"`` executors answer through the
+    kernel (serial and forked-worker paths) and match the plan."""
+    from repro.baselines import ParallelPlanExecutor
+
+    spn = random_spn(3, depth=2, n_bins=4, seed=25)
+    plan = get_plan(spn)
+    data = _batch(plan, 5000, 26, high=4)
+    expected = plan_log_likelihood(plan, data)
+    with ParallelPlanExecutor(
+        spn, n_workers=n_workers, backend="native"
+    ) as executor:
+        assert executor.backend == "native"
+        got = executor.submit(data)
+    np.testing.assert_allclose(got, expected, rtol=F64_RTOL, atol=F64_ATOL)
+
+
+@needs_cc
+def test_executor_defaults_to_plan_backend():
+    from repro.baselines import ParallelPlanExecutor
+
+    spn = random_spn(3, depth=2, n_bins=4, seed=27)
+    with ParallelPlanExecutor(spn, n_workers=1) as executor:
+        assert executor.backend == "plan"
+    with pytest.raises(ReproError, match="backend"):
+        ParallelPlanExecutor(spn, n_workers=1, backend="fpga")
