@@ -1,0 +1,90 @@
+"""In-process thread scaling of the native compiled kernel.
+
+Locks in the thread-parallel driver win: on a 1M-row NIPS10 batch the
+per-plan C kernel running 4 in-process threads (OpenMP or pthread
+chunk driver, static block partition) must stay >= 2.5x faster than
+the same kernel on one thread.  Determinism is asserted before speed:
+the threaded root must be *bit-identical* to the single-thread root —
+the partition splits on fixed compile-time block boundaries, so no
+reduction order changes with the thread count.
+
+Hosts with fewer than 4 cores skip (the ratio would measure
+oversubscription, not scaling); serial-mode kernels (no OpenMP or
+pthread support probed at build time) skip likewise.
+"""
+
+import os
+import timeit
+
+import numpy as np
+import pytest
+
+from repro.compiler.native_build import compiler_command, get_native_kernel
+from repro.experiments import host_cpu_batch
+from repro.spn import get_plan, nips_benchmark
+
+#: 4 threads over a 1M-row batch must beat 1 thread by at least this
+#: factor (embarrassingly parallel row chunks; the shortfall from 4x
+#: is memory bandwidth plus the serial tail of a ~3800-block grid).
+SPEEDUP_FLOOR = 2.5
+
+N_ROWS = 1_000_000
+N_THREADS = 4
+
+pytestmark = [
+    pytest.mark.skipif(
+        compiler_command() is None, reason="no C compiler on this host"
+    ),
+    pytest.mark.skipif(
+        (os.cpu_count() or 1) < N_THREADS,
+        reason=f"thread-scaling floor needs >= {N_THREADS} cores",
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def nips10_native():
+    """The NIPS10 float64 kernel and a 1M-row batch."""
+    bench = nips_benchmark("NIPS10")
+    plan = get_plan(bench.spn)
+    kernel = get_native_kernel(plan, np.float64, require=True)
+    if not kernel.supports_threads:
+        pytest.skip("kernel built in serial mode (no OpenMP/pthread)")
+    return kernel, host_cpu_batch("NIPS10", N_ROWS)
+
+
+@pytest.mark.repro_artifact("native-thread-scaling")
+def test_bench_native_thread_scaling(benchmark, nips10_native):
+    """>= 2.5x with 4 threads at 1M rows, bit-identical results."""
+    kernel, data = nips10_native
+
+    single = kernel.log_likelihood(data, threads=1)
+    threaded = kernel.log_likelihood(data, threads=N_THREADS)
+    assert np.array_equal(single, threaded), (
+        "threaded kernel output is not bit-identical to single-thread"
+    )
+
+    single_seconds = min(
+        timeit.repeat(
+            lambda: kernel.log_likelihood(data, threads=1),
+            number=1,
+            repeat=3,
+        )
+    )
+    result = benchmark.pedantic(
+        kernel.log_likelihood,
+        args=(data,),
+        kwargs={"threads": N_THREADS},
+        rounds=3,
+        iterations=1,
+    )
+    threaded_seconds = benchmark.stats.stats.min
+    assert np.all(np.isfinite(result))
+
+    speedup = single_seconds / threaded_seconds
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"native thread scaling regressed to {speedup:.2f}x "
+        f"(floor {SPEEDUP_FLOOR}x): {N_THREADS} threads "
+        f"{threaded_seconds:.3f}s vs 1 thread {single_seconds:.3f}s "
+        f"at {N_ROWS} rows"
+    )

@@ -36,6 +36,18 @@ bound to begin with.
   the parent builds the artifact once during setup and workers only
   ``dlopen`` the inherited path, so the one-time compile cost never
   multiplies with the pool size;
+* **dispatch control** — native kernels (codegen v2) carry their own
+  thread-parallel driver, so a whole batch can run multi-core
+  *in-process* with none of the pool's fork/shm plumbing.
+  ``dispatch="auto"`` (default) routes native batches through kernel
+  threads whenever the artifact has a thread runtime — falling back
+  to the process pool for plan-backed shards or thread-less (serial)
+  artifacts on large batches — while ``"threads"`` and ``"pool"``
+  pin one path explicitly.  Whenever the threaded path is guaranteed,
+  the pool is never spawned at all (its setup cost disappears from
+  :attr:`~ParallelPlanExecutor.setup_seconds`).  Inside forked
+  workers kernel threads are always pinned to 1, so pool dispatch
+  can never nest-oversubscribe the machine;
 * **observability** — with a :class:`~repro.obs.metrics.MetricsRegistry`
   attached the executor records shards dispatched, shared-memory bytes
   staged in/out, per-worker busy seconds and dispatch latency under
@@ -211,10 +223,13 @@ def _worker_eval(task: tuple) -> Tuple[int, float, float]:
         (n_rows,), dtype=np.float64, buffer=_worker_attach(out_name).buf
     )
     if _W_KERNEL is not None:
+        # threads=1: the pool already owns the machine's parallelism —
+        # one kernel thread per forked worker, never threads*workers.
         out[begin:end] = _W_KERNEL.log_likelihood(
             data[begin:end],
             marginalized=marginalized,
             missing_value=missing_value,
+            threads=1,
         )
     else:
         out[begin:end] = plan_log_likelihood(
@@ -269,6 +284,17 @@ class ParallelPlanExecutor:
         With the native backend the parent builds (or cache-hits) the
         kernel artifact during setup and workers only ``dlopen`` the
         inherited path — never rebuild per fork.
+    dispatch:
+        How batches reach the cores.  ``"auto"`` (default) runs native
+        batches through the kernel's in-process thread driver whenever
+        the artifact supports threads (skipping pool spawn entirely);
+        with a thread-less (serial) artifact it keeps small batches
+        in-process and shards large ones over the pool; plan-backed
+        executors always use the pool.  ``"threads"`` forces the
+        in-process threaded path (requires a native kernel —
+        construction raises :class:`~repro.errors.ReproError` without
+        one); ``"pool"`` forces the legacy process pool.  Results are
+        identical on every path.
     min_rows_per_shard:
         Adaptive-oversharding floor: never split finer than this.
     overshard:
@@ -289,6 +315,7 @@ class ParallelPlanExecutor:
         n_workers: Optional[int] = None,
         dtype=np.float64,
         backend: Optional[str] = None,
+        dispatch: str = "auto",
         min_rows_per_shard: int = DEFAULT_MIN_ROWS_PER_SHARD,
         overshard: int = DEFAULT_OVERSHARD,
         metrics=None,
@@ -311,6 +338,11 @@ class ParallelPlanExecutor:
             raise ReproError(
                 f"unknown executor backend {backend!r}; "
                 "pick None, 'plan' or 'native'"
+            )
+        if dispatch not in ("auto", "pool", "threads"):
+            raise ReproError(
+                f"unknown executor dispatch {dispatch!r}; "
+                "pick 'auto', 'pool' or 'threads'"
             )
 
         self._spn = spn
@@ -354,7 +386,23 @@ class ParallelPlanExecutor:
             if self._kernel is not None:
                 self._native_path = str(self._kernel.path)
         self._backend = "native" if self._kernel is not None else "plan"
-        self._pool = self._start_pool()
+        if dispatch == "threads" and self._kernel is None:
+            raise ReproError(
+                "dispatch='threads' runs batches through the native "
+                "kernel's in-process thread driver, but no native kernel "
+                "is available for this executor - construct with "
+                "backend='native' on a host with a C compiler, or use "
+                "dispatch='auto'/'pool'"
+            )
+        self._dispatch = dispatch
+        # When every batch is guaranteed to take the in-process threaded
+        # path, the process pool would be dead weight - skip spawning it
+        # (the fork/prewarm cost vanishes from setup_seconds).
+        threads_only = self._kernel is not None and (
+            dispatch == "threads"
+            or (dispatch == "auto" and self._kernel.supports_threads)
+        )
+        self._pool = None if threads_only else self._start_pool()
         self.setup_seconds = time.perf_counter() - start
 
     # -- lifecycle --------------------------------------------------------------
@@ -465,9 +513,37 @@ class ParallelPlanExecutor:
         return self._backend
 
     @property
+    def dispatch(self) -> str:
+        """The requested dispatch policy: "auto", "pool" or "threads"."""
+        return self._dispatch
+
+    @property
     def closed(self) -> bool:
         """True once :meth:`close` has run."""
         return self._closed
+
+    def _use_threads(self, rows: int) -> bool:
+        """Whether this batch takes the in-process kernel-thread path.
+
+        ``"threads"`` always does, ``"pool"`` never; ``"auto"`` prefers
+        kernel threads whenever the artifact has a thread runtime, and
+        for thread-less (serial) artifacts keeps batches in-process
+        only while they are too small to fill more than one shard —
+        larger ones get real parallelism from the pool.
+        """
+        if self._kernel is None:
+            return False
+        if self._dispatch == "threads":
+            return True
+        if self._dispatch == "pool":
+            return False
+        if self._kernel.supports_threads:
+            return True
+        return rows // self.min_rows_per_shard <= 1
+
+    def _thread_count_for(self, rows: int) -> int:
+        """Kernel threads for a batch: scale with rows, cap at workers."""
+        return max(1, min(self._n_workers, rows // self.min_rows_per_shard))
 
     # -- shared-memory staging --------------------------------------------------
     @staticmethod
@@ -556,7 +632,9 @@ class ParallelPlanExecutor:
         out as ``(begin, end)`` spans, and collected from the shared
         output buffer.  *marginalized* / *missing_value* carry the
         query semantics of :func:`~repro.spn.plan_eval.plan_log_likelihood`.
-        *n_shards* overrides the adaptive shard count (tests/tuning).
+        *n_shards* overrides the adaptive shard count (tests/tuning);
+        on the in-process threaded path it overrides the kernel thread
+        count instead (same intent: how many ways to split the batch).
         """
         if self._closed:
             raise ReproError("submit() on a closed ParallelPlanExecutor")
@@ -564,6 +642,9 @@ class ParallelPlanExecutor:
         rows, n_cols = data.shape
         if marginalized is not None:
             marginalized = tuple(int(v) for v in marginalized)
+        if self._use_threads(rows):
+            return self._submit_threads(data, marginalized, missing_value,
+                                        n_shards)
         spans = self._shard_spans(rows, n_shards)
 
         if self._pool is None:
@@ -656,4 +737,45 @@ class ParallelPlanExecutor:
             self._m_shards.add(len(spans))
             self._m_compute.add(wall)
             self._record_worker_busy(os.getpid(), wall)
+        return out
+
+    def _submit_threads(
+        self,
+        data: np.ndarray,
+        marginalized: Optional[Tuple[int, ...]],
+        missing_value: Optional[float],
+        n_shards: Optional[int],
+    ) -> np.ndarray:
+        """In-process multi-core path: one kernel call, kernel threads.
+
+        The whole batch goes to the native kernel's thread-parallel
+        block driver — no shm staging, no pipes, no pool.  The thread
+        count scales with the batch (one thread per
+        ``min_rows_per_shard`` rows, capped at ``n_workers``); results
+        are bit-identical to every other dispatch path because the
+        kernel's block partition never depends on the thread count.
+        """
+        rows = data.shape[0]
+        if n_shards is not None:
+            if n_shards < 1:
+                raise ReproError(f"n_shards must be >= 1, got {n_shards}")
+            threads = n_shards
+        else:
+            threads = self._thread_count_for(rows)
+        t0 = time.perf_counter()
+        out = self._kernel.log_likelihood(
+            data,
+            marginalized=marginalized,
+            missing_value=missing_value,
+            threads=threads,
+        )
+        t1 = time.perf_counter()
+        self._record_worker_span(os.getpid(), 0, t0, t1)
+        if self._m_submits is not None:
+            self._m_submits.add(1)
+            self._m_rows.add(rows)
+            self._m_shards.add(1)
+            self._m_compute.add(t1 - t0)
+            self._registry.counter("executor.kernel_threads").add(threads)
+            self._record_worker_busy(os.getpid(), t1 - t0)
         return out

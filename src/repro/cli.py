@@ -6,7 +6,8 @@ Usage::
 
 where ``<artifact>`` is one of ``fig2``, ``table1``, ``fig4``,
 ``fig5``, ``fig6``, ``speedups``, ``outlook``, ``ablations``,
-``plans``, ``report``, ``trace``, ``bench`` or ``all``.  Each command
+``plans``, ``report``, ``trace``, ``bench``, ``cache`` or ``all``.
+Each command
 prints the same rows/series the paper reports (see EXPERIMENTS.md for
 the interpretation); ``report`` prints the per-channel/per-PE
 utilization of one instrumented run (see docs/observability.md), or —
@@ -17,7 +18,10 @@ zero-copy executor run on the local CPU (see docs/cpu_baselines.md).
 executor run as a single Chrome/Perfetto JSON file (``--out``), and
 ``bench`` records/gates the repo's own performance trajectory (see
 docs/observability.md); both are excluded from ``all`` because they
-write files / can exit nonzero by design.
+write files / can exit nonzero by design.  ``cache`` reports the
+on-disk native-kernel cache and — with ``--prune [--max-bytes N]`` —
+evicts least-recently-used artifacts down to a byte budget (see
+docs/native_backend.md); it is excluded from ``all`` too.
 """
 
 from __future__ import annotations
@@ -214,6 +218,39 @@ def _cmd_bench(args):
     return "\n\n".join(pieces), 0
 
 
+def _cmd_cache(args) -> str:
+    from repro.compiler.native_build import (
+        DEFAULT_CACHE_MAX_BYTES,
+        native_cache_stats,
+        prune_native_cache,
+    )
+
+    def _mib(n: int) -> str:
+        return f"{n / (1024 * 1024):.1f} MiB"
+
+    lines = []
+    before = native_cache_stats()
+    lines.append(
+        f"native kernel cache at {before['path']}: "
+        f"{before['artifacts']} artifact(s), {_mib(before['bytes'])}"
+    )
+    if args.prune:
+        budget = (
+            args.max_bytes if args.max_bytes is not None
+            else DEFAULT_CACHE_MAX_BYTES
+        )
+        report = prune_native_cache(budget)
+        lines.append(
+            f"pruned to {_mib(budget)} budget (LRU by mtime): removed "
+            f"{report['removed']} artifact(s) / "
+            f"{_mib(report['removed_bytes'])}, kept {report['kept']} / "
+            f"{_mib(report['kept_bytes'])}"
+        )
+    elif args.max_bytes is not None:
+        lines.append("--max-bytes has no effect without --prune")
+    return "\n".join(lines)
+
+
 def _bench_scenario_names():
     from repro.obs.bench import SCENARIOS
 
@@ -236,11 +273,13 @@ _COMMANDS: Dict[str, Callable] = {
     "report": _cmd_report,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
+    "cache": _cmd_cache,
 }
 
-#: Commands excluded from ``all``: they write files (``trace``) or are
-#: gates that exit nonzero by design (``bench``).
-_NOT_IN_ALL = frozenset({"trace", "bench"})
+#: Commands excluded from ``all``: they write files (``trace``), are
+#: gates that exit nonzero by design (``bench``), or mutate on-disk
+#: state (``cache`` with ``--prune`` deletes artifacts).
+_NOT_IN_ALL = frozenset({"trace", "bench", "cache"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -353,6 +392,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory holding BENCH_*.json histories "
         "(default benchmarks/trajectory/ at the repo root)",
+    )
+    cache = parser.add_argument_group("cache options")
+    cache.add_argument(
+        "--prune",
+        action="store_true",
+        help="evict least-recently-used native kernel artifacts until "
+        "the cache fits --max-bytes",
+    )
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cache byte budget for --prune (default 256 MiB)",
     )
     return parser
 

@@ -60,6 +60,8 @@ from repro.spn.plan_eval import DEFAULT_CHUNK_BYTES
 __all__ = [
     "CODEGEN_VERSION",
     "KERNEL_SYMBOL",
+    "MAX_KERNEL_THREADS",
+    "GATHER_TILE",
     "kernel_block_size",
     "generate_kernel_source",
 ]
@@ -68,10 +70,23 @@ __all__ = [
 #: to the emitted code or the call signature: the version is part of
 #: the on-disk artifact key, so old cached kernels are invalidated
 #: instead of silently reused.
-CODEGEN_VERSION = 1
+#: v2: thread-parallel block driver (n_threads/thread_stamps params),
+#: per-thread value slabs, blocked composite-table leaf gather.
+CODEGEN_VERSION = 2
 
 #: Exported entry-point symbol of every generated kernel.
 KERNEL_SYMBOL = "repro_plan_eval"
+
+#: Hard cap on kernel threads, baked into the generated driver (the
+#: per-chunk descriptor array is a stack allocation of this size).
+MAX_KERNEL_THREADS = 256
+
+#: Rows per composite-table gather tile.  The leaf stage computes the
+#: per-variable row codes for one tile and immediately gathers every
+#: leaf of that variable from it, so the ``int64`` code tile (64 x 8
+#: bytes = 512 B) stays L1-resident across all the table touches
+#: instead of being rebuilt-and-evicted once per full block.
+GATHER_TILE = 64
 
 #: Nodes with more children than this get a data-driven child loop
 #: (static index/weight arrays) instead of a fully unrolled expression.
@@ -132,9 +147,13 @@ def kernel_block_size(plan: InferencePlan, dtype=np.float64) -> int:
 def _emit_histogram(block, dtype: np.dtype, lines: List[str]) -> None:
     """Leaf stage for the fused unit-bin histogram block.
 
-    One row code per (variable, sample) — clamp, scale, offset — then
-    one table gather per leaf, sharing the code across all leaves of a
-    variable exactly like the numpy kernel shares its code matrix.
+    Blocked gather: rows advance in :data:`GATHER_TILE`-sized tiles —
+    one tile of row codes per variable (clamp, scale, offset), then
+    *every* leaf of that variable gathers its slice from the still-hot
+    code tile.  This is the multi-row restructuring of the numpy
+    kernel's shared code matrix: B rows per leaf-table touch instead of
+    re-walking the table row-by-row, so wide SPNs with many leaves per
+    variable stop thrashing the code buffer out of L1.
     """
     by_var: Dict[int, List[Tuple[int, int]]] = {}
     for i in range(len(block)):
@@ -148,33 +167,45 @@ def _emit_histogram(block, dtype: np.dtype, lines: List[str]) -> None:
         scale = _c_double(block.code_scale[var])
         base = _c_double(block.code_base[var])
         lines += [
-            f"    {{ /* histogram leaves on variable {var} */",
-            "        int64_t code[BLOCK];",
-            "        for (long r = 0; r < rows; ++r) {",
-            f"            double x = floor((double) d[r * n_cols + {var}]);",
-            f"            x = fmin(x, {hi});",
-            f"            x = fmax(x, {lo});",
-            f"            code[r] = (int64_t)((x - {lo}) * {scale} + {base});",
-            "        }",
+            f"    {{ /* histogram leaves on variable {var} "
+            "(blocked gather) */",
+            "        int64_t code[GTILE];",
+            "        for (long rt = 0; rt < rows; rt += GTILE) {",
+            "            const long tn = "
+            "(rows - rt < GTILE) ? (rows - rt) : GTILE;",
+            "            for (long r = 0; r < tn; ++r) {",
+            "                double x = floor((double) "
+            f"d[(rt + r) * n_cols + {var}]);",
+            f"                x = fmin(x, {hi});",
+            f"                x = fmax(x, {lo});",
+            f"                code[r] = (int64_t)((x - {lo}) * {scale} "
+            f"+ {base});",
+            "            }",
         ]
         for row, col in by_var[var]:
             lines += [
-                f"        {{ /* leaf row {row} */",
-                f"            real_t* restrict dst = v + {row}L * BLOCK;",
-                f"            if (marg != 0 && marg[{var}]) {{",
-                "                for (long r = 0; r < rows; ++r)"
+                f"            {{ /* leaf row {row} */",
+                f"                real_t* restrict dst = "
+                f"v + {row}L * BLOCK + rt;",
+                f"                if (marg != 0 && marg[{var}]) {{",
+                "                    for (long r = 0; r < tn; ++r)"
                 " dst[r] = (real_t) 0;",
-                "            } else {",
-                "                for (long r = 0; r < rows; ++r) {",
-                f"                    real_t val = T_HIST[code[r] + {col}L];",
-                "                    if (has_missing && (double) d[r * n_cols"
-                f" + {var}] == miss) val = (real_t) 0;",
-                "                    dst[r] = val;",
+                "                } else {",
+                "                    for (long r = 0; r < tn; ++r) {",
+                "                        real_t val = "
+                f"T_HIST[code[r] + {col}L];",
+                "                        if (has_missing && (double) "
+                f"d[(rt + r) * n_cols + {var}] == miss) "
+                "val = (real_t) 0;",
+                "                        dst[r] = val;",
+                "                    }",
                 "                }",
                 "            }",
-                "        }",
             ]
-        lines.append("    }")
+        lines += [
+            "        }",
+            "    }",
+        ]
 
 
 def _emit_gaussian(block, dtype: np.dtype, lines: List[str]) -> None:
@@ -404,12 +435,21 @@ def generate_kernel_source(plan: InferencePlan, dtype=np.float64) -> str:
 
         int repro_plan_eval(const void* data, long n_rows, long n_cols,
                             const unsigned char* marg, double missing_value,
-                            int has_missing, double* out);
+                            int has_missing, double* out, long n_threads,
+                            double* thread_stamps);
 
     ``data`` is the row-major ``(n_rows, n_cols)`` batch in the storage
     dtype, ``marg`` an optional per-variable byte mask (NULL when no
     variables are marginalised), and ``out`` the float64 root
-    log-likelihood vector.  Returns 0 on success, 1 on allocation
+    log-likelihood vector.  ``n_threads`` asks for that many worker
+    threads (clamped to [1, min(n_blocks, MAX_THREADS)]; forced to 1
+    when the artifact was built without a thread runtime) over a
+    *thread-count-independent* static partition of the fixed BLOCK
+    grid, so results are bit-identical for any ``n_threads``.
+    ``thread_stamps`` (optional, ``2 * n_threads`` doubles) receives
+    per-chunk CLOCK_MONOTONIC begin/end stamps — comparable with
+    ``time.perf_counter()`` on Linux — with ``end == 0.0`` marking a
+    chunk that never ran.  Returns 0 on success, 1 on allocation
     failure.
 
     Raises :class:`~repro.errors.NativeBackendError` when the plan
@@ -446,12 +486,19 @@ def generate_kernel_source(plan: InferencePlan, dtype=np.float64) -> str:
         f"leaves={plan.n_leaves}  layers={plan.n_layers}",
         f" * storage dtype: {dtype.name}  block: {block_size} rows",
         " */",
+        "#define _POSIX_C_SOURCE 200809L",
         "#include <math.h>",
         "#include <stdint.h>",
         "#include <stdlib.h>",
+        "#include <time.h>",
+        "#ifdef REPRO_THREADS_PTHREADS",
+        "#include <pthread.h>",
+        "#endif",
         "",
         f"typedef {real} real_t;",
         f"#define BLOCK {block_size}L",
+        f"#define GTILE {GATHER_TILE}L",
+        f"#define MAX_THREADS {MAX_KERNEL_THREADS}L",
         "",
     ]
 
@@ -485,25 +532,131 @@ def generate_kernel_source(plan: InferencePlan, dtype=np.float64) -> str:
     lines += [
         "}",
         "",
-        f"int {KERNEL_SYMBOL}(const void* data, long n_rows, long n_cols,",
-        "                    const unsigned char* marg, double missing_value,",
-        "                    int has_missing, double* out)",
+        "/* Evaluate blocks [b_begin, b_end) into out.  Each caller owns",
+        " * a private value slab, so ranges evaluate concurrently with no",
+        " * shared mutable state; the block partition is fixed by the",
+        " * compile-time BLOCK constant, never by the thread count, which",
+        " * is what makes results bit-identical for any n_threads. */",
+        "static int eval_range(const real_t* restrict d, const long n_rows,",
+        "                      const long n_cols,",
+        "                      const unsigned char* restrict marg,",
+        "                      const double miss, const int has_missing,",
+        "                      double* restrict out,",
+        "                      const long b_begin, const long b_end)",
         "{",
-        "    const real_t* d = (const real_t*) data;",
         "    real_t* v = (real_t*) malloc("
         f"(size_t) {plan.n_nodes}L * BLOCK * sizeof(real_t));",
         "    if (v == 0) return 1;",
-        "    for (long r0 = 0; r0 < n_rows; r0 += BLOCK) {",
+        "    for (long b = b_begin; b < b_end; ++b) {",
+        "        const long r0 = b * BLOCK;",
         "        const long rows = "
         "(n_rows - r0 < BLOCK) ? (n_rows - r0) : BLOCK;",
         "        eval_block(d + r0 * n_cols, n_cols, rows, marg,",
-        "                   missing_value, has_missing, v);",
+        "                   miss, has_missing, v);",
         f"        const real_t* root = v + {plan.root_row}L * BLOCK;",
         "        double* o = out + r0;",
         "        for (long r = 0; r < rows; ++r) o[r] = (double) root[r];",
         "    }",
         "    free(v);",
         "    return 0;",
+        "}",
+        "",
+        "static double repro_mono_seconds(void)",
+        "{",
+        "    struct timespec ts;",
+        "    if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0) return 0.0;",
+        "    return (double) ts.tv_sec + 1e-9 * (double) ts.tv_nsec;",
+        "}",
+        "",
+        "typedef struct {",
+        "    const real_t* d;",
+        "    long n_rows;",
+        "    long n_cols;",
+        "    const unsigned char* marg;",
+        "    double miss;",
+        "    int has_missing;",
+        "    double* out;",
+        "    long b_begin;",
+        "    long b_end;",
+        "    int rc;",
+        "    double t0;",
+        "    double t1;",
+        "} repro_chunk_t;",
+        "",
+        "static void repro_run_chunk(repro_chunk_t* c)",
+        "{",
+        "    c->t0 = repro_mono_seconds();",
+        "    c->rc = eval_range(c->d, c->n_rows, c->n_cols, c->marg,",
+        "                       c->miss, c->has_missing, c->out,",
+        "                       c->b_begin, c->b_end);",
+        "    c->t1 = repro_mono_seconds();",
+        "}",
+        "",
+        "#ifdef REPRO_THREADS_PTHREADS",
+        "static void* repro_chunk_main(void* arg)",
+        "{",
+        "    repro_run_chunk((repro_chunk_t*) arg);",
+        "    return 0;",
+        "}",
+        "#endif",
+        "",
+        f"int {KERNEL_SYMBOL}(const void* data, long n_rows, long n_cols,",
+        "                    const unsigned char* marg, double missing_value,",
+        "                    int has_missing, double* out, long n_threads,",
+        "                    double* thread_stamps)",
+        "{",
+        "    const real_t* d = (const real_t*) data;",
+        "    const long n_blocks = (n_rows + BLOCK - 1) / BLOCK;",
+        "    long nt = n_threads;",
+        "    if (nt < 1) nt = 1;",
+        "    if (nt > MAX_THREADS) nt = MAX_THREADS;",
+        "    if (n_blocks > 0 && nt > n_blocks) nt = n_blocks;",
+        "#if !defined(REPRO_THREADS_OPENMP) && "
+        "!defined(REPRO_THREADS_PTHREADS)",
+        "    nt = 1; /* serial build: no thread runtime compiled in */",
+        "#endif",
+        "    repro_chunk_t chunks[MAX_THREADS];",
+        "    for (long t = 0; t < nt; ++t) {",
+        "        chunks[t].d = d;",
+        "        chunks[t].n_rows = n_rows;",
+        "        chunks[t].n_cols = n_cols;",
+        "        chunks[t].marg = marg;",
+        "        chunks[t].miss = missing_value;",
+        "        chunks[t].has_missing = has_missing;",
+        "        chunks[t].out = out;",
+        "        chunks[t].b_begin = (n_blocks * t) / nt;",
+        "        chunks[t].b_end = (n_blocks * (t + 1)) / nt;",
+        "        chunks[t].rc = 0;",
+        "        chunks[t].t0 = 0.0;",
+        "        chunks[t].t1 = 0.0;",
+        "    }",
+        "#if defined(REPRO_THREADS_OPENMP)",
+        "    #pragma omp parallel for schedule(static) "
+        "num_threads((int) nt)",
+        "    for (long t = 0; t < nt; ++t) repro_run_chunk(&chunks[t]);",
+        "#elif defined(REPRO_THREADS_PTHREADS)",
+        "    pthread_t tids[MAX_THREADS];",
+        "    int started[MAX_THREADS];",
+        "    for (long t = 1; t < nt; ++t)",
+        "        started[t] = (pthread_create(&tids[t], 0,",
+        "                      repro_chunk_main, &chunks[t]) == 0);",
+        "    repro_run_chunk(&chunks[0]);",
+        "    for (long t = 1; t < nt; ++t) {",
+        "        if (started[t]) pthread_join(tids[t], 0);",
+        "        else repro_run_chunk(&chunks[t]);",
+        "    }",
+        "#else",
+        "    for (long t = 0; t < nt; ++t) repro_run_chunk(&chunks[t]);",
+        "#endif",
+        "    int rc = 0;",
+        "    for (long t = 0; t < nt; ++t) {",
+        "        rc |= chunks[t].rc;",
+        "        if (thread_stamps != 0) {",
+        "            thread_stamps[2 * t] = chunks[t].t0;",
+        "            thread_stamps[2 * t + 1] = chunks[t].t1;",
+        "        }",
+        "    }",
+        "    return rc;",
         "}",
         "",
     ]

@@ -37,11 +37,38 @@ Set ``REPRO_NATIVE_CC`` to pick a specific compiler binary; pointing it
 at a nonexistent path masks the toolchain entirely (used by the no-cc
 CI leg and the fallback tests).
 
+**Threading.**  Generated kernels (codegen v2) carry their own
+thread-parallel block driver; this module probes the toolchain once
+per compiler for the best available runtime — OpenMP, then a raw
+pthread pool, then serial — and bakes the winning mode into both the
+build flags and the artifact name (``-omp-`` / ``-pth-`` / ``-st-``
+tag).  The per-call thread count resolves through
+:func:`resolve_native_threads`: an explicit ``threads=`` argument wins,
+then ``REPRO_NATIVE_THREADS``, then 1 — invalid values raise
+:class:`~repro.errors.RuntimeConfigError` naming the source.  Results
+are bit-identical for every thread count (the row partition is fixed
+by the compile-time block size, never by ``threads``).
+
+**Host-ISA keying.**  Builds probe ``-march=native`` and, where it
+works, compile with it and fold the *ISA identity* — a hash of the
+compiler's ``-march=native`` predefined-macro dump — into the cache
+key, so an artifact tuned for one host is never dlopen-ed on a sibling
+with different vector extensions; the sibling transparently builds its
+own.  ``REPRO_NATIVE_PORTABLE=1`` opts back into the portable flag set
+(artifacts tagged ``-portable-``).
+
+**Cache bounding.**  The cache now grows per (plan, dtype, codegen
+revision, thread mode, ISA); :func:`prune_native_cache` (CLI:
+``repro cache --prune``) evicts least-recently-used artifact groups —
+cache hits refresh mtime — down to a byte budget.
+
 Observability: when a registry/tracer pair is attached via
 :func:`set_native_observability`, builds bump ``native.build_seconds``
 and ``native.cache_misses``, loads of cached artifacts bump
 ``native.cache_hits``, and every kernel invocation records a
-``native`` host span (visible in the Perfetto export).
+``native`` host span plus, on multi-threaded calls, per-chunk
+``native thread<t>`` spans and ``native.thread<t>.busy_seconds``
+counters (visible in the Perfetto export).
 """
 
 from __future__ import annotations
@@ -57,7 +84,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import NativeBackendError
+from repro.errors import NativeBackendError, RuntimeConfigError
 from repro.spn.plan import InferencePlan
 from repro.spn.plan_eval import (
     _as_batch,
@@ -68,12 +95,15 @@ from repro.spn.plan_eval import (
 from repro.compiler.cgen import (
     CODEGEN_VERSION,
     KERNEL_SYMBOL,
+    MAX_KERNEL_THREADS,
     generate_kernel_source,
 )
 
 __all__ = [
     "compiler_command",
     "native_cache_dir",
+    "native_thread_mode",
+    "resolve_native_threads",
     "NativeKernel",
     "build_kernel",
     "load_kernel",
@@ -82,6 +112,9 @@ __all__ = [
     "native_or_plan_log_likelihood",
     "set_native_observability",
     "clear_native_kernels",
+    "native_cache_stats",
+    "prune_native_cache",
+    "DEFAULT_CACHE_MAX_BYTES",
 ]
 
 #: Compilation flags.  No ``-ffast-math`` (it breaks the inf/NaN
@@ -127,6 +160,188 @@ _VEC_PROBED: Dict[str, bool] = {}
 
 #: Candidate compiler binaries, probed in order.
 _CC_CANDIDATES: Tuple[str, ...] = ("cc", "gcc", "clang")
+
+#: Thread-runtime build flags per mode.  The ``-D`` define selects the
+#: matching driver in the generated source (see cgen); a serial build
+#: compiles the same source with the driver forced to one chunk.
+_THREAD_FLAGS: Dict[str, Tuple[str, ...]] = {
+    "openmp": ("-fopenmp", "-DREPRO_THREADS_OPENMP"),
+    "pthreads": ("-pthread", "-DREPRO_THREADS_PTHREADS"),
+    "serial": (),
+}
+
+#: Short artifact-name tag per thread mode (and its inverse, used by
+#: :func:`load_kernel` to recover the mode without a toolchain).
+_THREAD_TAGS: Dict[str, str] = {
+    "openmp": "omp",
+    "pthreads": "pth",
+    "serial": "st",
+}
+_TAG_MODES: Dict[str, str] = {v: k for k, v in _THREAD_TAGS.items()}
+
+#: Probe program for OpenMP support (must compile *and* link).
+_OMP_PROBE_SRC = (
+    "#include <omp.h>\n"
+    "int main(void) {\n"
+    "    int n = 0;\n"
+    "    #pragma omp parallel reduction(+:n)\n"
+    "    n += 1;\n"
+    "    return n > 0 ? 0 : 1;\n"
+    "}\n"
+)
+
+#: Probe program for pthread support.
+_PTHREAD_PROBE_SRC = (
+    "#include <pthread.h>\n"
+    "static void* f(void* a) { return a; }\n"
+    "int main(void) {\n"
+    "    pthread_t t;\n"
+    "    if (pthread_create(&t, 0, f, 0) != 0) return 1;\n"
+    "    return pthread_join(t, 0);\n"
+    "}\n"
+)
+
+#: Memoized thread-mode probe results keyed by compiler path.
+_MODE_PROBED: Dict[str, str] = {}
+
+#: Memoized ``-march=native`` ISA identities keyed by compiler path:
+#: an 8-hex digest of the march-predefined-macro dump (None when the
+#: flag is unsupported).
+_ISA_PROBED: Dict[str, Optional[str]] = {}
+
+#: Default byte budget for :func:`prune_native_cache`.
+DEFAULT_CACHE_MAX_BYTES = 256 * 1024 * 1024
+
+
+def _probe_compile(cc0: str, source: str, flags: Sequence[str]) -> bool:
+    """Whether *cc0* compiles and links *source* with *flags*."""
+    import tempfile
+
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-ccprobe-") as tmp:
+            src = Path(tmp) / "probe.c"
+            out = Path(tmp) / "probe"
+            src.write_text(source)
+            result = subprocess.run(
+                [cc0, "-O2", "-std=c11", *flags, "-o", str(out), str(src)],
+                capture_output=True,
+                text=True,
+            )
+            return result.returncode == 0
+    except OSError:
+        return False
+
+
+def _thread_mode(cc0: str) -> str:
+    """Best thread runtime *cc0* supports: openmp > pthreads > serial."""
+    cached = _MODE_PROBED.get(cc0)
+    if cached is not None:
+        return cached
+    if _probe_compile(cc0, _OMP_PROBE_SRC, ["-fopenmp"]):
+        mode = "openmp"
+    elif _probe_compile(cc0, _PTHREAD_PROBE_SRC, ["-pthread"]):
+        mode = "pthreads"
+    else:
+        mode = "serial"
+    _MODE_PROBED[cc0] = mode
+    return mode
+
+
+def native_thread_mode() -> Optional[str]:
+    """The thread runtime new builds will use on this host.
+
+    ``"openmp"``, ``"pthreads"`` or ``"serial"`` — or None when no C
+    compiler is available at all.  Probed once per compiler path and
+    memoized for the process.
+    """
+    cc = compiler_command()
+    if cc is None:
+        return None
+    return _thread_mode(cc[0])
+
+
+def _portable_requested() -> bool:
+    """Whether ``REPRO_NATIVE_PORTABLE`` disables host-ISA tuning."""
+    return os.environ.get("REPRO_NATIVE_PORTABLE", "") not in ("", "0")
+
+
+def _march_isa(cc0: str) -> Optional[str]:
+    """The host-ISA identity under ``-march=native``, or None.
+
+    When *cc0* accepts ``-march=native``, the identity is a hash of
+    the flag's predefined-macro dump (every ``__AVX2__``-style feature
+    macro the flag turns on) plus the machine architecture — two hosts
+    share an artifact iff the compiler would target the same ISA on
+    both.  Returns None when the flag is unsupported (non-x86 gcc
+    without a native mapping, exotic compilers); builds then keep the
+    portable flag set.
+    """
+    import platform
+
+    if cc0 in _ISA_PROBED:
+        return _ISA_PROBED[cc0]
+    isa: Optional[str] = None
+    try:
+        result = subprocess.run(
+            [cc0, "-march=native", "-dM", "-E", "-x", "c", os.devnull],
+            capture_output=True,
+            text=True,
+        )
+        if result.returncode == 0 and result.stdout:
+            macros = "\n".join(sorted(result.stdout.splitlines()))
+            isa = hashlib.blake2b(
+                (platform.machine() + "\0" + macros).encode(),
+                digest_size=4,
+            ).hexdigest()
+    except OSError:
+        isa = None
+    _ISA_PROBED[cc0] = isa
+    return isa
+
+
+def resolve_native_threads(threads: Optional[int] = None) -> int:
+    """Resolve a kernel-thread count: argument > env var > 1.
+
+    An explicit ``threads=`` argument wins; otherwise
+    ``REPRO_NATIVE_THREADS`` is consulted; otherwise the call runs
+    single-threaded.  Non-integer or non-positive values raise
+    :class:`~repro.errors.RuntimeConfigError` naming the offending
+    source (mirroring ``REPRO_SWEEP_WORKERS``).  The result is clamped
+    to the generated driver's hard cap
+    (:data:`repro.compiler.cgen.MAX_KERNEL_THREADS`).
+    """
+    if threads is not None:
+        try:
+            import operator
+
+            value = operator.index(threads)
+        except TypeError:
+            raise RuntimeConfigError(
+                "threads= must be a positive integer thread count, "
+                f"got {threads!r}"
+            ) from None
+        if value < 1:
+            raise RuntimeConfigError(
+                "threads= must be a positive integer thread count, "
+                f"got {threads!r}"
+            )
+        return min(value, MAX_KERNEL_THREADS)
+    env = os.environ.get("REPRO_NATIVE_THREADS", "")
+    if not env:
+        return 1
+    try:
+        value = int(env)
+    except ValueError:
+        raise RuntimeConfigError(
+            "REPRO_NATIVE_THREADS must be a positive integer thread "
+            f"count, got {env!r}"
+        ) from None
+    if value < 1:
+        raise RuntimeConfigError(
+            "REPRO_NATIVE_THREADS must be a positive integer thread "
+            f"count, got {env!r}"
+        )
+    return min(value, MAX_KERNEL_THREADS)
 
 #: In-process kernel memo: ``(plan id, dtype str) -> NativeKernel``.
 #: Entries are evicted by a ``weakref.finalize`` on the plan so a dead
@@ -229,25 +444,42 @@ def _sanitize(name: str) -> str:
 
 
 def _artifact_stem(plan: InferencePlan, dtype: np.dtype, source: str,
-                   compiler_id: str) -> str:
-    """Cache key: plan name + dtype + codegen version + content hash.
+                   compiler_id: str, mode: str, isa: Optional[str]) -> str:
+    """Cache key: plan + dtype + codegen rev + thread mode + ISA + hash.
 
-    The dtype tag and ``cg<version>`` are spelled out (not only folded
-    into the hash) so a directory listing shows exactly which revision
-    and precision produced each artifact, and so bumping
-    :data:`~repro.compiler.cgen.CODEGEN_VERSION` visibly strands the
-    old files instead of silently reusing them.
+    The dtype tag, ``cg<version>``, the thread-mode tag (``omp`` /
+    ``pth`` / ``st``) and the host-ISA identity (8 hex chars, or
+    ``portable``) are spelled out (not only folded into the hash) so a
+    directory listing shows exactly which revision, precision, thread
+    runtime and ISA produced each artifact — and so
+    :func:`load_kernel` can recover the thread mode from the filename
+    alone, without a toolchain.
     """
     digest = hashlib.blake2b(
         (source + "\0" + compiler_id).encode(), digest_size=8
     ).hexdigest()
     return (
-        f"{_sanitize(plan.name)}-{dtype.name}-cg{CODEGEN_VERSION}-{digest}"
+        f"{_sanitize(plan.name)}-{dtype.name}-cg{CODEGEN_VERSION}"
+        f"-{_THREAD_TAGS[mode]}-{isa if isa else 'portable'}-{digest}"
     )
+
+
+def _mode_from_artifact(path: Path) -> str:
+    """Recover the thread mode from an artifact filename tag."""
+    for part in Path(path).name.split("-"):
+        if part in _TAG_MODES:
+            return _TAG_MODES[part]
+    return "serial"
 
 
 def build_kernel(plan: InferencePlan, dtype=np.float64) -> Path:
     """Compile (or reuse) the kernel artifact for *plan*; returns its path.
+
+    Builds carry the best available thread runtime (OpenMP > pthreads >
+    serial) and, unless ``REPRO_NATIVE_PORTABLE`` is set, tune with
+    ``-march=native`` keyed by the host-ISA identity.  Cache hits
+    refresh the artifact mtime so :func:`prune_native_cache` evicts in
+    true LRU order.
 
     Raises :class:`~repro.errors.NativeBackendError` when no compiler
     is available, the plan is uncompilable, or compilation fails.  The
@@ -267,11 +499,24 @@ def build_kernel(plan: InferencePlan, dtype=np.float64) -> Path:
     if _vector_math_supported(cc[0]):
         flags += list(_VEC_CFLAGS)
         libs = ["-lmvec", "-lm"]
+    mode = _thread_mode(cc[0])
+    flags += list(_THREAD_FLAGS[mode])
+    isa = None if _portable_requested() else _march_isa(cc[0])
+    if isa is not None:
+        flags.append("-march=native")
     cache = native_cache_dir()
-    stem = _artifact_stem(plan, dtype, source, cc[0] + ":" + ",".join(flags))
+    stem = _artifact_stem(
+        plan, dtype, source,
+        cc[0] + ":" + ",".join(flags) + ":" + (isa or "portable"),
+        mode, isa,
+    )
     artifact = cache / f"{stem}.so"
     if artifact.exists():
         _count("native.cache_hits")
+        try:
+            os.utime(artifact)
+        except OSError:
+            pass
         return artifact
     _count("native.cache_misses")
     c_path = cache / f"{stem}.c"
@@ -302,13 +547,14 @@ def _load_cffi(path: Path):
     ffi.cdef(
         "int repro_plan_eval(const void* data, long n_rows, long n_cols,"
         " const unsigned char* marg, double missing_value,"
-        " int has_missing, double* out);"
+        " int has_missing, double* out, long n_threads,"
+        " double* thread_stamps);"
     )
     lib = ffi.dlopen(str(path))
     fn = getattr(lib, KERNEL_SYMBOL)
 
     def call(data_ptr, n_rows, n_cols, marg_ptr, missing, has_missing,
-             out_ptr):
+             out_ptr, n_threads, stamps_ptr):
         """Invoke the kernel with raw buffer addresses (GIL released)."""
         return fn(
             ffi.cast("void *", data_ptr),
@@ -318,6 +564,8 @@ def _load_cffi(path: Path):
             missing,
             has_missing,
             ffi.cast("double *", out_ptr),
+            n_threads,
+            ffi.cast("double *", stamps_ptr or 0),
         )
 
     call.loader = "cffi"
@@ -340,13 +588,15 @@ def _load_ctypes(path: Path):
         ctypes.c_double,
         ctypes.c_int,
         ctypes.c_void_p,
+        ctypes.c_long,
+        ctypes.c_void_p,
     ]
 
     def call(data_ptr, n_rows, n_cols, marg_ptr, missing, has_missing,
-             out_ptr):
+             out_ptr, n_threads, stamps_ptr):
         """Invoke the kernel with raw buffer addresses (GIL released)."""
         return fn(data_ptr, n_rows, n_cols, marg_ptr or None, missing,
-                  has_missing, out_ptr)
+                  has_missing, out_ptr, n_threads, stamps_ptr or None)
 
     call.loader = "ctypes"
     call.keepalive = (lib,)
@@ -381,6 +631,13 @@ class NativeKernel:
         self.dtype = np.dtype(dtype)
         #: FFI used to bind the symbol (``"cffi"`` or ``"ctypes"``).
         self.loader = fn.loader
+        #: Thread runtime baked into the artifact (recovered from the
+        #: filename tag, so workers with a masked toolchain know it).
+        self.thread_mode = _mode_from_artifact(path)
+        #: Whether ``threads > 1`` can actually run concurrently.  A
+        #: serial artifact still accepts any ``threads=`` value — the
+        #: driver just clamps it to one chunk.
+        self.supports_threads = self.thread_mode in ("openmp", "pthreads")
         self._n_data_columns = plan.n_data_columns
         self._scope = plan.scope
         self._plan = plan
@@ -391,13 +648,21 @@ class NativeKernel:
         *,
         marginalized: Optional[Sequence[int]] = None,
         missing_value: Optional[float] = None,
+        threads: Optional[int] = None,
     ) -> np.ndarray:
         """Root log-likelihood per row, straight from the C kernel.
 
         Mirrors :func:`repro.spn.plan_eval.plan_log_likelihood` for the
         kernel's storage dtype: float64 results; *marginalized* zeroes
         whole variables, *missing_value* masks per-sample entries.
+
+        *threads* resolves through :func:`resolve_native_threads`
+        (argument > ``REPRO_NATIVE_THREADS`` > 1) and is guaranteed not
+        to change results: the generated driver partitions the fixed
+        block grid, so every thread count produces bit-identical
+        output.
         """
+        nt = resolve_native_threads(threads)
         data = _as_batch(data, self._n_data_columns, self.dtype)
         marg = _check_marginalized(self._plan, marginalized)
         data = np.ascontiguousarray(data)
@@ -409,6 +674,7 @@ class NativeKernel:
             marg_mask = np.zeros(max(n_cols, 1), dtype=np.uint8)
             marg_mask[marg] = 1
             marg_ptr = marg_mask.ctypes.data
+        stamps = np.zeros(2 * nt)
         began = time.perf_counter()
         rc = self._fn(
             data.ctypes.data,
@@ -418,9 +684,13 @@ class NativeKernel:
             float(missing_value) if missing_value is not None else 0.0,
             1 if missing_value is not None else 0,
             out.ctypes.data,
+            nt,
+            stamps.ctypes.data,
         )
         ended = time.perf_counter()
         _count("native.calls")
+        if _OBS[0] is not None or _OBS[1] is not None:
+            self._record_thread_obs(nt, stamps)
         if _OBS[1] is not None:
             _OBS[1].record(
                 "native", f"kernel:{_sanitize(self._plan.name)}", began, ended
@@ -431,6 +701,24 @@ class NativeKernel:
                 f"(return code {rc}: allocation failure)"
             )
         return out
+
+    def _record_thread_obs(self, nt: int, stamps: np.ndarray) -> None:
+        """Per-chunk busy counters and spans from the kernel's stamps.
+
+        The driver writes CLOCK_MONOTONIC begin/end pairs per chunk —
+        the same clock ``time.perf_counter`` reads on Linux, so the
+        spans land on the host wall-clock track next to the executor's
+        shard spans.  A pair with ``end == 0.0`` never ran (thread
+        count clamped below the request) and is skipped.
+        """
+        label = f"kernel:{_sanitize(self._plan.name)}"
+        for t in range(nt):
+            t0, t1 = float(stamps[2 * t]), float(stamps[2 * t + 1])
+            if t1 <= 0.0:
+                continue
+            _count(f"native.thread{t}.busy_seconds", t1 - t0)
+            if _OBS[1] is not None and nt > 1:
+                _OBS[1].record(f"native thread{t}", label, t0, t1)
 
 
 def load_kernel(path, plan: InferencePlan, dtype=np.float64) -> NativeKernel:
@@ -503,17 +791,21 @@ def native_log_likelihood(
     marginalized: Optional[Sequence[int]] = None,
     missing_value: Optional[float] = None,
     dtype=np.float64,
+    threads: Optional[int] = None,
 ) -> np.ndarray:
     """Root log-likelihood via the native kernel; raises if unavailable.
 
     The explicit-request API: signature-compatible with
     :func:`repro.spn.plan_eval.plan_log_likelihood` but never silently
     degrades — no compiler or an uncompilable plan is a
-    :class:`~repro.errors.NativeBackendError`.
+    :class:`~repro.errors.NativeBackendError`.  *threads* resolves via
+    :func:`resolve_native_threads`; results are identical for every
+    value.
     """
     kernel = get_native_kernel(plan, dtype, require=True)
     return kernel.log_likelihood(
-        data, marginalized=marginalized, missing_value=missing_value
+        data, marginalized=marginalized, missing_value=missing_value,
+        threads=threads,
     )
 
 
@@ -524,18 +816,23 @@ def native_or_plan_log_likelihood(
     marginalized: Optional[Sequence[int]] = None,
     missing_value: Optional[float] = None,
     dtype=np.float64,
+    threads: Optional[int] = None,
 ) -> np.ndarray:
     """Native kernel when possible, numpy plan backend otherwise.
 
     The implicit path behind the process-wide ``backend="native"``
     switch: unavailability warns once per process (RuntimeWarning) and
     degrades to :func:`~repro.spn.plan_eval.plan_log_likelihood`, so
-    compiler-less environments stay functional.
+    compiler-less environments stay functional — a requested thread
+    count (argument or ``REPRO_NATIVE_THREADS``) is still *validated*
+    on the fallback path, then ignored by the numpy kernels.
     """
+    nt = resolve_native_threads(threads)
     kernel = get_native_kernel(plan, dtype, require=False)
     if kernel is not None:
         return kernel.log_likelihood(
-            data, marginalized=marginalized, missing_value=missing_value
+            data, marginalized=marginalized, missing_value=missing_value,
+            threads=nt,
         )
     return plan_log_likelihood(
         plan,
@@ -544,3 +841,82 @@ def native_or_plan_log_likelihood(
         missing_value=missing_value,
         dtype=dtype,
     )
+
+
+def _artifact_groups(cache: Path) -> Dict[str, List[Path]]:
+    """Cache files grouped by artifact stem (.so + .c + stale tmps)."""
+    groups: Dict[str, List[Path]] = {}
+    for path in cache.iterdir():
+        if not path.is_file():
+            continue
+        name = path.name
+        if ".so.tmp." in name:
+            stem = name.split(".so.tmp.", 1)[0]
+        elif name.endswith(".so"):
+            stem = name[:-3]
+        elif name.endswith(".c"):
+            stem = name[:-2]
+        else:
+            stem = name
+        groups.setdefault(stem, []).append(path)
+    return groups
+
+
+def native_cache_stats() -> Dict[str, object]:
+    """Size of the on-disk kernel cache: path, artifact count, bytes."""
+    cache = native_cache_dir()
+    groups = _artifact_groups(cache)
+    total = sum(
+        p.stat().st_size for files in groups.values() for p in files
+    )
+    return {
+        "path": str(cache),
+        "artifacts": len(groups),
+        "bytes": int(total),
+    }
+
+
+def prune_native_cache(
+    max_bytes: Optional[int] = None,
+) -> Dict[str, int]:
+    """Evict least-recently-used kernel artifacts down to *max_bytes*.
+
+    The cache grows one artifact group (``.so`` + ``.c`` + any stale
+    build temps) per (plan, dtype, codegen revision, thread mode, ISA)
+    key; this walks groups oldest-first by mtime — cache hits refresh
+    mtime, so recency means *use*, not build time — and deletes whole
+    groups until the directory fits the budget
+    (default :data:`DEFAULT_CACHE_MAX_BYTES`).  Artifacts already
+    dlopen-ed by a live process stay mapped and usable; the next cold
+    process simply rebuilds.  Returns a report of removed/kept group
+    and byte counts.
+    """
+    if max_bytes is None:
+        max_bytes = DEFAULT_CACHE_MAX_BYTES
+    max_bytes = max(0, int(max_bytes))
+    cache = native_cache_dir()
+    entries = []
+    total = 0
+    for stem, files in _artifact_groups(cache).items():
+        stats = [p.stat() for p in files]
+        size = sum(s.st_size for s in stats)
+        mtime = max(s.st_mtime for s in stats)
+        entries.append((mtime, stem, files, size))
+        total += size
+    entries.sort(key=lambda e: e[0])
+    report = {
+        "removed": 0,
+        "removed_bytes": 0,
+        "kept": len(entries),
+        "kept_bytes": int(total),
+    }
+    for _mtime, _stem, files, size in entries:
+        if report["kept_bytes"] <= max_bytes:
+            break
+        for path in files:
+            path.unlink(missing_ok=True)
+        report["removed"] += 1
+        report["removed_bytes"] += int(size)
+        report["kept"] -= 1
+        report["kept_bytes"] -= int(size)
+    return report

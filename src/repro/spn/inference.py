@@ -15,12 +15,19 @@ Three backends implement the pass:
 * **native** — the plan additionally code-generated into one
   specialized C kernel and executed zero-copy
   (:mod:`repro.compiler.cgen` / :mod:`repro.compiler.native_build`).
-  Selecting it process-wide is *graceful*: environments without a C
-  compiler (or plans with generic leaves) warn once and evaluate
-  through the plan backend, so the switch never breaks a host —
-  explicit per-call APIs in :mod:`repro.compiler.native_build` raise
-  instead.  ``node_log_values`` always uses the plan path (the native
-  kernel computes the root only).
+  The kernel carries its own thread-parallel block driver: set
+  ``REPRO_NATIVE_THREADS`` (or pass ``threads=`` to the explicit
+  native APIs) to run one call across that many cores in-process —
+  results are bit-identical for every thread count, and invalid
+  values raise :class:`~repro.errors.RuntimeConfigError` naming the
+  source.  Selecting the backend process-wide is *graceful*:
+  environments without a C compiler (or plans with generic leaves)
+  warn once and evaluate through the plan backend — the requested
+  thread count is still validated, then ignored — so the switch never
+  breaks a host; explicit per-call APIs in
+  :mod:`repro.compiler.native_build` raise instead.
+  ``node_log_values`` always uses the plan path (the native kernel
+  computes the root only).
 * **reference** — the direct per-node graph walk
   (:func:`reference_node_log_values`), kept as the slow-path oracle
   the tests compare the plan against.
@@ -101,12 +108,20 @@ def inference_backend(backend: str):
     """Context manager scoping the process-wide backend selection.
 
     Selects *backend* on entry and restores the previously selected
-    backend on exit (also on exceptions), so tests and experiments
+    backend on exit — **including when the body raises**, and even when
+    the body itself switched backends again — so tests and experiments
     cannot leak a backend switch into unrelated code::
 
         with inference_backend("native"):
             ll = log_likelihood(spn, batch)
+
+    An invalid *backend* name raises before anything is switched, so
+    the process-wide selection is untouched in that case too.
     """
+    if backend not in _BACKENDS:
+        raise ReproError(
+            f"unknown inference backend {backend!r}; pick from {_BACKENDS}"
+        )
     previous = get_inference_backend()
     set_inference_backend(backend)
     try:

@@ -192,6 +192,117 @@ def test_invalid_construction_rejected(setup):
             running.submit(data, n_shards=0)
 
 
+# -- dispatch: in-process kernel threads vs the process pool -----------------
+
+
+@pytest.fixture(scope="module")
+def native_setup(tmp_path_factory, setup):
+    """*setup* plus an isolated kernel cache, skipped without a cc."""
+    from repro.compiler.native_build import (
+        clear_native_kernels,
+        compiler_command,
+    )
+
+    if compiler_command() is None:
+        pytest.skip("no C compiler on this host")
+    import os
+
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("native-cache")
+    )
+    clear_native_kernels()
+    yield setup
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+    clear_native_kernels()
+
+
+def test_threads_dispatch_matches_pool_bit_for_bit(native_setup):
+    """The in-process thread driver and the forked pool answer the
+    same queries identically — dispatch is transport, not numerics."""
+    spn, data = native_setup
+    with ParallelPlanExecutor(
+        spn, n_workers=2, backend="native", dispatch="pool",
+        min_rows_per_shard=256,
+    ) as pooled:
+        via_pool = pooled.submit(data)
+        marg_pool = pooled.submit(data, marginalized=[1, 2])
+    with ParallelPlanExecutor(
+        spn, n_workers=2, backend="native", dispatch="threads",
+        min_rows_per_shard=256,
+    ) as threaded:
+        assert threaded.dispatch == "threads"
+        via_threads = threaded.submit(data)
+        marg_threads = threaded.submit(data, marginalized=[1, 2])
+        sharded = threaded.submit(data, n_shards=3)
+    assert np.array_equal(via_pool, via_threads)
+    assert np.array_equal(marg_pool, marg_threads)
+    assert np.array_equal(via_pool, sharded)
+    np.testing.assert_allclose(
+        via_threads,
+        run_cpu_baseline(spn, data).results,
+        rtol=1e-12,
+        atol=1e-12,
+    )
+
+
+def test_auto_dispatch_with_kernel_skips_pool(native_setup):
+    """``auto`` with a thread-capable kernel never forks workers and
+    reports the thread counts it actually used."""
+    spn, data = native_setup
+    metrics = MetricsRegistry()
+    with ParallelPlanExecutor(
+        spn,
+        n_workers=2,
+        backend="native",
+        min_rows_per_shard=256,
+        metrics=metrics,
+    ) as running:
+        assert running.dispatch == "auto"
+        if not running._kernel.supports_threads:
+            pytest.skip("kernel built in serial mode")
+        assert running._pool is None  # no fork ever happened
+        out = running.submit(data)
+    assert metrics.value("executor.kernel_threads") >= 1
+    assert metrics.value("executor.submits") == 1
+    assert metrics.value("executor.pickled_array_bytes") == 0
+    np.testing.assert_allclose(
+        out, run_cpu_baseline(spn, data).results, rtol=1e-12, atol=1e-12
+    )
+
+
+def test_pool_dispatch_pins_worker_kernels(native_setup, monkeypatch):
+    """``REPRO_NATIVE_THREADS`` must not nest: forked pool workers pin
+    their kernel calls to one thread, and results stay exact."""
+    spn, data = native_setup
+    monkeypatch.setenv("REPRO_NATIVE_THREADS", "3")
+    with ParallelPlanExecutor(
+        spn, n_workers=2, backend="native", dispatch="pool",
+        min_rows_per_shard=256,
+    ) as running:
+        out = running.submit(data)
+    np.testing.assert_allclose(
+        out, run_cpu_baseline(spn, data).results, rtol=1e-12, atol=1e-12
+    )
+
+
+def test_threads_dispatch_requires_native_kernel(setup):
+    """``dispatch="threads"`` without a native kernel is a loud error
+    (the plan backend has no in-process thread driver)."""
+    spn, _ = setup
+    with pytest.raises(ReproError, match="native"):
+        ParallelPlanExecutor(spn, n_workers=1, dispatch="threads")
+
+
+def test_invalid_dispatch_rejected(setup):
+    spn, _ = setup
+    with pytest.raises(ReproError, match="dispatch"):
+        ParallelPlanExecutor(spn, n_workers=1, dispatch="turbo")
+
+
 # -- check_batch -------------------------------------------------------------
 
 

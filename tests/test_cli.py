@@ -84,8 +84,19 @@ def test_trace_command_writes_chrome_trace(tmp_path, capsys):
             assert field in event
 
 
-def test_trace_and_bench_are_excluded_from_all():
+def test_trace_bench_cache_are_excluded_from_all():
     from repro.cli import _COMMANDS, _NOT_IN_ALL
 
-    assert {"trace", "bench"} <= set(_COMMANDS)
-    assert _NOT_IN_ALL == frozenset({"trace", "bench"})
+    assert {"trace", "bench", "cache"} <= set(_COMMANDS)
+    assert _NOT_IN_ALL == frozenset({"trace", "bench", "cache"})
+
+
+def test_cache_command_reports_and_prunes(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["cache"]) == 0
+    stdout = capsys.readouterr().out
+    assert "native kernel cache" in stdout
+    assert "0 artifact(s)" in stdout
+    assert main(["cache", "--prune", "--max-bytes", "0"]) == 0
+    stdout = capsys.readouterr().out
+    assert "removed 0" in stdout
