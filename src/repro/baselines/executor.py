@@ -68,6 +68,7 @@ import multiprocessing
 import os
 import time
 import uuid
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
@@ -254,6 +255,41 @@ def _global_backend() -> str:
     return get_inference_backend()
 
 
+def _release_shared_state(state: Dict[str, object]) -> None:
+    """Unlink an executor's shared segments and fork-registry entry.
+
+    This is the single place executor-owned process-wide state is
+    released, invoked through :func:`weakref.finalize` — so it runs
+    exactly once whether the executor is :meth:`~ParallelPlanExecutor.
+    close`\\ d explicitly (possibly twice), garbage collected, or the
+    interpreter exits on an interrupt with the executor still alive.
+    Without it an aborted long-running process (the serving broker
+    keeps one executor alive for hours) leaks ``/dev/shm`` segments
+    until reboot.
+
+    *state* is a plain mutable dict rather than the executor itself so
+    the finalizer holds no reference that would keep the executor
+    alive.  Keys: ``"in"``/``"out"`` shared segments (absent until the
+    first pooled submit, or after a failed regrow), ``"token"`` the
+    fork-registry key.
+    """
+    token = state.pop("token", None)
+    if token is not None:
+        _FORK_REGISTRY.pop(token, None)
+    for key in ("in", "out"):
+        segment = state.pop(key, None)
+        if segment is None:
+            continue
+        try:
+            segment.close()
+        except OSError:  # pragma: no cover - buffer already torn down
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
 class ParallelPlanExecutor:
     """Persistent zero-copy process-pool executor for one SPN's plan.
 
@@ -351,9 +387,16 @@ class ParallelPlanExecutor:
         self.min_rows_per_shard = min_rows_per_shard
         self.overshard = overshard
         self._closed = False
-        self._token: Optional[str] = None
-        self._in_shm: Optional[shared_memory.SharedMemory] = None
-        self._out_shm: Optional[shared_memory.SharedMemory] = None
+        # Shared segments + fork-registry token live in one mutable dict
+        # owned by a `weakref.finalize` guard: explicit close(), GC and
+        # interpreter exit all funnel into `_release_shared_state`,
+        # which runs at most once — no /dev/shm leak when the process
+        # dies without a clean close(), no double-unlink when close()
+        # is called twice.
+        self._shm_state: Dict[str, object] = {}
+        self._finalizer = weakref.finalize(
+            self, _release_shared_state, self._shm_state
+        )
         self._registry = metrics
         self._host_tracer = host_tracer
         self._worker_slots: Dict[int, int] = {}
@@ -421,14 +464,15 @@ class ParallelPlanExecutor:
                 from multiprocessing import resource_tracker
 
                 resource_tracker.ensure_running()
-                self._token = uuid.uuid4().hex
-                _FORK_REGISTRY[self._token] = self._spn
+                token = uuid.uuid4().hex
+                _FORK_REGISTRY[token] = self._spn
+                self._shm_state["token"] = token
                 pool = ProcessPoolExecutor(
                     max_workers=self._n_workers,
                     mp_context=context,
                     initializer=_worker_init_fork,
                     initargs=(
-                        self._token,
+                        token,
                         self._native_path,
                         self._dtype.name,
                     ),
@@ -457,25 +501,22 @@ class ParallelPlanExecutor:
             return None
 
     def close(self) -> None:
-        """Shut the pool down and release the shared-memory segments."""
+        """Shut the pool down and release the shared-memory segments.
+
+        Idempotent: a second call is a no-op, and the shared-state
+        release runs through the ``weakref.finalize`` guard — at most
+        once across explicit calls, GC and interpreter exit — even if
+        the pool shutdown itself raises.
+        """
         if self._closed:
             return
         self._closed = True
-        if self._token is not None:
-            _FORK_REGISTRY.pop(self._token, None)
-            self._token = None
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        for segment in (self._in_shm, self._out_shm):
-            if segment is not None:
-                segment.close()
-                try:
-                    segment.unlink()
-                except FileNotFoundError:  # pragma: no cover - already gone
-                    pass
-        self._in_shm = None
-        self._out_shm = None
+        try:
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.shutdown(wait=True)
+        finally:
+            self._finalizer()
 
     def __enter__(self) -> "ParallelPlanExecutor":
         """Context-manager entry: the executor itself."""
@@ -522,6 +563,11 @@ class ParallelPlanExecutor:
         """True once :meth:`close` has run."""
         return self._closed
 
+    @property
+    def n_variables(self) -> int:
+        """Columns one batch row must have (the plan's data width)."""
+        return self._plan.n_data_columns
+
     def _use_threads(self, rows: int) -> bool:
         """Whether this batch takes the in-process kernel-thread path.
 
@@ -551,18 +597,27 @@ class ParallelPlanExecutor:
         name = f"repro-ppe-{os.getpid()}-{uuid.uuid4().hex[:12]}"
         return shared_memory.SharedMemory(name=name, create=True, size=n_bytes)
 
-    @staticmethod
-    def _ensure_capacity(
-        segment: Optional[shared_memory.SharedMemory], n_bytes: int
-    ) -> shared_memory.SharedMemory:
-        """Reuse *segment* if large enough, else replace it (with slack).
+    def _stage_segment(self, key: str, n_bytes: int) -> shared_memory.SharedMemory:
+        """Reuse the ``key`` segment if large enough, else replace it.
 
         Replaced segments are unlinked immediately; workers unmap their
-        stale attachment on the next task they receive.
+        stale attachment on the next task they receive.  The tracked
+        reference is dropped *before* the replacement allocation, so a
+        failed regrow (ENOSPC on /dev/shm) leaves no dangling entry —
+        a subsequent :meth:`close` (or the finalizer) stays safe
+        instead of double-unlinking a segment that was already
+        released.
         """
+        if self._closed:
+            raise ReproError(
+                "ParallelPlanExecutor was close()d while a batch was in "
+                "flight; construct a new executor to keep evaluating"
+            )
+        segment = self._shm_state.get(key)
         if segment is not None and segment.size >= n_bytes:
             return segment
         if segment is not None:
+            del self._shm_state[key]
             segment.close()
             try:
                 segment.unlink()
@@ -570,7 +625,9 @@ class ParallelPlanExecutor:
                 pass
         # 25% slack so a stream of slightly-growing batches does not
         # reallocate on every submit.
-        return ParallelPlanExecutor._new_segment(n_bytes + n_bytes // 4)
+        segment = self._new_segment(n_bytes + n_bytes // 4)
+        self._shm_state[key] = segment
+        return segment
 
     def _shard_spans(
         self, rows: int, n_shards: Optional[int]
@@ -637,7 +694,11 @@ class ParallelPlanExecutor:
         count instead (same intent: how many ways to split the batch).
         """
         if self._closed:
-            raise ReproError("submit() on a closed ParallelPlanExecutor")
+            raise ReproError(
+                "submit() on a closed ParallelPlanExecutor: close() has "
+                "already released its worker pool and shared-memory "
+                "segments; construct a new executor to keep evaluating"
+            )
         data = check_batch(data, dtype=self._dtype)
         rows, n_cols = data.shape
         if marginalized is not None:
@@ -647,22 +708,25 @@ class ParallelPlanExecutor:
                                         n_shards)
         spans = self._shard_spans(rows, n_shards)
 
-        if self._pool is None:
+        # Snapshot: a concurrent close() (broker shutdown with a batch
+        # in flight) nulls self._pool mid-submit; the snapshot keeps
+        # this batch on one coherent path and the staging/dispatch
+        # guards below turn the race into a clear ReproError.
+        pool = self._pool
+        if pool is None:
             return self._submit_serial(data, spans, marginalized, missing_value)
 
-        self._in_shm = self._ensure_capacity(self._in_shm, data.nbytes)
-        self._out_shm = self._ensure_capacity(self._out_shm, rows * 8)
-        staged = np.ndarray(
-            (rows, n_cols), dtype=self._dtype, buffer=self._in_shm.buf
-        )
+        in_shm = self._stage_segment("in", data.nbytes)
+        out_shm = self._stage_segment("out", rows * 8)
+        staged = np.ndarray((rows, n_cols), dtype=self._dtype, buffer=in_shm.buf)
         np.copyto(staged, data)
-        out_view = np.ndarray((rows,), dtype=np.float64, buffer=self._out_shm.buf)
+        out_view = np.ndarray((rows,), dtype=np.float64, buffer=out_shm.buf)
 
         start = time.perf_counter()
         tasks = [
             (
-                self._in_shm.name,
-                self._out_shm.name,
+                in_shm.name,
+                out_shm.name,
                 begin,
                 end,
                 rows,
@@ -676,17 +740,24 @@ class ParallelPlanExecutor:
         busy_by_pid: Dict[int, float] = {}
         try:
             for shard, (pid, t0, t1) in enumerate(
-                self._pool.map(_worker_eval, tasks)
+                pool.map(_worker_eval, tasks)
             ):
                 busy_by_pid[pid] = busy_by_pid.get(pid, 0.0) + (t1 - t0)
                 self._record_worker_span(pid, shard, t0, t1)
         except BrokenProcessPool:
             # A worker died (OOM killer, hard crash).  Degrade to the
             # serial path rather than losing the batch.
-            self._pool.shutdown(wait=False)
+            pool.shutdown(wait=False)
             self._pool = None
             self._n_workers = 1
             return self._submit_serial(data, spans, marginalized, missing_value)
+        except RuntimeError:
+            if self._closed:
+                raise ReproError(
+                    "ParallelPlanExecutor was close()d while a batch was "
+                    "in flight; construct a new executor to keep evaluating"
+                ) from None
+            raise
         wall = time.perf_counter() - start
         result = np.array(out_view[:rows])
 

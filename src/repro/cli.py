@@ -6,8 +6,8 @@ Usage::
 
 where ``<artifact>`` is one of ``fig2``, ``table1``, ``fig4``,
 ``fig5``, ``fig6``, ``speedups``, ``outlook``, ``ablations``,
-``plans``, ``report``, ``trace``, ``bench``, ``cache`` or ``all``.
-Each command
+``plans``, ``report``, ``trace``, ``bench``, ``cache``, ``serve`` or
+``all``.  Each command
 prints the same rows/series the paper reports (see EXPERIMENTS.md for
 the interpretation); ``report`` prints the per-channel/per-PE
 utilization of one instrumented run (see docs/observability.md), or —
@@ -22,6 +22,13 @@ write files / can exit nonzero by design.  ``cache`` reports the
 on-disk native-kernel cache and — with ``--prune [--max-bytes N]`` —
 evicts least-recently-used artifacts down to a byte budget (see
 docs/native_backend.md); it is excluded from ``all`` too.
+
+``serve`` sweeps the online micro-batching broker with open-loop
+traffic at a ladder of offered rates and prints the serving result
+table — goodput, p50/p95/p99 latency, shed count and mean batch size
+per point (see docs/serving.md); ``--selftest`` is the CI smoke
+contract and exits nonzero when the serve path misbehaves.  Also
+excluded from ``all``: it measures live wall-clock behaviour.
 """
 
 from __future__ import annotations
@@ -218,6 +225,31 @@ def _cmd_bench(args):
     return "\n\n".join(pieces), 0
 
 
+def _cmd_serve(args):
+    from repro.serving.scenarios import DEFAULT_RATES, run_serve, run_serve_selftest
+
+    if args.selftest:
+        return run_serve_selftest(args.benchmark)
+    rates = (
+        tuple(float(r) for r in args.rates.split(","))
+        if args.rates
+        else DEFAULT_RATES
+    )
+    text, _ = run_serve(
+        args.benchmark,
+        rates=rates,
+        duration_s=args.duration,
+        arrival=args.arrival,
+        max_batch_rows=args.max_batch_rows,
+        max_wait_ms=args.max_wait_ms,
+        max_queue_rows=args.max_queue_rows,
+        slo_ms=args.slo_ms,
+        n_workers=args.host_workers,
+        trace_out=args.trace_out,
+    )
+    return text
+
+
 def _cmd_cache(args) -> str:
     from repro.compiler.native_build import (
         DEFAULT_CACHE_MAX_BYTES,
@@ -274,12 +306,15 @@ _COMMANDS: Dict[str, Callable] = {
     "trace": _cmd_trace,
     "bench": _cmd_bench,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
 }
 
 #: Commands excluded from ``all``: they write files (``trace``), are
-#: gates that exit nonzero by design (``bench``), or mutate on-disk
-#: state (``cache`` with ``--prune`` deletes artifacts).
-_NOT_IN_ALL = frozenset({"trace", "bench", "cache"})
+#: gates that exit nonzero by design (``bench``, ``serve
+#: --selftest``), mutate on-disk state (``cache`` with ``--prune``
+#: deletes artifacts), or measure live wall-clock behaviour that a
+#: batch regeneration run has no use for (``serve``).
+_NOT_IN_ALL = frozenset({"trace", "bench", "cache", "serve"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -392,6 +427,66 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory holding BENCH_*.json histories "
         "(default benchmarks/trajectory/ at the repo root)",
+    )
+    serve = parser.add_argument_group("serve options")
+    serve.add_argument(
+        "--selftest",
+        action="store_true",
+        help="short low-load Poisson run with hard assertions (p99 under "
+        "SLO, zero shed); exits 1 on failure - the CI smoke contract",
+    )
+    serve.add_argument(
+        "--rates",
+        default=None,
+        metavar="R1,R2,...",
+        help="comma-separated offered request rates (requests/s) for the "
+        "serving sweep (default 200,1000,4000)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=1.0,
+        help="seconds of traffic per rate point (default 1.0)",
+    )
+    serve.add_argument(
+        "--arrival",
+        choices=["poisson", "diurnal"],
+        default="poisson",
+        help="arrival process for the load generator (default poisson)",
+    )
+    serve.add_argument(
+        "--max-batch-rows",
+        type=int,
+        default=512,
+        help="flush a micro-batch at this many rows (default 512)",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=5.0,
+        help="flush a micro-batch once its oldest request waited this "
+        "long (default 5 ms)",
+    )
+    serve.add_argument(
+        "--max-queue-rows",
+        type=int,
+        default=4096,
+        help="admission-control bound on queued rows; beyond it requests "
+        "are shed (default 4096)",
+    )
+    serve.add_argument(
+        "--slo-ms",
+        type=float,
+        default=50.0,
+        help="latency SLO the result table grades p99 against "
+        "(default 50 ms)",
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="also export the serving run (batch + worker spans, "
+        "serving.* counters) as a Chrome/Perfetto JSON trace",
     )
     cache = parser.add_argument_group("cache options")
     cache.add_argument(

@@ -75,6 +75,25 @@ class SimulationError(ReproError):
     """
 
 
+class ServingError(ReproError):
+    """The online serving layer was used or configured inconsistently.
+
+    Examples: submitting to a closed broker, a request row of the
+    wrong width, a non-positive latency budget.
+    """
+
+
+class ServingOverloadError(ServingError):
+    """A request was shed by the broker's admission control.
+
+    Raised when accepting the request would push the number of queued
+    rows past ``max_queue_rows``.  Shedding at the door bounds the
+    latency of every *admitted* request; callers are expected to treat
+    this as back-pressure (retry later, or report the rejection), and
+    the broker counts every occurrence in ``serving.rejected``.
+    """
+
+
 class RuntimeConfigError(ReproError):
     """The host runtime was configured inconsistently.
 

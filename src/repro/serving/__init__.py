@@ -1,0 +1,34 @@
+"""Online inference serving: micro-batching broker + load generator.
+
+The paper measures *batch* inference; this package serves *traffic* —
+individual async queries coalesced into adaptive micro-batches under a
+latency SLO and dispatched to a persistent
+:class:`~repro.baselines.executor.ParallelPlanExecutor`, plus the
+open-loop load generator that characterises the resulting
+throughput/latency/shedding behaviour (``repro serve``).  See
+docs/serving.md.
+"""
+
+from repro.serving.broker import BrokerStats, MicroBatchBroker
+from repro.serving.loadgen import (
+    LoadResult,
+    diurnal_arrivals,
+    format_load_results,
+    percentile_summary,
+    poisson_arrivals,
+    run_open_loop,
+)
+from repro.serving.scenarios import run_serve, run_serve_selftest
+
+__all__ = [
+    "MicroBatchBroker",
+    "BrokerStats",
+    "LoadResult",
+    "poisson_arrivals",
+    "diurnal_arrivals",
+    "percentile_summary",
+    "run_open_loop",
+    "format_load_results",
+    "run_serve",
+    "run_serve_selftest",
+]

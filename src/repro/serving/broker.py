@@ -1,0 +1,414 @@
+"""Asyncio request broker with adaptive micro-batching.
+
+The paper's §V analysis says delivered inference throughput is capped
+by the PCIe host link, not the accelerator — a statement about *batch*
+transfers.  Live traffic does not arrive in batches: it arrives as
+individual queries, and something must re-create the large transfers
+the bandwidth analysis assumes without holding any single query
+hostage.  That something is this broker.
+
+:class:`MicroBatchBroker` sits between an async request API and one
+persistent evaluation engine (normally a
+:class:`~repro.baselines.executor.ParallelPlanExecutor`, pool or
+thread dispatch, numpy or native backend):
+
+* **coalescing** — requests submitted while the engine is busy (or
+  within the batching window) are grouped per *query signature* — the
+  ``(marginalized, missing_value)`` pair — because the plan kernels
+  apply those per batch, not per row.  A batch flushes when it reaches
+  ``max_batch_rows`` or when the oldest request in it has waited
+  ``max_wait_ms``, whichever comes first: the two knobs of the
+  batching/latency trade-off (H2PIPE and Serpens pick their batch and
+  stream widths statically for the same reason — here it adapts per
+  window).
+* **non-blocking dispatch** — a flushed batch is handed to a
+  single-threaded dispatcher via :meth:`asyncio.loop.run_in_executor`,
+  so the event loop keeps accepting (and coalescing!) requests while a
+  kernel runs.  One dispatch thread serialises engine calls — the
+  executor's shared staging buffers are not re-entrant — and doubles
+  as the natural queueing point that grows batches under load: while
+  one batch computes, arrivals pile into the next.
+* **admission control** — the broker bounds the number of rows in the
+  system (pending + in flight) at ``max_queue_rows``.  Beyond it,
+  requests are shed at the door with
+  :class:`~repro.errors.ServingOverloadError` and counted in
+  ``serving.rejected``; under overload the system rejects load instead
+  of growing latency without bound.
+* **observability** — with a :class:`~repro.obs.metrics.MetricsRegistry`
+  attached the broker records ``serving.*`` counters/gauges; with a
+  :class:`~repro.obs.trace_export.HostSpanRecorder` every dispatched
+  batch records a wall-clock span on the ``serving broker`` track, so
+  ``repro serve --trace-out`` renders a serving run in Perfetto next
+  to the executor's worker shards.
+
+Results are bit-identical to calling the engine directly with the same
+rows: the broker only concatenates rows and scatters the result vector
+back — it never touches the arithmetic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError, ServingError, ServingOverloadError
+
+__all__ = ["MicroBatchBroker", "BrokerStats"]
+
+#: Query signature a pending batch coalesces under.
+_Key = Tuple[Optional[Tuple[int, ...]], Optional[float]]
+
+
+class BrokerStats:
+    """Plain counters the broker always keeps (registry or not)."""
+
+    __slots__ = (
+        "requests",
+        "rejected",
+        "batches",
+        "rows",
+        "flush_full",
+        "flush_wait",
+        "flush_close",
+    )
+
+    def __init__(self):
+        self.requests = 0
+        self.rejected = 0
+        self.batches = 0
+        self.rows = 0
+        self.flush_full = 0
+        self.flush_wait = 0
+        self.flush_close = 0
+
+    @property
+    def mean_batch_rows(self) -> float:
+        """Mean rows per dispatched batch (0.0 before the first)."""
+        return self.rows / self.batches if self.batches else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-native snapshot of all counters."""
+        return {name: getattr(self, name) for name in self.__slots__} | {
+            "mean_batch_rows": self.mean_batch_rows
+        }
+
+
+class _PendingBatch:
+    """Rows + futures accumulating toward one engine call."""
+
+    __slots__ = ("key", "rows", "futures", "created", "timer")
+
+    def __init__(self, key: _Key, created: float):
+        self.key = key
+        self.rows: List[np.ndarray] = []
+        self.futures: List[asyncio.Future] = []
+        self.created = created
+        self.timer: Optional[asyncio.TimerHandle] = None
+
+
+class MicroBatchBroker:
+    """Coalesce single-row async queries into adaptive micro-batches.
+
+    Parameters
+    ----------
+    engine:
+        The evaluation engine; anything with the executor's
+        ``submit(data, *, marginalized=None, missing_value=None)``
+        contract returning a ``(rows,)`` float64 vector.  The broker
+        *uses* the engine but does not own it — closing the broker
+        never closes the engine.
+    n_variables:
+        Row width every request must match.  Defaults to the engine's
+        ``n_variables`` attribute when it has one.
+    max_batch_rows:
+        Flush a pending batch as soon as it holds this many rows.
+    max_wait_ms:
+        Flush a pending batch once its oldest request has waited this
+        long — the latency the broker itself may add, and therefore
+        the knob to set from the SLO (leave headroom for the kernel).
+    max_queue_rows:
+        Bound on rows in the system (pending + dispatched, not yet
+        answered).  Requests beyond it are shed with
+        :class:`~repro.errors.ServingOverloadError`.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` for the
+        ``serving.*`` counters and the ``serving.queue_rows`` gauge.
+    host_tracer:
+        Optional :class:`~repro.obs.trace_export.HostSpanRecorder`;
+        every batch records a ``serving broker`` span (label
+        ``batch<N> <rows>r``), Perfetto-exportable.
+
+    Use ``async with`` (or call :meth:`close`) so pending requests are
+    flushed and the dispatch thread is joined on shutdown.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        n_variables: Optional[int] = None,
+        max_batch_rows: int = 512,
+        max_wait_ms: float = 2.0,
+        max_queue_rows: int = 16384,
+        metrics=None,
+        host_tracer=None,
+    ):
+        if n_variables is None:
+            n_variables = getattr(engine, "n_variables", None)
+        if n_variables is None:
+            raise ServingError(
+                "n_variables is required when the engine does not expose "
+                "one (ParallelPlanExecutor does)"
+            )
+        if n_variables < 1:
+            raise ServingError(f"n_variables must be >= 1, got {n_variables}")
+        if max_batch_rows < 1:
+            raise ServingError(
+                f"max_batch_rows must be >= 1, got {max_batch_rows}"
+            )
+        if max_wait_ms < 0:
+            raise ServingError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_queue_rows < max_batch_rows:
+            raise ServingError(
+                f"max_queue_rows ({max_queue_rows}) must be >= "
+                f"max_batch_rows ({max_batch_rows}); a queue smaller than "
+                "one batch can never fill one"
+            )
+        self._engine = engine
+        self._n_variables = int(n_variables)
+        self.max_batch_rows = int(max_batch_rows)
+        self.max_wait_ms = float(max_wait_ms)
+        self.max_queue_rows = int(max_queue_rows)
+        self.stats = BrokerStats()
+        self._pending: Dict[_Key, _PendingBatch] = {}
+        self._inflight: set = set()
+        self._queued_rows = 0
+        self._closed = False
+        self._batch_ids = itertools.count()
+        # One dispatch thread: engine calls must not interleave (the
+        # executor's staging buffers are shared), and the serialisation
+        # is what lets batches grow while a kernel runs.
+        self._dispatch = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
+        self._host_tracer = host_tracer
+        if metrics is not None:
+            self._m_requests = metrics.counter("serving.requests")
+            self._m_rejected = metrics.counter("serving.rejected")
+            self._m_batches = metrics.counter("serving.batches")
+            self._m_rows = metrics.counter("serving.rows")
+            self._m_batch_seconds = metrics.counter("serving.batch_seconds")
+            self._m_flush_full = metrics.counter("serving.flush_full")
+            self._m_flush_wait = metrics.counter("serving.flush_wait")
+            self._m_queue = metrics.gauge("serving.queue_rows")
+        else:
+            self._m_requests = None
+            self._m_queue = None
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (or started running)."""
+        return self._closed
+
+    @property
+    def queued_rows(self) -> int:
+        """Rows currently in the system (pending + in flight)."""
+        return self._queued_rows
+
+    @property
+    def n_variables(self) -> int:
+        """Row width every request must match."""
+        return self._n_variables
+
+    # -- the request path -------------------------------------------------------
+    async def submit(
+        self,
+        values,
+        *,
+        marginalized: Optional[Sequence[int]] = None,
+        missing_value: Optional[float] = None,
+    ) -> float:
+        """Serve one query; resolves to its float log-likelihood.
+
+        *values* is one sample row (``n_variables`` numbers).
+        *marginalized* / *missing_value* carry the query semantics of
+        :func:`~repro.spn.plan_eval.plan_log_likelihood` — ``None``/
+        ``None`` is a plain likelihood query, a ``marginalized`` set
+        is a marginal query, a ``missing_value`` sentinel marks
+        missing-data queries.  Requests with the same signature
+        coalesce into the same micro-batch.
+
+        Raises :class:`~repro.errors.ServingOverloadError` when the
+        bounded queue is full (the request was shed, not queued) and
+        :class:`~repro.errors.ServingError` after :meth:`close`.
+        """
+        if self._closed:
+            raise ServingError(
+                "submit() on a closed MicroBatchBroker: close() has "
+                "already flushed the queue and stopped the dispatcher"
+            )
+        row = self._check_row(values)
+        if marginalized is not None:
+            marginalized = tuple(sorted(int(v) for v in marginalized))
+        if self._m_requests is not None:
+            self._m_requests.add(1)
+        self.stats.requests += 1
+        if self._queued_rows + 1 > self.max_queue_rows:
+            self.stats.rejected += 1
+            if self._m_requests is not None:
+                self._m_rejected.add(1)
+            raise ServingOverloadError(
+                f"request shed: {self._queued_rows} rows queued >= "
+                f"max_queue_rows={self.max_queue_rows}"
+            )
+        self._set_queued(self._queued_rows + 1)
+
+        loop = asyncio.get_running_loop()
+        key: _Key = (marginalized, missing_value)
+        batch = self._pending.get(key)
+        if batch is None:
+            batch = _PendingBatch(key, loop.time())
+            self._pending[key] = batch
+            if self.max_wait_ms > 0:
+                batch.timer = loop.call_later(
+                    self.max_wait_ms / 1e3, self._flush, key, "wait"
+                )
+        future: asyncio.Future = loop.create_future()
+        batch.rows.append(row)
+        batch.futures.append(future)
+        if len(batch.rows) >= self.max_batch_rows or self.max_wait_ms == 0:
+            self._flush(key, "full")
+        return await future
+
+    def _check_row(self, values) -> np.ndarray:
+        try:
+            row = np.asarray(values, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise ServingError(f"request row is not numeric: {exc}") from None
+        if row.shape != (self._n_variables,):
+            raise ServingError(
+                f"request row must have shape ({self._n_variables},), "
+                f"got {row.shape}"
+            )
+        return row
+
+    def _set_queued(self, value: int) -> None:
+        self._queued_rows = value
+        if self._m_queue is not None:
+            self._m_queue.set(value)
+
+    # -- flush + dispatch -------------------------------------------------------
+    def _flush(self, key: _Key, reason: str) -> None:
+        """Move one pending batch onto the dispatch thread."""
+        batch = self._pending.pop(key, None)
+        if batch is None:  # timer raced a full-flush; nothing left to do
+            return
+        if batch.timer is not None:
+            batch.timer.cancel()
+        setattr(
+            self.stats, f"flush_{reason}",
+            getattr(self.stats, f"flush_{reason}") + 1,
+        )
+        if self._m_requests is not None and reason in ("full", "wait"):
+            (self._m_flush_full if reason == "full"
+             else self._m_flush_wait).add(1)
+        data = np.stack(batch.rows)
+        loop = asyncio.get_running_loop()
+        call = loop.run_in_executor(
+            self._dispatch, self._run_batch, data, key, next(self._batch_ids)
+        )
+        task = loop.create_task(self._finish(batch, call))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    def _run_batch(self, data: np.ndarray, key: _Key, batch_id: int):
+        """Dispatch-thread body: one engine call, wall-clock stamped."""
+        marginalized, missing_value = key
+        t0 = time.perf_counter()
+        out = self._engine.submit(
+            data, marginalized=marginalized, missing_value=missing_value
+        )
+        t1 = time.perf_counter()
+        if self._host_tracer is not None:
+            self._host_tracer.record(
+                "serving broker", f"batch{batch_id} {data.shape[0]}r", t0, t1
+            )
+        return out, t1 - t0
+
+    async def _finish(self, batch: _PendingBatch, call) -> None:
+        """Scatter one batch's results (or failure) onto its futures."""
+        try:
+            out, seconds = await call
+        except Exception as exc:  # noqa: BLE001 - forwarded, not swallowed
+            for future in batch.futures:
+                if not future.done():
+                    future.set_exception(
+                        exc if isinstance(exc, ReproError)
+                        else ServingError(f"batch evaluation failed: {exc}")
+                    )
+        else:
+            self.stats.batches += 1
+            self.stats.rows += len(batch.futures)
+            if self._m_requests is not None:
+                self._m_batches.add(1)
+                self._m_rows.add(len(batch.futures))
+                self._m_batch_seconds.add(seconds)
+            for future, value in zip(batch.futures, out):
+                if not future.done():
+                    future.set_result(float(value))
+        finally:
+            self._set_queued(self._queued_rows - len(batch.futures))
+
+    # -- lifecycle --------------------------------------------------------------
+    async def close(self, *, flush: bool = True) -> None:
+        """Stop accepting requests and drain the broker.
+
+        With ``flush=True`` (default) every pending batch is dispatched
+        and every in-flight batch is awaited — no accepted request is
+        ever dropped on shutdown.  With ``flush=False`` pending
+        requests are rejected with
+        :class:`~repro.errors.ServingOverloadError` (counted in
+        ``serving.rejected``) and only already-dispatched batches are
+        awaited.  Idempotent; the engine is left open for its owner.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for key in list(self._pending):
+            if flush:
+                self._flush(key, "close")
+            else:
+                self._reject_pending(key)
+        if self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        self._dispatch.shutdown(wait=True)
+
+    def _reject_pending(self, key: _Key) -> None:
+        batch = self._pending.pop(key, None)
+        if batch is None:
+            return
+        if batch.timer is not None:
+            batch.timer.cancel()
+        for future in batch.futures:
+            if not future.done():
+                future.set_exception(
+                    ServingOverloadError("broker closed before dispatch")
+                )
+        self.stats.rejected += len(batch.futures)
+        if self._m_requests is not None:
+            self._m_rejected.add(len(batch.futures))
+        self._set_queued(self._queued_rows - len(batch.futures))
+
+    async def __aenter__(self) -> "MicroBatchBroker":
+        """Async context entry: the broker itself."""
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        """Async context exit: always :meth:`close` (flushing)."""
+        await self.close()

@@ -1,0 +1,177 @@
+"""Serving scenarios: the ``repro serve`` entry points.
+
+Glue between the broker, the load generator and the CLI: build one
+persistent :class:`~repro.baselines.executor.ParallelPlanExecutor`
+for a benchmark SPN, sweep it with open-loop traffic at a ladder of
+offered rates, and render the result table the paper-style question
+needs — *where does delivered throughput saturate, and what happens to
+latency and batch size on the way there?*
+
+Also home of ``--selftest``, the CI smoke contract: a short low-load
+Poisson run must meet its p99 SLO with zero shed requests, proving the
+whole serve path (asyncio broker → dispatch thread → executor →
+result scatter) end to end in a few seconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ServingError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace_export import HOST_PID, ChromeTraceBuilder, HostSpanRecorder
+from repro.serving.broker import MicroBatchBroker
+from repro.serving.loadgen import (
+    LoadResult,
+    diurnal_arrivals,
+    format_load_results,
+    poisson_arrivals,
+    run_open_loop,
+)
+
+__all__ = ["run_serve", "run_serve_selftest"]
+
+#: Offered-rate ladder of the default ``repro serve`` sweep.
+DEFAULT_RATES: Tuple[float, ...] = (200.0, 1000.0, 4000.0)
+
+
+def _arrival_trace(arrival: str, rate: float, duration_s: float, seed: int):
+    if arrival == "poisson":
+        return poisson_arrivals(rate, duration_s, seed=seed)
+    if arrival == "diurnal":
+        return diurnal_arrivals(rate, duration_s, seed=seed)
+    raise ServingError(
+        f"unknown arrival process {arrival!r}; pick 'poisson' or 'diurnal'"
+    )
+
+
+def run_serve(
+    benchmark: str = "NIPS10",
+    *,
+    rates: Sequence[float] = DEFAULT_RATES,
+    duration_s: float = 1.0,
+    arrival: str = "poisson",
+    max_batch_rows: int = 512,
+    max_wait_ms: float = 5.0,
+    max_queue_rows: int = 4096,
+    slo_ms: Optional[float] = 50.0,
+    n_workers: Optional[int] = 1,
+    backend: Optional[str] = None,
+    trace_out: Optional[str] = None,
+    seed: int = 7,
+) -> Tuple[str, List[LoadResult]]:
+    """Sweep one benchmark's broker across an offered-rate ladder.
+
+    One executor serves every rate point; each point gets a fresh
+    broker (and metrics registry) so its counters reduce cleanly to a
+    :class:`~repro.serving.loadgen.LoadResult` row.  With *trace_out*
+    the run's wall-clock spans — broker batches next to executor
+    worker shards — and final ``serving.*`` counters are exported as a
+    Chrome/Perfetto JSON file.  Returns ``(table text, results)``.
+    """
+    from repro.baselines.executor import ParallelPlanExecutor
+    from repro.experiments.utilization import host_cpu_batch
+    from repro.spn.nips import nips_benchmark
+
+    if duration_s <= 0:
+        raise ServingError(f"duration_s must be > 0, got {duration_s}")
+    if not rates:
+        raise ServingError("at least one offered rate is required")
+    bench = nips_benchmark(benchmark)
+    data = host_cpu_batch(benchmark, 4096)
+    recorder = HostSpanRecorder() if trace_out is not None else None
+    results: List[LoadResult] = []
+    # One registry for the whole sweep (counters accumulate across rate
+    # points; per-point numbers come from each broker's own stats) so
+    # the exported trace carries exactly one track per serving.* name.
+    metrics = MetricsRegistry()
+    with ParallelPlanExecutor(
+        bench.spn,
+        n_workers=n_workers,
+        backend=backend,
+        host_tracer=recorder,
+    ) as executor:
+        for index, rate in enumerate(rates):
+            arrivals = _arrival_trace(arrival, float(rate), duration_s,
+                                      seed + index)
+
+            async def run_point() -> LoadResult:
+                async with MicroBatchBroker(
+                    executor,
+                    max_batch_rows=max_batch_rows,
+                    max_wait_ms=max_wait_ms,
+                    max_queue_rows=max_queue_rows,
+                    metrics=metrics,
+                    host_tracer=recorder,
+                ) as broker:
+                    return await run_open_loop(
+                        broker,
+                        data,
+                        arrivals,
+                        name=f"{arrival}@{rate:g}",
+                        slo_ms=slo_ms,
+                    )
+
+            results.append(asyncio.run(run_point()))
+
+    lines = [
+        f"Serving sweep - {benchmark}, {arrival} arrivals, "
+        f"{duration_s:g} s/point, SLO "
+        f"{'-' if slo_ms is None else f'{slo_ms:g} ms'} "
+        f"(max_batch_rows={max_batch_rows}, max_wait_ms={max_wait_ms:g}, "
+        f"max_queue_rows={max_queue_rows})",
+        "",
+        format_load_results(results),
+    ]
+    if trace_out is not None:
+        builder = ChromeTraceBuilder()
+        builder.add_host_spans(recorder.spans)
+        elapsed = max((span.end for span in recorder.spans), default=0.0)
+        builder.add_metrics(metrics, at_seconds=elapsed, pid=HOST_PID)
+        summary = builder.write(trace_out)
+        lines.append(
+            f"\nwrote {summary['path']}: {summary['n_events']} events "
+            f"({summary['n_spans']} spans) - "
+            "open at https://ui.perfetto.dev"
+        )
+    return "\n".join(lines), results
+
+
+#: Selftest contract: low offered load on a small SPN must sail under
+#: a generous SLO with zero shed requests — an end-to-end liveness
+#: check, not a performance gate (CI runners are slow and shared).
+SELFTEST_RATE_RPS = 200.0
+SELFTEST_DURATION_S = 1.0
+SELFTEST_SLO_MS = 250.0
+
+
+def run_serve_selftest(benchmark: str = "NIPS10") -> Tuple[str, int]:
+    """Short Poisson run with hard assertions; ``(text, exit code)``.
+
+    Exit 0 iff every request was answered (zero shed, zero failed) and
+    p99 latency stayed under the selftest SLO.
+    """
+    text, results = run_serve(
+        benchmark,
+        rates=(SELFTEST_RATE_RPS,),
+        duration_s=SELFTEST_DURATION_S,
+        slo_ms=SELFTEST_SLO_MS,
+        max_wait_ms=5.0,
+        n_workers=1,
+    )
+    (result,) = results
+    problems = []
+    if result.n_rejected:
+        problems.append(f"{result.n_rejected} request(s) shed at low load")
+    if result.n_failed:
+        problems.append(f"{result.n_failed} request(s) failed")
+    if not result.slo_met:
+        problems.append(
+            f"p99 {result.p99_ms:.1f} ms over the {SELFTEST_SLO_MS:g} ms SLO"
+        )
+    verdict = (
+        "serve selftest PASS" if not problems
+        else "serve selftest FAIL: " + "; ".join(problems)
+    )
+    return f"{text}\n\n{verdict}", 0 if not problems else 1

@@ -113,6 +113,82 @@ def test_context_manager_lifecycle(setup):
     running.close()  # idempotent
 
 
+def test_closed_submit_error_names_close(setup):
+    spn, data = setup
+    running = ParallelPlanExecutor(spn, n_workers=1)
+    running.close()
+    with pytest.raises(ReproError, match="close"):
+        running.submit(data[:16])
+
+
+def test_finalizer_releases_segments_without_close(setup):
+    """An executor dropped without close() (interrupt, GC) must not
+    leak its /dev/shm segments: the weakref.finalize guard unlinks
+    them when the object dies."""
+    import gc
+
+    from multiprocessing import shared_memory
+
+    spn, data = setup
+    running = ParallelPlanExecutor(spn, n_workers=2, min_rows_per_shard=64)
+    running.submit(data[:1024])
+    names = [
+        running._shm_state[key].name
+        for key in ("in", "out")
+        if key in running._shm_state
+    ]
+    if running.n_workers == 1:  # sandbox without fork: no segments staged
+        running.close()
+        return
+    assert names, "pooled submit should have staged shared segments"
+    finalizer = running._finalizer
+    del running
+    gc.collect()
+    assert not finalizer.alive
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+def test_close_is_idempotent_and_single_release(setup):
+    """Double close() must not double-unlink (the finalizer runs at
+    most once), and the second call is a clean no-op."""
+    spn, data = setup
+    running = ParallelPlanExecutor(spn, n_workers=2, min_rows_per_shard=64)
+    running.submit(data[:1024])
+    running.close()
+    assert not running._finalizer.alive
+    assert running._shm_state == {}
+    running.close()
+    assert running.closed
+
+
+def test_failed_regrow_leaves_close_safe(setup, monkeypatch):
+    """If replacing a too-small segment fails (ENOSPC on /dev/shm),
+    the stale reference must already be dropped: close() afterwards
+    must not try to unlink the released segment again."""
+    spn, data = setup
+    running = ParallelPlanExecutor(spn, n_workers=2, min_rows_per_shard=64)
+    if running.n_workers == 1:
+        running.close()
+        pytest.skip("no pool in this sandbox; no shared segments to regrow")
+    running.submit(data[:256])
+    assert "in" in running._shm_state
+
+    def boom(n_bytes):
+        raise OSError("injected: /dev/shm full")
+
+    monkeypatch.setattr(running, "_new_segment", boom)
+    with pytest.raises(OSError, match="injected"):
+        running.submit(data[:4000])  # forces an input-segment regrow
+    assert "in" not in running._shm_state  # stale entry dropped
+    monkeypatch.undo()
+    out = running.submit(data[:4000])  # a fresh segment is staged
+    assert np.array_equal(out, run_cpu_baseline(spn, data[:4000]).results)
+    running.close()
+    running.close()
+
+
 def test_setup_cost_is_reported(setup):
     spn, _ = setup
     with ParallelPlanExecutor(spn, n_workers=2) as running:

@@ -131,7 +131,33 @@ class TestCheck:
         path.write_text(json.dumps(history))
         (result,) = check_scenarios(["fake"], bench_dir=str(tmp_path))
         assert result.ok
-        assert "no comparable baseline" in result.message
+        assert "no baseline (fingerprint changed)" in result.message
+        assert "not gated" in result.message
+        assert result.skipped_fingerprint
+
+    def test_fingerprint_change_exits_zero_with_explicit_note(
+        self, tmp_path, fake_scenario, capsys
+    ):
+        """CI contract: a gate skipped for a fingerprint change exits 0
+        but says so per scenario — distinguishable from 'fast enough'."""
+        from repro.cli import main
+
+        for _ in range(3):
+            record_scenarios(["fake"], bench_dir=str(tmp_path))
+        path = history_path(str(tmp_path), "fake")
+        history = json.loads(path.read_text())
+        for sample in history["samples"][:-1]:
+            sample["fingerprint"]["machine"] = "riscv128"
+        path.write_text(json.dumps(history))
+        code = main(
+            ["bench", "--check", "--scenarios", "fake",
+             "--bench-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fake: no baseline (fingerprint changed)" in out
+        assert "skipped (fingerprint-key mismatch, not gated): fake" in out
+        assert "PASS" in out
 
 
 class TestCli:

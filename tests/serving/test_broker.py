@@ -1,0 +1,352 @@
+"""Tests for the micro-batching serving broker.
+
+The broker's contract has three legs: *coalescing* (requests group
+into batches on the max_batch_rows / max_wait_ms boundary, per query
+signature), *admission control* (the bounded queue sheds with
+:class:`ServingOverloadError` instead of growing latency without
+bound), and *transparency* (results bit-identical to calling the plan
+evaluator directly — the broker is transport, never arithmetic).
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.executor import ParallelPlanExecutor
+from repro.errors import ReproError, ServingError, ServingOverloadError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace_export import HostSpanRecorder
+from repro.serving.broker import MicroBatchBroker
+from repro.spn import random_spn
+from repro.spn.plan import get_plan
+from repro.spn.plan_eval import plan_log_likelihood
+
+
+class FakeEngine:
+    """Deterministic engine stub recording every batch it receives."""
+
+    def __init__(self, n_variables=3, delay_s=0.0):
+        self.n_variables = n_variables
+        self.delay_s = delay_s
+        self.calls = []
+
+    def submit(self, data, *, marginalized=None, missing_value=None):
+        self.calls.append((data.shape[0], marginalized, missing_value))
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return data[:, 0].astype(np.float64) * 10.0
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def rows(n, n_variables=3, base=0.0):
+    return [np.full(n_variables, base + i, dtype=np.float64) for i in range(n)]
+
+
+class TestCoalescing:
+    def test_concurrent_requests_coalesce_into_one_batch(self):
+        engine = FakeEngine()
+
+        async def scenario():
+            async with MicroBatchBroker(
+                engine, max_batch_rows=100, max_wait_ms=20.0
+            ) as broker:
+                return await asyncio.gather(
+                    *(broker.submit(row) for row in rows(8))
+                )
+
+        results = run(scenario())
+        assert [call[0] for call in engine.calls] == [8]
+        assert results == [i * 10.0 for i in range(8)]
+
+    def test_full_batch_flushes_before_the_wait_timer(self):
+        engine = FakeEngine()
+
+        async def scenario():
+            async with MicroBatchBroker(
+                engine, max_batch_rows=4, max_wait_ms=10_000.0
+            ) as broker:
+                start = time.perf_counter()
+                await asyncio.gather(*(broker.submit(row) for row in rows(8)))
+                elapsed = time.perf_counter() - start
+                assert broker.stats.flush_full == 2
+                return elapsed
+
+        elapsed = run(scenario())
+        # With a 10 s wait window, only the size trigger can explain
+        # the batches returning promptly.
+        assert elapsed < 5.0
+        assert [call[0] for call in engine.calls] == [4, 4]
+
+    def test_max_wait_boundary_flushes_a_partial_batch(self):
+        engine = FakeEngine()
+        wait_ms = 60.0
+
+        async def scenario():
+            async with MicroBatchBroker(
+                engine, max_batch_rows=1000, max_wait_ms=wait_ms
+            ) as broker:
+                start = time.perf_counter()
+                await broker.submit(np.zeros(3))
+                elapsed = time.perf_counter() - start
+                assert broker.stats.flush_wait == 1
+                assert broker.stats.flush_full == 0
+                return elapsed
+
+        elapsed = run(scenario())
+        # The lone request cannot fill the batch: it must be answered
+        # by the timer, i.e. no earlier than the wait window.
+        assert elapsed >= wait_ms / 1e3 * 0.8
+        assert engine.calls == [(1, None, None)]
+
+    def test_slow_kernel_grows_the_next_batch(self):
+        """While a batch computes, arrivals coalesce into the next one
+        — the SLO-respecting flush still happens per window, but the
+        dispatch queue is where adaptive batching comes from."""
+        engine = FakeEngine(delay_s=0.08)
+
+        async def scenario():
+            async with MicroBatchBroker(
+                engine, max_batch_rows=100, max_wait_ms=5.0
+            ) as broker:
+                first = asyncio.ensure_future(broker.submit(np.zeros(3)))
+                await asyncio.sleep(0.03)  # first batch is now computing
+                rest = [broker.submit(row) for row in rows(5, base=1.0)]
+                await asyncio.gather(first, *rest)
+
+        run(scenario())
+        assert engine.calls[0][0] == 1
+        assert len(engine.calls) == 2
+        assert engine.calls[1][0] == 5
+
+    def test_query_signatures_never_mix(self):
+        engine = FakeEngine()
+
+        async def scenario():
+            async with MicroBatchBroker(
+                engine, max_batch_rows=100, max_wait_ms=10.0
+            ) as broker:
+                await asyncio.gather(
+                    broker.submit(np.zeros(3)),
+                    broker.submit(np.zeros(3), marginalized=[1]),
+                    broker.submit(np.zeros(3), missing_value=-1.0),
+                    broker.submit(np.zeros(3), marginalized=[1]),
+                )
+
+        run(scenario())
+        batches = sorted(engine.calls, key=repr)
+        assert batches == [
+            (1, None, -1.0),
+            (1, None, None),
+            (2, (1,), None),
+        ]
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_and_recovers(self):
+        engine = FakeEngine(delay_s=0.1)
+        metrics = MetricsRegistry()
+
+        async def scenario():
+            async with MicroBatchBroker(
+                engine,
+                max_batch_rows=4,
+                max_wait_ms=5.0,
+                max_queue_rows=4,
+                metrics=metrics,
+            ) as broker:
+                # Fill the queue exactly: one full batch dispatches and
+                # occupies the dispatch thread for 100 ms.
+                admitted = [
+                    asyncio.ensure_future(broker.submit(row))
+                    for row in rows(4)
+                ]
+                await asyncio.sleep(0.02)
+                with pytest.raises(ServingOverloadError, match="shed"):
+                    await broker.submit(np.zeros(3))
+                assert broker.stats.rejected == 1
+                await asyncio.gather(*admitted)
+                # The queue drained: the broker accepts again.
+                await broker.submit(np.ones(3))
+
+        run(scenario())
+        assert metrics.counter("serving.rejected").value == 1
+        assert metrics.counter("serving.requests").value == 6
+        assert metrics.gauge("serving.queue_rows").maximum == 4
+
+    def test_queue_smaller_than_a_batch_is_rejected(self):
+        with pytest.raises(ServingError, match="max_queue_rows"):
+            MicroBatchBroker(FakeEngine(), max_batch_rows=64, max_queue_rows=8)
+
+
+class TestTransparency:
+    """Broker answers == direct plan evaluation, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def spn_setup(self):
+        spn = random_spn(5, depth=3, n_bins=6, seed=17)
+        rng = np.random.default_rng(17)
+        data = rng.integers(0, 6, size=(41, 5)).astype(np.float64)
+        return spn, data
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            {},
+            {"marginalized": (0, 3)},
+            {"missing_value": 2.0},
+        ],
+        ids=["likelihood", "marginal", "missing"],
+    )
+    def test_bit_identical_across_batch_seams(self, spn_setup, query):
+        spn, data = spn_setup
+        reference = plan_log_likelihood(get_plan(spn), data, **query)
+
+        async def scenario():
+            with ParallelPlanExecutor(spn, n_workers=1) as executor:
+                # max_batch_rows=7 forces seams at every 7th request —
+                # no batching split may change any row's arithmetic.
+                async with MicroBatchBroker(
+                    executor, max_batch_rows=7, max_wait_ms=10.0
+                ) as broker:
+                    return await asyncio.gather(
+                        *(broker.submit(row, **query) for row in data)
+                    )
+
+        results = run(scenario())
+        assert np.array_equal(np.array(results), reference)
+        assert len(results) == data.shape[0]
+
+
+class TestLifecycle:
+    def test_close_flushes_pending_requests(self):
+        engine = FakeEngine()
+
+        async def scenario():
+            broker = MicroBatchBroker(
+                engine, max_batch_rows=100, max_wait_ms=10_000.0
+            )
+            pending = [
+                asyncio.ensure_future(broker.submit(row)) for row in rows(3)
+            ]
+            await asyncio.sleep(0)  # let the submits enqueue
+            await broker.close()
+            return await asyncio.gather(*pending)
+
+        results = run(scenario())
+        assert results == [0.0, 10.0, 20.0]
+
+    def test_close_without_flush_rejects_pending_cleanly(self):
+        engine = FakeEngine()
+
+        async def scenario():
+            broker = MicroBatchBroker(
+                engine, max_batch_rows=100, max_wait_ms=10_000.0
+            )
+            pending = [
+                asyncio.ensure_future(broker.submit(row)) for row in rows(3)
+            ]
+            await asyncio.sleep(0)
+            await broker.close(flush=False)
+            return await asyncio.gather(*pending, return_exceptions=True)
+
+        results = run(scenario())
+        assert all(isinstance(r, ServingOverloadError) for r in results)
+        assert engine.calls == []
+
+    def test_submit_after_close_raises_serving_error(self):
+        async def scenario():
+            broker = MicroBatchBroker(FakeEngine())
+            await broker.close()
+            await broker.close()  # idempotent
+            with pytest.raises(ServingError, match="close"):
+                await broker.submit(np.zeros(3))
+
+        run(scenario())
+
+    def test_closed_executor_surfaces_repro_error_not_traceback(self):
+        """The broker's shutdown-ordering bug class: an engine closed
+        under a live broker must answer requests with a ReproError
+        naming close(), never an AttributeError/broken pipe."""
+        spn = random_spn(4, depth=2, n_bins=4, seed=3)
+
+        async def scenario():
+            executor = ParallelPlanExecutor(spn, n_workers=1)
+            executor.close()
+            async with MicroBatchBroker(
+                executor, max_wait_ms=1.0
+            ) as broker:
+                with pytest.raises(ReproError, match="close"):
+                    await broker.submit(np.zeros(4))
+
+        run(scenario())
+
+    def test_engine_failures_reject_only_that_batch(self):
+        class FlakyEngine(FakeEngine):
+            def submit(self, data, **kwargs):
+                if len(self.calls) == 0:
+                    self.calls.append(None)
+                    raise ReproError("injected engine failure")
+                return super().submit(data, **kwargs)
+
+        engine = FlakyEngine()
+
+        async def scenario():
+            async with MicroBatchBroker(
+                engine, max_batch_rows=2, max_wait_ms=5.0
+            ) as broker:
+                with pytest.raises(ReproError, match="injected"):
+                    await asyncio.gather(
+                        broker.submit(np.zeros(3)), broker.submit(np.ones(3))
+                    )
+                # The broker survives: the next batch is served.
+                assert await broker.submit(np.full(3, 2.0)) == 20.0
+                assert broker.queued_rows == 0
+
+        run(scenario())
+
+
+class TestValidationAndObservability:
+    def test_row_validation(self):
+        async def scenario():
+            async with MicroBatchBroker(FakeEngine()) as broker:
+                with pytest.raises(ServingError, match="shape"):
+                    await broker.submit(np.zeros(5))
+                with pytest.raises(ServingError, match="numeric"):
+                    await broker.submit(["a", "b", "c"])
+
+        run(scenario())
+
+    def test_engine_without_width_needs_explicit_n_variables(self):
+        with pytest.raises(ServingError, match="n_variables"):
+            MicroBatchBroker(object())
+
+    def test_metrics_and_batch_spans(self):
+        metrics = MetricsRegistry()
+        recorder = HostSpanRecorder()
+        engine = FakeEngine()
+
+        async def scenario():
+            async with MicroBatchBroker(
+                engine,
+                max_batch_rows=4,
+                max_wait_ms=5.0,
+                metrics=metrics,
+                host_tracer=recorder,
+            ) as broker:
+                await asyncio.gather(*(broker.submit(row) for row in rows(8)))
+
+        run(scenario())
+        assert metrics.counter("serving.requests").value == 8
+        assert metrics.counter("serving.rows").value == 8
+        assert metrics.counter("serving.batches").value == 2
+        assert metrics.counter("serving.flush_full").value == 2
+        assert metrics.counter("serving.batch_seconds").value > 0
+        spans = [s for s in recorder.spans if s.track == "serving broker"]
+        assert len(spans) == 2
+        assert all(s.label.startswith("batch") for s in spans)
+        assert all("4r" in s.label for s in spans)

@@ -1,0 +1,71 @@
+"""Tests for the ``repro serve`` scenario runner and selftest."""
+
+import json
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.scenarios import run_serve, run_serve_selftest
+
+
+class TestRunServe:
+    def test_sweep_table_and_perfetto_spans(self, tmp_path):
+        trace_path = tmp_path / "serve.perfetto.json"
+        text, results = run_serve(
+            "NIPS10",
+            rates=(400.0,),
+            duration_s=0.3,
+            max_wait_ms=4.0,
+            slo_ms=500.0,
+            trace_out=str(trace_path),
+        )
+        assert "Serving sweep - NIPS10" in text
+        assert "poisson@400" in text
+        (result,) = results
+        assert result.n_ok > 0
+        assert result.n_rejected == 0
+        assert result.mean_batch_rows >= 1.0
+        # Acceptance criterion: serving batches are visible as spans in
+        # the exported Perfetto trace.
+        payload = json.loads(trace_path.read_text())
+        events = payload["traceEvents"]
+        span_names = [e["name"] for e in events if e.get("ph") == "X"]
+        assert any(name.startswith("batch") for name in span_names)
+        thread_names = [
+            e["args"]["name"]
+            for e in events
+            if e.get("ph") == "M" and e.get("name") == "thread_name"
+        ]
+        assert "serving broker" in thread_names
+        counters = {e["name"] for e in events if e.get("ph") == "C"}
+        assert "serving.batches" in counters
+        assert "serving.rejected" in counters
+
+    def test_diurnal_arrival_option(self):
+        text, results = run_serve(
+            "NIPS10",
+            rates=(300.0,),
+            duration_s=0.3,
+            arrival="diurnal",
+            slo_ms=None,
+        )
+        assert "diurnal@300" in text
+        assert results[0].slo_met is None
+
+    def test_unknown_arrival_rejected(self):
+        with pytest.raises(ServingError, match="arrival"):
+            run_serve("NIPS10", rates=(100.0,), duration_s=0.2,
+                      arrival="bursty")
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ServingError, match="duration_s"):
+            run_serve("NIPS10", rates=(100.0,), duration_s=0.0)
+        with pytest.raises(ServingError, match="rate"):
+            run_serve("NIPS10", rates=())
+
+
+class TestSelftest:
+    def test_selftest_passes_at_low_load(self):
+        text, code = run_serve_selftest("NIPS10")
+        assert code == 0, text
+        assert "serve selftest PASS" in text

@@ -7,7 +7,7 @@ from repro.cli import build_parser, main
 
 def test_parser_accepts_all_artifacts():
     parser = build_parser()
-    for name in ("fig2", "table1", "fig4", "fig5", "fig6", "speedups", "outlook", "ablations", "formats", "sensitivity", "roofline", "plans", "report", "trace", "bench", "all"):
+    for name in ("fig2", "table1", "fig4", "fig5", "fig6", "speedups", "outlook", "ablations", "formats", "sensitivity", "roofline", "plans", "report", "trace", "bench", "cache", "serve", "all"):
         args = parser.parse_args([name])
         assert args.artifact == name
 
@@ -84,11 +84,19 @@ def test_trace_command_writes_chrome_trace(tmp_path, capsys):
             assert field in event
 
 
-def test_trace_bench_cache_are_excluded_from_all():
+def test_trace_bench_cache_serve_are_excluded_from_all():
     from repro.cli import _COMMANDS, _NOT_IN_ALL
 
-    assert {"trace", "bench", "cache"} <= set(_COMMANDS)
-    assert _NOT_IN_ALL == frozenset({"trace", "bench", "cache"})
+    assert {"trace", "bench", "cache", "serve"} <= set(_COMMANDS)
+    assert _NOT_IN_ALL == frozenset({"trace", "bench", "cache", "serve"})
+
+
+def test_serve_command_prints_result_table(capsys):
+    assert main(["serve", "--rates", "250", "--duration", "0.25"]) == 0
+    out = capsys.readouterr().out
+    assert "Serving sweep - NIPS10" in out
+    assert "poisson@250" in out
+    assert "p99" in out and "goodput" in out
 
 
 def test_cache_command_reports_and_prunes(tmp_path, monkeypatch, capsys):
