@@ -1,0 +1,202 @@
+"""Pipelined serving-datapath guarantees: overlap, zero-copy, identity.
+
+The PR-9 tentpole replaces the broker's row-list staging with a ring
+of write-once batch arenas handed down reentrant executor lanes, and
+its single ordered dispatch thread with ``n_lanes`` concurrent
+in-flight batches.  These benchmarks lock in the three claims that
+datapath makes:
+
+* **Pipelining** — with a blocking engine whose service time models a
+  device round-trip (``time.sleep`` releases the GIL, exactly like a
+  PCIe DMA wait), ``n_lanes=2`` must reach >= 1.3x the goodput of the
+  single-lane broker on the same burst at the same SLO.  A blocking
+  engine rather than the real executor keeps the floor meaningful on
+  a 1-CPU CI runner, where two compute-bound lanes cannot overlap.
+* **Zero-copy** — over the real ``ParallelPlanExecutor`` lane API the
+  serve path moves no staged bytes at all: rows are validated straight
+  into the lane's shared-memory arena and evaluated in place
+  (``serving.staged_bytes_copied == 0``, ``executor.staged_bytes_copied
+  == 0``, ``executor.pickled_array_bytes == 0``).
+* **Identity** — every served answer is bit-identical to
+  ``plan_log_likelihood`` on the same row, across lanes and batch
+  seams, for likelihood, marginal, and missing-value queries alike.
+"""
+
+import asyncio
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.executor import ParallelPlanExecutor
+from repro.experiments import host_cpu_batch
+from repro.obs.metrics import MetricsRegistry
+from repro.serving.broker import MicroBatchBroker
+from repro.serving.loadgen import run_open_loop
+from repro.spn import nips_benchmark
+from repro.spn.plan import get_plan
+from repro.spn.plan_eval import plan_log_likelihood
+
+#: Two lanes must beat one lane by at least this goodput factor on a
+#: blocked-service burst (the theoretical ceiling is 2.0x; overlap of
+#: coalescing with service plus dispatch overhead land measured runs
+#: around 1.8-1.9x even on one CPU).
+PIPELINE_FLOOR = 1.3
+
+#: Modelled device round-trip per batch.  Long enough that 16 batches
+#: dominate the run (160 ms serial), short enough to keep the whole
+#: benchmark under a second per broker configuration.
+SERVICE_S = 0.010
+
+N_REQUESTS = 2048
+MAX_BATCH_ROWS = 128
+
+
+class BlockedServiceEngine:
+    """An engine whose submit blocks off-GIL for a fixed service time.
+
+    Stands in for an accelerator round-trip: the caller waits, but the
+    host interpreter is free — which is precisely what multi-lane
+    dispatch exploits.  No ``acquire_lane`` on purpose: the broker's
+    compat path exercises the same ring/backpressure machinery.
+    """
+
+    def __init__(self, n_variables=3, service_s=SERVICE_S):
+        self.n_variables = n_variables
+        self.service_s = service_s
+
+    def submit(self, batch, marginalized=None, missing_value=None):
+        time.sleep(self.service_s)
+        return np.sum(batch, axis=1)
+
+
+def _drive_burst(n_lanes):
+    engine = BlockedServiceEngine()
+    data = np.arange(
+        N_REQUESTS * engine.n_variables, dtype=np.float64
+    ).reshape(N_REQUESTS, engine.n_variables)
+    arrivals = np.zeros(N_REQUESTS)
+
+    async def scenario():
+        async with MicroBatchBroker(
+            engine,
+            max_batch_rows=MAX_BATCH_ROWS,
+            max_wait_ms=2.0,
+            max_queue_rows=4 * N_REQUESTS,
+            n_lanes=n_lanes,
+        ) as broker:
+            return await run_open_loop(
+                broker, data, arrivals, name=f"lanes{n_lanes}", slo_ms=5000.0
+            )
+
+    return asyncio.run(scenario())
+
+
+@pytest.mark.repro_artifact("serving-pipelined-datapath")
+def test_bench_two_lanes_beat_one_on_blocked_service():
+    """n_lanes=2 goodput >= 1.3x single-lane on the same burst/SLO."""
+    single = _drive_burst(n_lanes=1)
+    double = _drive_burst(n_lanes=2)
+
+    for result in (single, double):
+        assert result.n_rejected == 0 and result.n_failed == 0
+        assert result.n_ok == N_REQUESTS
+        assert result.slo_met is True
+
+    ratio = double.goodput_rps / single.goodput_rps
+    assert ratio >= PIPELINE_FLOOR, (
+        f"pipelined dispatch regressed to {ratio:.2f}x single-lane "
+        f"goodput (floor {PIPELINE_FLOOR}x): 2-lane "
+        f"{double.goodput_rps:.0f} req/s vs 1-lane "
+        f"{single.goodput_rps:.0f} req/s"
+    )
+
+
+@pytest.mark.repro_artifact("serving-pipelined-datapath")
+def test_bench_serve_path_is_zero_copy_and_bit_identical():
+    """Real executor lanes: zero staged/pickled bytes, exact answers."""
+    bench = nips_benchmark("NIPS10")
+    data = host_cpu_batch("NIPS10", 512)
+    expected = plan_log_likelihood(get_plan(bench.spn), data)
+    metrics = MetricsRegistry()
+    # n_workers=2 forces the shared-memory pool path so the lanes
+    # being proven copy-free are the shm-backed ones, not plain arrays.
+    n_requests = 400
+    arrivals = np.zeros(n_requests)
+    answers = {}
+
+    async def scenario():
+        with ParallelPlanExecutor(
+            bench.spn, n_workers=2, max_lanes=3, metrics=metrics
+        ) as executor:
+            async with MicroBatchBroker(
+                executor,
+                max_batch_rows=64,
+                max_wait_ms=2.0,
+                max_queue_rows=4 * n_requests,
+                n_lanes=2,
+                metrics=metrics,
+            ) as broker:
+                assert broker.zero_copy
+                return await run_open_loop(
+                    broker,
+                    data,
+                    arrivals,
+                    name="zero-copy",
+                    on_result=lambda i, value: answers.__setitem__(i, value),
+                )
+
+    result = asyncio.run(scenario())
+    assert result.n_rejected == 0 and result.n_failed == 0
+    assert result.n_ok == n_requests
+
+    # The mechanism guard: no staged copies anywhere on the serve
+    # path, and no pickled array payloads through the pool.
+    assert metrics.value("serving.staged_bytes_copied") == 0
+    assert metrics.value("executor.staged_bytes_copied") == 0
+    assert metrics.value("executor.pickled_array_bytes") == 0
+
+    # Bit-identical to the plan evaluator for every answered request,
+    # across every lane and batch seam the burst produced.
+    for i, value in answers.items():
+        assert value == expected[i % data.shape[0]]
+
+
+@pytest.mark.repro_artifact("serving-pipelined-datapath")
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="compute-bound lane overlap needs >= 2 CPUs",
+)
+def test_bench_real_executor_gains_from_second_lane():
+    """On multi-CPU hosts the real executor also gains from lane 2."""
+    bench = nips_benchmark("NIPS10")
+    data = host_cpu_batch("NIPS10", 4096)
+    n_requests = 20_000
+    arrivals = np.zeros(n_requests)
+
+    def drive(n_lanes):
+        async def scenario():
+            with ParallelPlanExecutor(
+                bench.spn, n_workers=1, max_lanes=n_lanes + 1
+            ) as executor:
+                async with MicroBatchBroker(
+                    executor,
+                    max_batch_rows=1024,
+                    max_wait_ms=2.0,
+                    max_queue_rows=4 * n_requests,
+                    n_lanes=n_lanes,
+                ) as broker:
+                    return await run_open_loop(
+                        broker, data, arrivals, name=f"real-lanes{n_lanes}"
+                    )
+
+        return asyncio.run(scenario())
+
+    single = drive(1)
+    double = drive(2)
+    for result in (single, double):
+        assert result.n_rejected == 0 and result.n_failed == 0
+    # A soft floor: worker evaluation overlaps the event loop's
+    # coalescing/scatter, so two lanes must at least not regress.
+    assert double.goodput_rps >= 0.9 * single.goodput_rps

@@ -66,13 +66,14 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 import uuid
 import weakref
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -81,7 +82,7 @@ from repro.spn.graph import SPN
 from repro.spn.plan import InferencePlan, get_plan
 from repro.spn.plan_eval import plan_log_likelihood
 
-__all__ = ["ParallelPlanExecutor", "check_batch"]
+__all__ = ["ExecutorLane", "ParallelPlanExecutor", "check_batch"]
 
 #: Default floor on rows per shard; below it the per-shard dispatch
 #: overhead (one pipe round-trip) is no longer amortised.
@@ -89,6 +90,9 @@ DEFAULT_MIN_ROWS_PER_SHARD = 8192
 
 #: Default oversharding factor: shards per worker, for load balance.
 DEFAULT_OVERSHARD = 4
+
+#: Default cap on concurrently acquired staging lanes per executor.
+DEFAULT_MAX_LANES = 8
 
 
 def check_batch(data: np.ndarray, *, dtype=np.float64) -> np.ndarray:
@@ -213,9 +217,14 @@ def _worker_eval(task: tuple) -> Tuple[int, float, float]:
         dtype_str,
         marginalized,
         missing_value,
+        keep_names,
     ) = task
     start = time.perf_counter()
-    _worker_prune(frozenset((in_name, out_name)))
+    # Prune against the *full* set of segments the parent still owns —
+    # with several staging lanes in flight, pruning down to just this
+    # task's pair would unmap (and force re-attach of) every other
+    # lane's perfectly live segments on each shard.
+    _worker_prune(frozenset(keep_names))
     dtype = np.dtype(dtype_str)
     data = np.ndarray(
         (n_rows, n_cols), dtype=dtype, buffer=_worker_attach(in_name).buf
@@ -269,25 +278,168 @@ def _release_shared_state(state: Dict[str, object]) -> None:
 
     *state* is a plain mutable dict rather than the executor itself so
     the finalizer holds no reference that would keep the executor
-    alive.  Keys: ``"in"``/``"out"`` shared segments (absent until the
-    first pooled submit, or after a failed regrow), ``"token"`` the
-    fork-registry key.
+    alive.  Keys: ``"token"`` the fork-registry key; every other entry
+    is a shared segment — ``"in"``/``"out"`` for the legacy staging
+    pair (absent until the first pooled submit, or after a failed
+    regrow) plus one ``"lane{k}.in"``/``"lane{k}.out"`` pair per
+    staging lane ever acquired.
     """
     token = state.pop("token", None)
     if token is not None:
         _FORK_REGISTRY.pop(token, None)
-    for key in ("in", "out"):
+    for key in list(state):
         segment = state.pop(key, None)
         if segment is None:
             continue
         try:
             segment.close()
-        except OSError:  # pragma: no cover - buffer already torn down
+        except (OSError, BufferError):  # pragma: no cover - view still live
             pass
         try:
             segment.unlink()
         except FileNotFoundError:  # pragma: no cover - already gone
             pass
+
+
+class ExecutorLane:
+    """One reentrant staging lane of a :class:`ParallelPlanExecutor`.
+
+    A lane is a pre-allocated input arena (shared-memory backed when
+    the executor runs a pool, a plain array otherwise) plus a private
+    output buffer.  The producer writes rows **directly** into
+    :attr:`arena` — no intermediate list, no ``np.stack``, no
+    ``np.copyto`` into staging — then calls :meth:`submit` with the
+    filled row count; the executor evaluates the arena *in place*.
+    Because each lane owns its own segments, any number of lanes (up
+    to the executor's ``max_lanes``) can be in flight concurrently
+    from different threads: this is what lets the serving broker keep
+    coalescing batch *k+1* while batches *k, k-1, ...* are still on
+    the workers, the software analogue of the paper's many in-flight
+    HBM read streams (§V).
+
+    Acquire with :meth:`ParallelPlanExecutor.acquire_lane`, give back
+    with :meth:`release` (lanes and their segments are pooled and
+    reused, so steady-state serving allocates nothing).
+    """
+
+    def __init__(self, executor: "ParallelPlanExecutor", lane_id: int):
+        self._executor = executor
+        self._lane_id = lane_id
+        self._capacity = 0
+        self._in_view: Optional[np.ndarray] = None
+        self._out_view: Optional[np.ndarray] = None
+        self._shm_names: Tuple[str, ...] = ()
+        self._released = True
+
+    @property
+    def lane_id(self) -> int:
+        """Stable small index of this lane within its executor."""
+        return self._lane_id
+
+    @property
+    def capacity_rows(self) -> int:
+        """Rows the arena can hold before a re-acquire must regrow it."""
+        return self._capacity
+
+    @property
+    def arena(self) -> np.ndarray:
+        """The writable ``(capacity_rows, n_variables)`` input arena.
+
+        Write request rows here (``arena[i] = row``), then
+        :meth:`submit` the filled prefix.  The view stays valid until
+        :meth:`release`.
+        """
+        if self._released or self._in_view is None:
+            raise ReproError(
+                "lane arena accessed outside an acquire/release window; "
+                "call ParallelPlanExecutor.acquire_lane() first"
+            )
+        return self._in_view
+
+    def _prepare(self, capacity_rows: int) -> None:
+        """(Re)back the arena for *capacity_rows*; executor-lock held."""
+        executor = self._executor
+        n_cols = executor._plan.n_data_columns
+        dtype = executor._dtype
+        if executor._pool is not None:
+            # Drop stale views first: a regrow replaces the segment,
+            # and close() on a segment with exported views raises.
+            self._in_view = None
+            self._out_view = None
+            in_shm = executor._stage_segment(
+                f"lane{self._lane_id}.in",
+                capacity_rows * n_cols * dtype.itemsize,
+            )
+            out_shm = executor._stage_segment(
+                f"lane{self._lane_id}.out", capacity_rows * 8
+            )
+            self._in_view = np.ndarray(
+                (capacity_rows, n_cols), dtype=dtype, buffer=in_shm.buf
+            )
+            self._out_view = np.ndarray(
+                (capacity_rows,), dtype=np.float64, buffer=out_shm.buf
+            )
+            self._shm_names = (in_shm.name, out_shm.name)
+        elif self._in_view is None or self._capacity < capacity_rows:
+            # Serial / kernel-thread executors need no shm: the arena
+            # is evaluated in-process, straight off this array.
+            self._in_view = np.empty((capacity_rows, n_cols), dtype=dtype)
+            self._out_view = np.empty((capacity_rows,), dtype=np.float64)
+            self._shm_names = ()
+        self._capacity = self._in_view.shape[0]
+
+    def submit(
+        self,
+        rows: int,
+        *,
+        marginalized: Optional[Sequence[int]] = None,
+        missing_value: Optional[float] = None,
+    ) -> np.ndarray:
+        """Evaluate the first *rows* arena rows; returns float64 lls.
+
+        Reentrant across lanes: concurrent ``submit`` calls on
+        *different* lanes of one executor are safe and overlap (the
+        plan evaluator and the native kernel both allocate per-call
+        scratch only).  A single lane is one producer's staging buffer
+        — callers must not submit the same lane concurrently.
+        """
+        executor = self._executor
+        if executor._closed:
+            raise ReproError(
+                "submit() on a lane of a closed ParallelPlanExecutor; "
+                "construct a new executor to keep evaluating"
+            )
+        if self._released:
+            raise ReproError(
+                "submit() on a released ExecutorLane; acquire_lane() "
+                "hands out a fresh lane for the next batch"
+            )
+        if not 1 <= rows <= self._capacity:
+            raise ReproError(
+                f"lane submit rows={rows} outside 1..{self._capacity} "
+                "(the lane's arena capacity)"
+            )
+        if marginalized is not None:
+            marginalized = tuple(int(v) for v in marginalized)
+        data = self._in_view[:rows]
+        pool = executor._pool
+        if pool is None or executor._use_threads(rows) or not self._shm_names:
+            return executor._eval_lane_inline(
+                self, data, marginalized, missing_value
+            )
+        return executor._eval_lane_pool(
+            self, pool, rows, marginalized, missing_value
+        )
+
+    def release(self) -> None:
+        """Return the lane (and its segments) to the executor's pool."""
+        if self._released:
+            return
+        self._released = True
+        executor = self._executor
+        with executor._lane_lock:
+            if not executor._closed:
+                executor._lane_free.append(self)
 
 
 class ParallelPlanExecutor:
@@ -335,6 +487,12 @@ class ParallelPlanExecutor:
         Adaptive-oversharding floor: never split finer than this.
     overshard:
         Target shards per worker for load balance (default 4).
+    max_lanes:
+        Cap on concurrently acquired staging lanes
+        (:meth:`acquire_lane`, default 8).  Each lane pins one
+        input + one output segment for its arena, so the cap bounds
+        ``/dev/shm`` held by an executor to roughly
+        ``max_lanes * capacity_rows * row_bytes``.
     metrics:
         Optional :class:`~repro.obs.metrics.MetricsRegistry`; when
         given the executor records ``executor.*`` counters.
@@ -354,6 +512,7 @@ class ParallelPlanExecutor:
         dispatch: str = "auto",
         min_rows_per_shard: int = DEFAULT_MIN_ROWS_PER_SHARD,
         overshard: int = DEFAULT_OVERSHARD,
+        max_lanes: int = DEFAULT_MAX_LANES,
         metrics=None,
         host_tracer=None,
     ):
@@ -367,6 +526,8 @@ class ParallelPlanExecutor:
             )
         if overshard < 1:
             raise ReproError(f"overshard must be >= 1, got {overshard}")
+        if max_lanes < 1:
+            raise ReproError(f"max_lanes must be >= 1, got {max_lanes}")
         dtype = np.dtype(dtype)
         if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
             raise ReproError(f"dtype must be float32 or float64, got {dtype}")
@@ -400,6 +561,17 @@ class ParallelPlanExecutor:
         self._registry = metrics
         self._host_tracer = host_tracer
         self._worker_slots: Dict[int, int] = {}
+        self._max_lanes = max_lanes
+        self._lanes: List[ExecutorLane] = []
+        self._lane_free: List[ExecutorLane] = []
+        # Lock order (never reversed): _lane_lock -> _shm_lock.
+        # _metrics_lock is a leaf, taken around counter folds only —
+        # lanes submit from several broker dispatch threads at once
+        # and the counters' read-modify-write would otherwise race.
+        self._lane_lock = threading.Lock()
+        self._shm_lock = threading.Lock()
+        self._metrics_lock = threading.Lock()
+        self._legacy_stage_lock = threading.Lock()
         if metrics is not None:
             self._m_submits = metrics.counter("executor.submits")
             self._m_rows = metrics.counter("executor.rows")
@@ -407,6 +579,9 @@ class ParallelPlanExecutor:
             self._m_bytes_in = metrics.counter("executor.bytes_in")
             self._m_bytes_out = metrics.counter("executor.bytes_out")
             self._m_pickled = metrics.counter("executor.pickled_array_bytes")
+            self._m_staged_copied = metrics.counter(
+                "executor.staged_bytes_copied"
+            )
             self._m_dispatch = metrics.counter("executor.dispatch_seconds")
             self._m_compute = metrics.counter("executor.compute_seconds")
         else:
@@ -516,6 +691,17 @@ class ParallelPlanExecutor:
             if pool is not None:
                 pool.shutdown(wait=True)
         finally:
+            # Drop every lane's arena view before unlinking: a live
+            # numpy view keeps the mmap exported and segment.close()
+            # would raise BufferError instead of releasing /dev/shm.
+            with self._lane_lock:
+                for lane in self._lanes:
+                    lane._released = True
+                    lane._in_view = None
+                    lane._out_view = None
+                    lane._capacity = 0
+                    lane._shm_names = ()
+                self._lane_free.clear()
             self._finalizer()
 
     def __enter__(self) -> "ParallelPlanExecutor":
@@ -613,21 +799,36 @@ class ParallelPlanExecutor:
                 "ParallelPlanExecutor was close()d while a batch was in "
                 "flight; construct a new executor to keep evaluating"
             )
-        segment = self._shm_state.get(key)
-        if segment is not None and segment.size >= n_bytes:
+        with self._shm_lock:
+            segment = self._shm_state.get(key)
+            if segment is not None and segment.size >= n_bytes:
+                return segment
+            if segment is not None:
+                del self._shm_state[key]
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+            # 25% slack so a stream of slightly-growing batches does not
+            # reallocate on every submit.
+            segment = self._new_segment(n_bytes + n_bytes // 4)
+            self._shm_state[key] = segment
             return segment
-        if segment is not None:
-            del self._shm_state[key]
-            segment.close()
-            try:
-                segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
-        # 25% slack so a stream of slightly-growing batches does not
-        # reallocate on every submit.
-        segment = self._new_segment(n_bytes + n_bytes // 4)
-        self._shm_state[key] = segment
-        return segment
+
+    def _live_segment_names(self) -> Tuple[str, ...]:
+        """Names of every segment the executor currently owns.
+
+        Shipped with each worker task as the prune keep-set so a
+        worker serving one lane's shard never unmaps another lane's
+        (or the legacy pair's) still-live attachment.
+        """
+        with self._shm_lock:
+            return tuple(
+                value.name
+                for value in self._shm_state.values()
+                if isinstance(value, shared_memory.SharedMemory)
+            )
 
     def _shard_spans(
         self, rows: int, n_shards: Optional[int]
@@ -661,16 +862,56 @@ class ParallelPlanExecutor:
         ).add(busy)
 
     def _record_worker_span(
-        self, pid: int, shard: int, begin: float, end: float
+        self, pid: int, label: str, begin: float, end: float
     ) -> None:
         if self._host_tracer is None:
             return
         self._host_tracer.record(
             f"executor worker{self._worker_slot(pid)}",
-            f"shard{shard}",
+            label,
             begin,
             end,
         )
+
+    def _account_shards(
+        self, completed: Iterable[Tuple[str, Tuple[int, float, float]]]
+    ) -> Dict[int, float]:
+        """Fold per-shard worker stamps into busy time + trace spans.
+
+        *completed* yields ``(label, (pid, start, end))`` in whatever
+        order shards actually finish — accounting is per-shard
+        associative, so completion order attributes each worker's busy
+        seconds (and its ``executor worker{n}`` span) the moment its
+        shard returns instead of after every earlier-indexed shard.
+        """
+        busy_by_pid: Dict[int, float] = {}
+        for label, (pid, t0, t1) in completed:
+            busy_by_pid[pid] = busy_by_pid.get(pid, 0.0) + (t1 - t0)
+            self._record_worker_span(pid, label, t0, t1)
+        return busy_by_pid
+
+    def _run_pool_shards(
+        self, pool: ProcessPoolExecutor, tasks: List[tuple], label_prefix: str
+    ) -> Dict[int, float]:
+        """Dispatch shard tasks and account them in completion order.
+
+        ``pool.submit`` + ``as_completed`` rather than the ordered
+        ``pool.map``: map's result iterator blocks on shard *i* before
+        yielding shard *i+1* even when the latter finished first, so a
+        slow early shard used to delay every later shard's span and
+        busy-seconds attribution (and, for lanes, would serialize
+        nothing-in-common batches behind each other's stragglers).
+        """
+        futures = {
+            pool.submit(_worker_eval, task): f"{label_prefix}{shard}"
+            for shard, task in enumerate(tasks)
+        }
+
+        def completed():
+            for future in as_completed(futures):
+                yield futures[future], future.result()
+
+        return self._account_shards(completed())
 
     # -- the hot path -----------------------------------------------------------
     def submit(
@@ -716,61 +957,71 @@ class ParallelPlanExecutor:
         if pool is None:
             return self._submit_serial(data, spans, marginalized, missing_value)
 
-        in_shm = self._stage_segment("in", data.nbytes)
-        out_shm = self._stage_segment("out", rows * 8)
-        staged = np.ndarray((rows, n_cols), dtype=self._dtype, buffer=in_shm.buf)
-        np.copyto(staged, data)
-        out_view = np.ndarray((rows,), dtype=np.float64, buffer=out_shm.buf)
-
-        start = time.perf_counter()
-        tasks = [
-            (
-                in_shm.name,
-                out_shm.name,
-                begin,
-                end,
-                rows,
-                n_cols,
-                self._dtype.str,
-                marginalized,
-                missing_value,
+        # The legacy path owns the shared "in"/"out" staging pair, so
+        # two threads submitting this way must take turns (lane submits
+        # run lock-free on their own segments and overlap freely).
+        with self._legacy_stage_lock:
+            in_shm = self._stage_segment("in", data.nbytes)
+            out_shm = self._stage_segment("out", rows * 8)
+            staged = np.ndarray(
+                (rows, n_cols), dtype=self._dtype, buffer=in_shm.buf
             )
-            for begin, end in spans
-        ]
-        busy_by_pid: Dict[int, float] = {}
-        try:
-            for shard, (pid, t0, t1) in enumerate(
-                pool.map(_worker_eval, tasks)
-            ):
-                busy_by_pid[pid] = busy_by_pid.get(pid, 0.0) + (t1 - t0)
-                self._record_worker_span(pid, shard, t0, t1)
-        except BrokenProcessPool:
-            # A worker died (OOM killer, hard crash).  Degrade to the
-            # serial path rather than losing the batch.
-            pool.shutdown(wait=False)
-            self._pool = None
-            self._n_workers = 1
-            return self._submit_serial(data, spans, marginalized, missing_value)
-        except RuntimeError:
-            if self._closed:
-                raise ReproError(
-                    "ParallelPlanExecutor was close()d while a batch was "
-                    "in flight; construct a new executor to keep evaluating"
-                ) from None
-            raise
-        wall = time.perf_counter() - start
-        result = np.array(out_view[:rows])
+            np.copyto(staged, data)
+            out_view = np.ndarray((rows,), dtype=np.float64, buffer=out_shm.buf)
+
+            start = time.perf_counter()
+            keep_names = self._live_segment_names()
+            tasks = [
+                (
+                    in_shm.name,
+                    out_shm.name,
+                    begin,
+                    end,
+                    rows,
+                    n_cols,
+                    self._dtype.str,
+                    marginalized,
+                    missing_value,
+                    keep_names,
+                )
+                for begin, end in spans
+            ]
+            try:
+                busy_by_pid = self._run_pool_shards(pool, tasks, "shard")
+            except BrokenProcessPool:
+                # A worker died (OOM killer, hard crash).  Degrade to the
+                # serial path rather than losing the batch.
+                pool.shutdown(wait=False)
+                self._pool = None
+                self._n_workers = 1
+                return self._submit_serial(
+                    data, spans, marginalized, missing_value
+                )
+            except RuntimeError:
+                if self._closed:
+                    raise ReproError(
+                        "ParallelPlanExecutor was close()d while a batch "
+                        "was in flight; construct a new executor to keep "
+                        "evaluating"
+                    ) from None
+                raise
+            wall = time.perf_counter() - start
+            result = np.array(out_view[:rows])
 
         if self._m_submits is not None:
-            self._m_submits.add(1)
-            self._m_rows.add(rows)
-            self._m_shards.add(len(spans))
-            self._m_bytes_in.add(data.nbytes)
-            self._m_bytes_out.add(rows * 8)
-            self._m_compute.add(wall)
-            self._m_dispatch.add(max(0.0, wall - max(busy_by_pid.values())))
-            for pid, busy in busy_by_pid.items():
-                self._record_worker_busy(pid, busy)
+            with self._metrics_lock:
+                self._m_submits.add(1)
+                self._m_rows.add(rows)
+                self._m_shards.add(len(spans))
+                self._m_bytes_in.add(data.nbytes)
+                self._m_bytes_out.add(rows * 8)
+                self._m_staged_copied.add(data.nbytes)
+                self._m_compute.add(wall)
+                self._m_dispatch.add(
+                    max(0.0, wall - max(busy_by_pid.values()))
+                )
+                for pid, busy in busy_by_pid.items():
+                    self._record_worker_busy(pid, busy)
         return result
 
     def _submit_serial(
@@ -800,14 +1051,17 @@ class ParallelPlanExecutor:
                     missing_value=missing_value,
                     dtype=self._dtype,
                 )
-            self._record_worker_span(os.getpid(), shard, t0, time.perf_counter())
+            self._record_worker_span(
+                os.getpid(), f"shard{shard}", t0, time.perf_counter()
+            )
         wall = time.perf_counter() - start
         if self._m_submits is not None:
-            self._m_submits.add(1)
-            self._m_rows.add(rows)
-            self._m_shards.add(len(spans))
-            self._m_compute.add(wall)
-            self._record_worker_busy(os.getpid(), wall)
+            with self._metrics_lock:
+                self._m_submits.add(1)
+                self._m_rows.add(rows)
+                self._m_shards.add(len(spans))
+                self._m_compute.add(wall)
+                self._record_worker_busy(os.getpid(), wall)
         return out
 
     def _submit_threads(
@@ -841,12 +1095,176 @@ class ParallelPlanExecutor:
             threads=threads,
         )
         t1 = time.perf_counter()
-        self._record_worker_span(os.getpid(), 0, t0, t1)
+        self._record_worker_span(os.getpid(), "shard0", t0, t1)
         if self._m_submits is not None:
-            self._m_submits.add(1)
-            self._m_rows.add(rows)
-            self._m_shards.add(1)
-            self._m_compute.add(t1 - t0)
-            self._registry.counter("executor.kernel_threads").add(threads)
-            self._record_worker_busy(os.getpid(), t1 - t0)
+            with self._metrics_lock:
+                self._m_submits.add(1)
+                self._m_rows.add(rows)
+                self._m_shards.add(1)
+                self._m_compute.add(t1 - t0)
+                self._registry.counter("executor.kernel_threads").add(threads)
+                self._record_worker_busy(os.getpid(), t1 - t0)
         return out
+
+    # -- reentrant staging lanes -------------------------------------------------
+    def acquire_lane(self, capacity_rows: int) -> ExecutorLane:
+        """Check out a staging lane whose arena holds *capacity_rows*.
+
+        Lanes are the reentrant front door: each owns its own
+        shared-memory arena (or plain buffer in serial mode), so up to
+        ``max_lanes`` producers can stage **and** evaluate batches
+        concurrently — :meth:`ExecutorLane.submit` never touches the
+        legacy shared staging pair.  Released lanes (and their
+        segments) are pooled and reused; a re-acquire with a larger
+        capacity regrows the arena in place.  Raises
+        :class:`~repro.errors.ReproError` when all ``max_lanes`` lanes
+        are already out (the caller is holding lanes it never
+        released) or the executor is closed.
+        """
+        if self._closed:
+            raise ReproError(
+                "acquire_lane() on a closed ParallelPlanExecutor; "
+                "construct a new executor to keep evaluating"
+            )
+        if capacity_rows < 1:
+            raise ReproError(
+                f"capacity_rows must be >= 1, got {capacity_rows}"
+            )
+        with self._lane_lock:
+            if self._lane_free:
+                lane = self._lane_free.pop()
+            elif len(self._lanes) < self._max_lanes:
+                lane = ExecutorLane(self, len(self._lanes))
+                self._lanes.append(lane)
+            else:
+                raise ReproError(
+                    f"all {self._max_lanes} executor lanes are checked "
+                    "out; release() one or construct the executor with "
+                    "a larger max_lanes"
+                )
+            lane._prepare(capacity_rows)
+            lane._released = False
+            return lane
+
+    def _eval_lane_inline(
+        self,
+        lane: ExecutorLane,
+        data: np.ndarray,
+        marginalized: Optional[Tuple[int, ...]],
+        missing_value: Optional[float],
+    ) -> np.ndarray:
+        """Evaluate a lane's filled arena prefix in-process.
+
+        Covers the serial executor, kernel-thread dispatch, and the
+        degraded state after a pool death — the arena view is fed to
+        the evaluator directly, still zero-copy.
+        """
+        rows = data.shape[0]
+        t0 = time.perf_counter()
+        if self._kernel is not None:
+            threads = (
+                self._thread_count_for(rows)
+                if self._use_threads(rows) and self._kernel.supports_threads
+                else 1
+            )
+            out = self._kernel.log_likelihood(
+                data,
+                marginalized=marginalized,
+                missing_value=missing_value,
+                threads=threads,
+            )
+        else:
+            out = plan_log_likelihood(
+                self._plan,
+                data,
+                marginalized=marginalized,
+                missing_value=missing_value,
+                dtype=self._dtype,
+            )
+        t1 = time.perf_counter()
+        self._record_worker_span(
+            os.getpid(), f"lane{lane.lane_id}.shard0", t0, t1
+        )
+        if self._m_submits is not None:
+            with self._metrics_lock:
+                self._m_submits.add(1)
+                self._m_rows.add(rows)
+                self._m_shards.add(1)
+                self._m_compute.add(t1 - t0)
+                self._record_worker_busy(os.getpid(), t1 - t0)
+        return np.asarray(out, dtype=np.float64)
+
+    def _eval_lane_pool(
+        self,
+        lane: ExecutorLane,
+        pool: ProcessPoolExecutor,
+        rows: int,
+        marginalized: Optional[Tuple[int, ...]],
+        missing_value: Optional[float],
+    ) -> np.ndarray:
+        """Fan a lane's arena over the worker pool, zero staging copies.
+
+        The producer already wrote the rows into the lane's shared
+        input segment, so dispatch is purely task tuples down the pipe
+        (``executor.staged_bytes_copied`` stays 0 on this path);
+        shards are collected in completion order like every pooled
+        submit.
+        """
+        in_name, out_name = lane._shm_names
+        n_cols = lane._in_view.shape[1]
+        capacity = lane._capacity
+        spans = self._shard_spans(rows, None)
+        start = time.perf_counter()
+        keep_names = self._live_segment_names()
+        tasks = [
+            (
+                in_name,
+                out_name,
+                begin,
+                end,
+                capacity,
+                n_cols,
+                self._dtype.str,
+                marginalized,
+                missing_value,
+                keep_names,
+            )
+            for begin, end in spans
+        ]
+        try:
+            busy_by_pid = self._run_pool_shards(
+                pool, tasks, f"lane{lane.lane_id}.shard"
+            )
+        except BrokenProcessPool:
+            # Same degradation contract as submit(): finish this batch
+            # in-process; later submits see self._pool is None.
+            pool.shutdown(wait=False)
+            self._pool = None
+            self._n_workers = 1
+            return self._eval_lane_inline(
+                lane, lane._in_view[:rows], marginalized, missing_value
+            )
+        except RuntimeError:
+            if self._closed:
+                raise ReproError(
+                    "ParallelPlanExecutor was close()d while a lane batch "
+                    "was in flight; construct a new executor to keep "
+                    "evaluating"
+                ) from None
+            raise
+        wall = time.perf_counter() - start
+        result = np.array(lane._out_view[:rows])
+        if self._m_submits is not None:
+            with self._metrics_lock:
+                self._m_submits.add(1)
+                self._m_rows.add(rows)
+                self._m_shards.add(len(spans))
+                self._m_bytes_in.add(rows * n_cols * self._dtype.itemsize)
+                self._m_bytes_out.add(rows * 8)
+                self._m_compute.add(wall)
+                self._m_dispatch.add(
+                    max(0.0, wall - max(busy_by_pid.values()))
+                )
+                for pid, busy in busy_by_pid.items():
+                    self._record_worker_busy(pid, busy)
+        return result

@@ -243,6 +243,7 @@ def _cmd_serve(args):
         max_batch_rows=args.max_batch_rows,
         max_wait_ms=args.max_wait_ms,
         max_queue_rows=args.max_queue_rows,
+        n_lanes=args.lanes,
         slo_ms=args.slo_ms,
         n_workers=args.host_workers,
         trace_out=args.trace_out,
@@ -473,6 +474,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=4096,
         help="admission-control bound on queued rows; beyond it requests "
         "are shed (default 4096)",
+    )
+    serve.add_argument(
+        "--lanes",
+        type=int,
+        default=2,
+        help="micro-batches kept in flight concurrently over reentrant "
+        "executor lanes; 1 disables pipelining (default 2)",
     )
     serve.add_argument(
         "--slo-ms",

@@ -27,8 +27,13 @@ the codebase becomes a *trajectory* committed alongside it:
   host honestly records ~1.0 under its own fingerprint;
 * ``serving_throughput`` — burst-drain goodput (answered requests per
   wall second) of the async micro-batching broker on a single-worker
-  executor — the serve-path capacity ceiling the ``repro serve`` layer
-  adds on top of raw batch evaluation.
+  executor with two pipelined lanes — the serve-path capacity ceiling
+  the ``repro serve`` layer adds on top of raw batch evaluation;
+* ``serving_latency`` — p99 answer latency (ms, lower is better) of
+  the same pipelined datapath at a fixed Poisson rate well below
+  capacity — the tail-latency complement to the capacity ceiling: it
+  catches regressions that leave goodput intact but lengthen the
+  flush-window/dispatch/scatter path.
 
 Each sample carries a host/environment fingerprint (CPU count, python,
 numpy, machine, git SHA), and ``repro bench --check`` compares the
@@ -286,11 +291,13 @@ def _run_serving_throughput() -> Tuple[float, float]:
 
     # A burst drain, not a paced run: every request arrives at t=0, so
     # goodput is requests over time-to-drain — the serve-path capacity
-    # ceiling (event loop + coalescing + dispatch thread + kernel).  A
-    # paced Poisson load only measures the offered rate whenever the
+    # ceiling (event loop + arena coalescing + lane dispatch + kernel).
+    # A paced Poisson load only measures the offered rate whenever the
     # broker keeps up, which would make the trajectory sample a
     # constant.  The queue bound exceeds the burst so nothing sheds —
-    # shed requests would flatter a slow broker's goodput.
+    # shed requests would flatter a slow broker's goodput.  n_lanes=2
+    # is the pipelined-datapath default (docs/serving.md): batch k+1
+    # coalesces and dispatches while batch k still computes.
     n_requests = 20_000
     bench = nips_benchmark("NIPS10")
     data = host_cpu_batch("NIPS10", 4096)
@@ -298,12 +305,15 @@ def _run_serving_throughput() -> Tuple[float, float]:
 
     async def run() -> Tuple[float, float]:
         start = time.perf_counter()
-        with ParallelPlanExecutor(bench.spn, n_workers=1) as executor:
+        with ParallelPlanExecutor(
+            bench.spn, n_workers=1, max_lanes=3
+        ) as executor:
             async with MicroBatchBroker(
                 executor,
                 max_batch_rows=1024,
                 max_wait_ms=2.0,
                 max_queue_rows=100_000,
+                n_lanes=2,
             ) as broker:
                 result = await run_open_loop(broker, data, arrivals)
         if result.n_rejected or result.n_failed:
@@ -313,6 +323,55 @@ def _run_serving_throughput() -> Tuple[float, float]:
                 "would not measure goodput"
             )
         return result.goodput_rps, time.perf_counter() - start
+
+    return asyncio.run(run())
+
+
+def _run_serving_latency() -> Tuple[float, float]:
+    import asyncio
+
+    from repro.baselines.executor import ParallelPlanExecutor
+    from repro.experiments.utilization import host_cpu_batch
+    from repro.serving.broker import MicroBatchBroker
+    from repro.serving.loadgen import poisson_arrivals, run_open_loop
+    from repro.spn.nips import nips_benchmark
+
+    # The complement of the burst drain: p99 answer latency at a fixed
+    # offered rate *well below* capacity, where latency is set by the
+    # flush window + service + scatter path, not by queue growth.  The
+    # trajectory gate catches regressions that leave capacity intact
+    # but lengthen the tail (slower flush path, lost dispatch overlap,
+    # event-loop stalls).  Lower is better.
+    rate_rps, duration_s = 500.0, 3.0
+    bench = nips_benchmark("NIPS10")
+    data = host_cpu_batch("NIPS10", 4096)
+    warmup = poisson_arrivals(rate_rps, 0.3, seed=7)
+    arrivals = poisson_arrivals(rate_rps, duration_s, seed=13)
+
+    async def run() -> Tuple[float, float]:
+        start = time.perf_counter()
+        with ParallelPlanExecutor(
+            bench.spn, n_workers=1, max_lanes=3
+        ) as executor:
+            async with MicroBatchBroker(
+                executor,
+                max_batch_rows=512,
+                max_wait_ms=2.0,
+                max_queue_rows=100_000,
+                n_lanes=2,
+            ) as broker:
+                # A short unrecorded pass first: the measured p99 must
+                # reflect the steady-state answer path, not one-time
+                # plan/evaluator warm-up on the first batches.
+                await run_open_loop(broker, data, warmup)
+                result = await run_open_loop(broker, data, arrivals)
+        if result.n_rejected or result.n_failed:
+            raise ReproError(
+                f"serving_latency run shed/failed requests "
+                f"({result.n_rejected}/{result.n_failed}) - p99 would "
+                "not measure the answer path"
+            )
+        return result.p99_ms, time.perf_counter() - start
 
     return asyncio.run(run())
 
@@ -408,8 +467,20 @@ SCENARIOS: Dict[str, BenchScenario] = {
             tolerance=0.40,
             description="burst-drain goodput of the async micro-batching "
             "broker (20 k requests arriving at once, NIPS10, "
-            "single-worker executor, zero shed tolerated)",
+            "single-worker executor, 2 pipelined lanes, zero shed "
+            "tolerated)",
             runner=_run_serving_throughput,
+        ),
+        BenchScenario(
+            name="serving_latency",
+            unit="p99 ms",
+            higher_is_better=False,
+            tolerance=1.00,
+            description="p99 answer latency of the pipelined serving "
+            "datapath at a fixed 500 req/s Poisson load (NIPS10, "
+            "single-worker executor, 2 lanes, zero shed tolerated); "
+            "lower is better",
+            runner=_run_serving_latency,
         ),
         BenchScenario(
             name="native_threads",

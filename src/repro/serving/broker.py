@@ -12,38 +12,54 @@ persistent evaluation engine (normally a
 :class:`~repro.baselines.executor.ParallelPlanExecutor`, pool or
 thread dispatch, numpy or native backend):
 
-* **coalescing** — requests submitted while the engine is busy (or
-  within the batching window) are grouped per *query signature* — the
-  ``(marginalized, missing_value)`` pair — because the plan kernels
-  apply those per batch, not per row.  A batch flushes when it reaches
-  ``max_batch_rows`` or when the oldest request in it has waited
-  ``max_wait_ms``, whichever comes first: the two knobs of the
+* **coalescing, write-once** — requests submitted while the engine is
+  busy (or within the batching window) are grouped per *query
+  signature* — the ``(marginalized, missing_value)`` pair — because
+  the plan kernels apply those per batch, not per row.  Each request
+  row is validated **straight into a pre-allocated batch arena slot**
+  (shared-memory backed when the engine exposes executor lanes), so
+  the bytes a request carries are written exactly once on the whole
+  serve path: no per-request allocation, no ``np.stack`` at flush, no
+  ``np.copyto`` into executor staging.  The
+  ``serving.staged_bytes_copied`` metric guards this the way
+  ``executor.pickled_array_bytes`` guards the executor: it stays 0
+  whenever the zero-copy lane path is engaged.  A batch flushes when
+  it reaches ``max_batch_rows`` or when the oldest request in it has
+  waited ``max_wait_ms``, whichever comes first: the two knobs of the
   batching/latency trade-off (H2PIPE and Serpens pick their batch and
   stream widths statically for the same reason — here it adapts per
   window).
-* **non-blocking dispatch** — a flushed batch is handed to a
-  single-threaded dispatcher via :meth:`asyncio.loop.run_in_executor`,
-  so the event loop keeps accepting (and coalescing!) requests while a
-  kernel runs.  One dispatch thread serialises engine calls — the
-  executor's shared staging buffers are not re-entrant — and doubles
-  as the natural queueing point that grows batches under load: while
-  one batch computes, arrivals pile into the next.
-* **admission control** — the broker bounds the number of rows in the
-  system (pending + in flight) at ``max_queue_rows``.  Beyond it,
-  requests are shed at the door with
-  :class:`~repro.errors.ServingOverloadError` and counted in
-  ``serving.rejected``; under overload the system rejects load instead
-  of growing latency without bound.
+* **pipelined dispatch** — a flushed batch is handed to one of
+  ``n_lanes`` dispatcher threads via
+  :meth:`asyncio.loop.run_in_executor`, each driving its own reentrant
+  executor lane, so up to ``n_lanes`` batches are *in flight at once*
+  while the event loop keeps coalescing the next ones into the spare
+  arena.  Coalescing, kernel execution and result scatter overlap —
+  the software analogue of the paper's many concurrent HBM streams.
+  With ``n_lanes=1`` the broker degenerates to the classic
+  one-batch-in-flight queueing point whose service time grows batches
+  under load; with more lanes the *arena ring* (``n_lanes + 1``
+  arenas) is the queueing point instead.
+* **admission control + lane-aware backpressure** — the broker bounds
+  the number of rows in the system (pending + in flight + waiting for
+  an arena) at ``max_queue_rows``.  Beyond it, requests are shed at
+  the door with :class:`~repro.errors.ServingOverloadError` and
+  counted in ``serving.rejected``.  Below that bound, a request that
+  finds every arena busy *waits* (FIFO) for the next arena release
+  rather than allocating — backpressure surfaces as latency first,
+  shedding only past the hard bound, and
+  ``serving.arena_waits``/``serving.arenas_busy`` make the distinction
+  observable.
 * **observability** — with a :class:`~repro.obs.metrics.MetricsRegistry`
   attached the broker records ``serving.*`` counters/gauges; with a
   :class:`~repro.obs.trace_export.HostSpanRecorder` every dispatched
-  batch records a wall-clock span on the ``serving broker`` track, so
-  ``repro serve --trace-out`` renders a serving run in Perfetto next
-  to the executor's worker shards.
+  batch records a wall-clock span on its arena's ``serving lane{k}``
+  track, so ``repro serve --trace-out`` renders the overlapping
+  batches in Perfetto next to the executor's worker shards.
 
 Results are bit-identical to calling the engine directly with the same
-rows: the broker only concatenates rows and scatters the result vector
-back — it never touches the arithmetic.
+rows: the broker only places rows and scatters the result vector back
+— it never touches the arithmetic.
 """
 
 from __future__ import annotations
@@ -51,8 +67,9 @@ from __future__ import annotations
 import asyncio
 import itertools
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -75,6 +92,8 @@ class BrokerStats:
         "flush_full",
         "flush_wait",
         "flush_close",
+        "arena_waits",
+        "staged_bytes_copied",
     )
 
     def __init__(self):
@@ -85,6 +104,8 @@ class BrokerStats:
         self.flush_full = 0
         self.flush_wait = 0
         self.flush_close = 0
+        self.arena_waits = 0
+        self.staged_bytes_copied = 0
 
     @property
     def mean_batch_rows(self) -> float:
@@ -98,14 +119,33 @@ class BrokerStats:
         }
 
 
+class _Arena:
+    """One slot of the batch-arena ring.
+
+    ``view`` is the writable ``(max_batch_rows, n_variables)`` buffer
+    requests are validated into; ``lane`` is the backing
+    :class:`~repro.baselines.executor.ExecutorLane` when the engine
+    supports the zero-copy lane protocol (then ``view`` aliases the
+    lane's shared-memory arena), or ``None`` for plain lane-less
+    engines.
+    """
+
+    __slots__ = ("index", "view", "lane")
+
+    def __init__(self, index: int, view: np.ndarray, lane=None):
+        self.index = index
+        self.view = view
+        self.lane = lane
+
+
 class _PendingBatch:
-    """Rows + futures accumulating toward one engine call."""
+    """An arena filling with rows + futures toward one engine call."""
 
-    __slots__ = ("key", "rows", "futures", "created", "timer")
+    __slots__ = ("key", "arena", "futures", "created", "timer")
 
-    def __init__(self, key: _Key, created: float):
+    def __init__(self, key: _Key, arena: _Arena, created: float):
         self.key = key
-        self.rows: List[np.ndarray] = []
+        self.arena = arena
         self.futures: List[asyncio.Future] = []
         self.created = created
         self.timer: Optional[asyncio.TimerHandle] = None
@@ -117,34 +157,53 @@ class MicroBatchBroker:
     Parameters
     ----------
     engine:
-        The evaluation engine; anything with the executor's
+        The evaluation engine.  When it implements the executor lane
+        protocol (``acquire_lane(capacity_rows)`` returning objects
+        with ``arena``/``submit``/``release`` —
+        :class:`~repro.baselines.executor.ParallelPlanExecutor` does),
+        the broker's batch arenas *are* the engine's shared-memory
+        lane arenas and dispatch is fully zero-copy and reentrant.
+        Anything else with the executor's
         ``submit(data, *, marginalized=None, missing_value=None)``
-        contract returning a ``(rows,)`` float64 vector.  The broker
-        *uses* the engine but does not own it — closing the broker
-        never closes the engine.
+        contract still works: rows are staged once into broker-owned
+        arenas and the filled view is handed over (the engine may
+        restage internally — counted in
+        ``serving.staged_bytes_copied``).  The broker *uses* the
+        engine but does not own it — closing the broker never closes
+        the engine.
     n_variables:
         Row width every request must match.  Defaults to the engine's
         ``n_variables`` attribute when it has one.
     max_batch_rows:
         Flush a pending batch as soon as it holds this many rows.
+        Also each arena's capacity, so the ring pins
+        ``(n_lanes + 1) * max_batch_rows * n_variables * 8`` bytes.
     max_wait_ms:
         Flush a pending batch once its oldest request has waited this
         long — the latency the broker itself may add, and therefore
         the knob to set from the SLO (leave headroom for the kernel).
     max_queue_rows:
-        Bound on rows in the system (pending + dispatched, not yet
-        answered).  Requests beyond it are shed with
-        :class:`~repro.errors.ServingOverloadError`.
+        Bound on rows in the system (pending + dispatched + waiting
+        for an arena, not yet answered).  Requests beyond it are shed
+        with :class:`~repro.errors.ServingOverloadError`.
+    n_lanes:
+        Batches the broker keeps in flight concurrently (dispatch
+        threads, and executor lanes when the engine has them).  The
+        arena ring holds ``n_lanes + 1`` arenas so coalescing always
+        has a free arena while every lane computes.  Default 1 — the
+        PR 8 behaviour; serving sweeps default higher
+        (:func:`~repro.serving.scenarios.run_serve`).
     metrics:
         Optional :class:`~repro.obs.metrics.MetricsRegistry` for the
-        ``serving.*`` counters and the ``serving.queue_rows`` gauge.
+        ``serving.*`` counters and the ``serving.queue_rows`` /
+        ``serving.arenas_busy`` gauges.
     host_tracer:
         Optional :class:`~repro.obs.trace_export.HostSpanRecorder`;
-        every batch records a ``serving broker`` span (label
-        ``batch<N> <rows>r``), Perfetto-exportable.
+        every batch records a span (label ``batch<N> <rows>r``) on its
+        arena's ``serving lane{k}`` track, Perfetto-exportable.
 
     Use ``async with`` (or call :meth:`close`) so pending requests are
-    flushed and the dispatch thread is joined on shutdown.
+    flushed and the dispatch threads are joined on shutdown.
     """
 
     def __init__(
@@ -155,6 +214,7 @@ class MicroBatchBroker:
         max_batch_rows: int = 512,
         max_wait_ms: float = 2.0,
         max_queue_rows: int = 16384,
+        n_lanes: int = 1,
         metrics=None,
         host_tracer=None,
     ):
@@ -179,22 +239,36 @@ class MicroBatchBroker:
                 f"max_batch_rows ({max_batch_rows}); a queue smaller than "
                 "one batch can never fill one"
             )
+        if n_lanes < 1:
+            raise ServingError(f"n_lanes must be >= 1, got {n_lanes}")
         self._engine = engine
         self._n_variables = int(n_variables)
         self.max_batch_rows = int(max_batch_rows)
         self.max_wait_ms = float(max_wait_ms)
         self.max_queue_rows = int(max_queue_rows)
+        self.n_lanes = int(n_lanes)
         self.stats = BrokerStats()
         self._pending: Dict[_Key, _PendingBatch] = {}
         self._inflight: set = set()
         self._queued_rows = 0
         self._closed = False
         self._batch_ids = itertools.count()
-        # One dispatch thread: engine calls must not interleave (the
-        # executor's staging buffers are shared), and the serialisation
-        # is what lets batches grow while a kernel runs.
+        # The arena ring: one spare beyond the lane count so the event
+        # loop can always coalesce into a free arena while every
+        # dispatch lane computes.  Arenas are allocated lazily (a
+        # light-load broker over a lane engine pins one lane, not
+        # n_lanes + 1) and pooled forever after.
+        self._n_arenas = self.n_lanes + 1
+        self._arena_free: List[_Arena] = []
+        self._arena_count = 0
+        self._arenas_busy = 0
+        self._arena_waiters: Deque[asyncio.Future] = deque()
+        self._lane_api = hasattr(engine, "acquire_lane")
+        # n_lanes dispatch threads: engine lanes are reentrant, so up
+        # to n_lanes engine calls may interleave; each flushed batch
+        # occupies one thread (and one arena) for its service time.
         self._dispatch = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-serve"
+            max_workers=self.n_lanes, thread_name_prefix="repro-serve"
         )
         self._host_tracer = host_tracer
         if metrics is not None:
@@ -205,7 +279,10 @@ class MicroBatchBroker:
             self._m_batch_seconds = metrics.counter("serving.batch_seconds")
             self._m_flush_full = metrics.counter("serving.flush_full")
             self._m_flush_wait = metrics.counter("serving.flush_wait")
+            self._m_staged = metrics.counter("serving.staged_bytes_copied")
+            self._m_arena_waits = metrics.counter("serving.arena_waits")
             self._m_queue = metrics.gauge("serving.queue_rows")
+            self._m_arenas_busy = metrics.gauge("serving.arenas_busy")
         else:
             self._m_requests = None
             self._m_queue = None
@@ -226,6 +303,11 @@ class MicroBatchBroker:
         """Row width every request must match."""
         return self._n_variables
 
+    @property
+    def zero_copy(self) -> bool:
+        """True when arenas are engine lanes (no restaging anywhere)."""
+        return self._lane_api
+
     # -- the request path -------------------------------------------------------
     async def submit(
         self,
@@ -242,7 +324,8 @@ class MicroBatchBroker:
         ``None`` is a plain likelihood query, a ``marginalized`` set
         is a marginal query, a ``missing_value`` sentinel marks
         missing-data queries.  Requests with the same signature
-        coalesce into the same micro-batch.
+        coalesce into the same micro-batch; the row is written exactly
+        once, into the batch arena slot it will be evaluated from.
 
         Raises :class:`~repro.errors.ServingOverloadError` when the
         bounded queue is full (the request was shed, not queued) and
@@ -271,20 +354,63 @@ class MicroBatchBroker:
 
         loop = asyncio.get_running_loop()
         key: _Key = (marginalized, missing_value)
-        batch = self._pending.get(key)
-        if batch is None:
-            batch = _PendingBatch(key, loop.time())
-            self._pending[key] = batch
-            if self.max_wait_ms > 0:
-                batch.timer = loop.call_later(
-                    self.max_wait_ms / 1e3, self._flush, key, "wait"
-                )
+        try:
+            batch = await self._batch_for(key, loop)
+        except BaseException as exc:
+            # The request was admitted (counted into the queue bound)
+            # but never reached an arena slot — give its row back.
+            self._set_queued(self._queued_rows - 1)
+            if isinstance(exc, ServingOverloadError):
+                self.stats.rejected += 1
+                if self._m_requests is not None:
+                    self._m_rejected.add(1)
+            raise
+        # The single write of this request's payload on the serve
+        # path: straight into the arena slot the engine evaluates.
+        batch.arena.view[len(batch.futures)] = row
         future: asyncio.Future = loop.create_future()
-        batch.rows.append(row)
         batch.futures.append(future)
-        if len(batch.rows) >= self.max_batch_rows or self.max_wait_ms == 0:
+        if len(batch.futures) >= self.max_batch_rows or self.max_wait_ms == 0:
             self._flush(key, "full")
         return await future
+
+    async def _batch_for(self, key: _Key, loop) -> _PendingBatch:
+        """The pending batch for *key*, waiting for an arena if needed.
+
+        Lane-aware backpressure: when every arena in the ring is busy
+        (all lanes computing + the spare coalescing for other
+        signatures), the request parks on a FIFO waiter until an
+        in-flight batch releases its arena.  Waiting rows still count
+        against ``max_queue_rows``, so the hard admission bound sheds
+        first at the door — the wait only reorders *admitted* work.
+        """
+        waited = False
+        while True:
+            if self._closed:
+                raise ServingOverloadError(
+                    "broker closed while the request waited for a batch "
+                    "arena"
+                )
+            batch = self._pending.get(key)
+            if batch is not None:
+                return batch
+            arena = self._take_arena()
+            if arena is not None:
+                batch = _PendingBatch(key, arena, loop.time())
+                self._pending[key] = batch
+                if self.max_wait_ms > 0:
+                    batch.timer = loop.call_later(
+                        self.max_wait_ms / 1e3, self._flush, key, "wait"
+                    )
+                return batch
+            if not waited:
+                waited = True
+                self.stats.arena_waits += 1
+                if self._m_requests is not None:
+                    self._m_arena_waits.add(1)
+            waiter: asyncio.Future = loop.create_future()
+            self._arena_waiters.append(waiter)
+            await waiter
 
     def _check_row(self, values) -> np.ndarray:
         try:
@@ -303,9 +429,65 @@ class MicroBatchBroker:
         if self._m_queue is not None:
             self._m_queue.set(value)
 
+    # -- the arena ring ---------------------------------------------------------
+    def _take_arena(self) -> Optional[_Arena]:
+        """A free arena, or None when the whole ring is busy."""
+        if self._arena_free:
+            arena = self._arena_free.pop()
+        elif self._arena_count < self._n_arenas:
+            arena = self._new_arena()
+            if arena is None:
+                return None
+            self._arena_count += 1
+        else:
+            return None
+        self._arenas_busy += 1
+        if self._m_queue is not None:
+            self._m_arenas_busy.set(self._arenas_busy)
+        return arena
+
+    def _new_arena(self) -> Optional[_Arena]:
+        index = self._arena_count
+        if not self._lane_api:
+            view = np.empty(
+                (self.max_batch_rows, self._n_variables), dtype=np.float64
+            )
+            return _Arena(index, view)
+        try:
+            lane = self._engine.acquire_lane(self.max_batch_rows)
+        except ReproError:
+            if getattr(self._engine, "closed", False):
+                # A closed engine names its close() - more actionable
+                # than any lane-pool message the broker could invent.
+                raise
+            if self._arena_count > 0:
+                # Some other lane owner exhausted the executor's lane
+                # pool mid-life; run with the ring we already have.
+                return None
+            raise ServingError(
+                "the engine has no free executor lanes for the broker's "
+                "batch arenas - raise the executor's max_lanes above the "
+                f"broker's n_lanes={self.n_lanes} (+1 spare) or release "
+                "lanes held elsewhere"
+            ) from None
+        return _Arena(index, lane.arena, lane)
+
+    def _release_arena(self, arena: _Arena) -> None:
+        self._arenas_busy -= 1
+        if self._m_queue is not None:
+            self._m_arenas_busy.set(self._arenas_busy)
+        self._arena_free.append(arena)
+        # One arena can absorb at most max_batch_rows waiting rows
+        # before it is full again; waking more would thundering-herd
+        # straight back onto the deque.
+        for _ in range(min(len(self._arena_waiters), self.max_batch_rows)):
+            waiter = self._arena_waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+
     # -- flush + dispatch -------------------------------------------------------
     def _flush(self, key: _Key, reason: str) -> None:
-        """Move one pending batch onto the dispatch thread."""
+        """Move one pending batch onto a dispatch lane."""
         batch = self._pending.pop(key, None)
         if batch is None:  # timer raced a full-flush; nothing left to do
             return
@@ -318,33 +500,52 @@ class MicroBatchBroker:
         if self._m_requests is not None and reason in ("full", "wait"):
             (self._m_flush_full if reason == "full"
              else self._m_flush_wait).add(1)
-        data = np.stack(batch.rows)
         loop = asyncio.get_running_loop()
         call = loop.run_in_executor(
-            self._dispatch, self._run_batch, data, key, next(self._batch_ids)
+            self._dispatch,
+            self._run_batch,
+            batch,
+            len(batch.futures),
+            next(self._batch_ids),
         )
         task = loop.create_task(self._finish(batch, call))
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
 
-    def _run_batch(self, data: np.ndarray, key: _Key, batch_id: int):
-        """Dispatch-thread body: one engine call, wall-clock stamped."""
-        marginalized, missing_value = key
+    def _run_batch(self, batch: _PendingBatch, rows: int, batch_id: int):
+        """Dispatch-lane body: one engine call, wall-clock stamped.
+
+        Zero-copy (lane) arenas submit by row count — the engine
+        evaluates the very memory the requests were written into.
+        Lane-less engines get the filled view; whatever they restage
+        internally is what ``staged_bytes_copied`` reports.
+        """
+        marginalized, missing_value = batch.key
+        arena = batch.arena
         t0 = time.perf_counter()
-        out = self._engine.submit(
-            data, marginalized=marginalized, missing_value=missing_value
-        )
+        if arena.lane is not None:
+            out = arena.lane.submit(
+                rows, marginalized=marginalized, missing_value=missing_value
+            )
+            staged_bytes = 0
+        else:
+            view = arena.view[:rows]
+            out = self._engine.submit(
+                view, marginalized=marginalized, missing_value=missing_value
+            )
+            staged_bytes = view.nbytes
         t1 = time.perf_counter()
         if self._host_tracer is not None:
             self._host_tracer.record(
-                "serving broker", f"batch{batch_id} {data.shape[0]}r", t0, t1
+                f"serving lane{arena.index}", f"batch{batch_id} {rows}r",
+                t0, t1,
             )
-        return out, t1 - t0
+        return out, t1 - t0, staged_bytes
 
     async def _finish(self, batch: _PendingBatch, call) -> None:
         """Scatter one batch's results (or failure) onto its futures."""
         try:
-            out, seconds = await call
+            out, seconds, staged_bytes = await call
         except Exception as exc:  # noqa: BLE001 - forwarded, not swallowed
             for future in batch.futures:
                 if not future.done():
@@ -355,27 +556,32 @@ class MicroBatchBroker:
         else:
             self.stats.batches += 1
             self.stats.rows += len(batch.futures)
+            self.stats.staged_bytes_copied += staged_bytes
             if self._m_requests is not None:
                 self._m_batches.add(1)
                 self._m_rows.add(len(batch.futures))
                 self._m_batch_seconds.add(seconds)
+                self._m_staged.add(staged_bytes)
             for future, value in zip(batch.futures, out):
                 if not future.done():
                     future.set_result(float(value))
         finally:
             self._set_queued(self._queued_rows - len(batch.futures))
+            self._release_arena(batch.arena)
 
     # -- lifecycle --------------------------------------------------------------
     async def close(self, *, flush: bool = True) -> None:
         """Stop accepting requests and drain the broker.
 
         With ``flush=True`` (default) every pending batch is dispatched
-        and every in-flight batch is awaited — no accepted request is
-        ever dropped on shutdown.  With ``flush=False`` pending
-        requests are rejected with
-        :class:`~repro.errors.ServingOverloadError` (counted in
-        ``serving.rejected``) and only already-dispatched batches are
-        awaited.  Idempotent; the engine is left open for its owner.
+        and every in-flight batch is awaited — no request that reached
+        an arena is ever dropped on shutdown (requests still *waiting*
+        for an arena are shed with
+        :class:`~repro.errors.ServingOverloadError`; they hold no slot
+        to flush).  With ``flush=False`` pending requests are rejected
+        the same way and only already-dispatched batches are awaited.
+        Idempotent; the engine (and its lanes) is left open for its
+        owner, though the broker releases the lanes it acquired.
         """
         if self._closed:
             return
@@ -385,9 +591,18 @@ class MicroBatchBroker:
                 self._flush(key, "close")
             else:
                 self._reject_pending(key)
+        # Arena waiters wake into the closed broker and shed cleanly.
+        while self._arena_waiters:
+            waiter = self._arena_waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
         if self._inflight:
             await asyncio.gather(*list(self._inflight), return_exceptions=True)
         self._dispatch.shutdown(wait=True)
+        for arena in self._arena_free:
+            if arena.lane is not None:
+                arena.lane.release()
+        self._arena_free.clear()
 
     def _reject_pending(self, key: _Key) -> None:
         batch = self._pending.pop(key, None)
@@ -404,6 +619,7 @@ class MicroBatchBroker:
         if self._m_requests is not None:
             self._m_rejected.add(len(batch.futures))
         self._set_queued(self._queued_rows - len(batch.futures))
+        self._release_arena(batch.arena)
 
     async def __aenter__(self) -> "MicroBatchBroker":
         """Async context entry: the broker itself."""

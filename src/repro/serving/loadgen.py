@@ -32,7 +32,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -178,6 +178,10 @@ async def run_open_loop(
     slo_ms: Optional[float] = None,
     marginalized: Optional[Sequence[int]] = None,
     missing_value: Optional[float] = None,
+    query_mix: Optional[
+        Sequence[Tuple[Optional[Sequence[int]], Optional[float]]]
+    ] = None,
+    on_result: Optional[Callable[[int, float], None]] = None,
 ) -> LoadResult:
     """Drive *broker* with one pre-drawn arrival trace, open-loop.
 
@@ -187,6 +191,14 @@ async def run_open_loop(
     ServingOverloadError`) are counted, not retried; per-request
     latency is send-to-answer wall time.  Goodput is answered requests
     over the span from first send to last answer.
+
+    *query_mix*, when given, overrides the run-wide *marginalized* /
+    *missing_value* pair per request: request *i* carries signature
+    ``query_mix[i % len(query_mix)]``, interleaving likelihood,
+    marginal and missing-value traffic through the broker's
+    signature-keyed batches.  *on_result* (``callback(i, value)``) is
+    invoked with each answered request's index and log-likelihood, so
+    callers can verify values without closing the loop.
     """
     arrivals = np.asarray(arrivals, dtype=np.float64)
     if arrivals.size == 0:
@@ -195,19 +207,25 @@ async def run_open_loop(
         raise ServingError(
             f"data must be a non-empty 2-D matrix, got shape {data.shape}"
         )
+    if query_mix is not None and len(query_mix) == 0:
+        raise ServingError("query_mix must be non-empty when given")
     loop = asyncio.get_running_loop()
     latencies: list = []
     counts = {"ok": 0, "rejected": 0, "failed": 0}
     start = loop.time()
 
-    async def issue(offset: float, row: np.ndarray) -> None:
+    async def issue(i: int, offset: float, row: np.ndarray) -> None:
         delay = start + offset - loop.time()
         if delay > 0:
             await asyncio.sleep(delay)
+        if query_mix is not None:
+            marg, miss = query_mix[i % len(query_mix)]
+        else:
+            marg, miss = marginalized, missing_value
         sent = time.perf_counter()
         try:
-            await broker.submit(
-                row, marginalized=marginalized, missing_value=missing_value
+            value = await broker.submit(
+                row, marginalized=marg, missing_value=miss
             )
         except ServingOverloadError:
             counts["rejected"] += 1
@@ -216,11 +234,13 @@ async def run_open_loop(
         else:
             counts["ok"] += 1
             latencies.append(time.perf_counter() - sent)
+            if on_result is not None:
+                on_result(i, value)
 
     t0 = time.perf_counter()
     await asyncio.gather(
         *(
-            issue(float(offset), data[i % data.shape[0]])
+            issue(i, float(offset), data[i % data.shape[0]])
             for i, offset in enumerate(arrivals)
         )
     )

@@ -8,9 +8,11 @@ needs — *where does delivered throughput saturate, and what happens to
 latency and batch size on the way there?*
 
 Also home of ``--selftest``, the CI smoke contract: a short low-load
-Poisson run must meet its p99 SLO with zero shed requests, proving the
-whole serve path (asyncio broker → dispatch thread → executor →
-result scatter) end to end in a few seconds.
+Poisson run mixing likelihood, marginal and missing-value queries must
+meet its p99 SLO with zero shed requests **and** return every answer
+bit-identical to the plan evaluator, proving the whole serve path
+(asyncio broker → arena ring → executor lanes → result scatter) and
+its signature-keyed batch isolation end to end in a few seconds.
 """
 
 from __future__ import annotations
@@ -35,6 +37,50 @@ __all__ = ["run_serve", "run_serve_selftest"]
 #: Offered-rate ladder of the default ``repro serve`` sweep.
 DEFAULT_RATES: Tuple[float, ...] = (200.0, 1000.0, 4000.0)
 
+#: Default in-flight batch lanes for serving sweeps (the broker's own
+#: default stays 1; sweeps want the pipelined datapath).
+DEFAULT_LANES = 2
+
+
+class _SweepRunner:
+    """One event loop for a whole sweep.
+
+    ``asyncio.Runner`` (3.11+) when available, a bare
+    ``new_event_loop``/``run_until_complete`` pair otherwise — either
+    way every rate point reuses the same loop, so broker/lane state
+    and flush timers live on one loop that is created once and torn
+    down deterministically at the end of the sweep, instead of a fresh
+    ``asyncio.run`` universe per point.
+    """
+
+    def __init__(self):
+        runner_cls = getattr(asyncio, "Runner", None)
+        if runner_cls is not None:
+            self._runner = runner_cls()
+            self._loop = None
+        else:  # pragma: no cover - Python < 3.11
+            self._runner = None
+            self._loop = asyncio.new_event_loop()
+
+    def run(self, coro):
+        """Run one coroutine to completion on the sweep's loop."""
+        if self._runner is not None:
+            return self._runner.run(coro)
+        return self._loop.run_until_complete(coro)  # pragma: no cover
+
+    def close(self) -> None:
+        """Tear the loop down (cancels stragglers, closes the loop)."""
+        if self._runner is not None:
+            self._runner.close()
+        else:  # pragma: no cover - Python < 3.11
+            self._loop.close()
+
+    def __enter__(self) -> "_SweepRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
 
 def _arrival_trace(arrival: str, rate: float, duration_s: float, seed: int):
     if arrival == "poisson":
@@ -55,6 +101,7 @@ def run_serve(
     max_batch_rows: int = 512,
     max_wait_ms: float = 5.0,
     max_queue_rows: int = 4096,
+    n_lanes: int = DEFAULT_LANES,
     slo_ms: Optional[float] = 50.0,
     n_workers: Optional[int] = 1,
     backend: Optional[str] = None,
@@ -63,12 +110,16 @@ def run_serve(
 ) -> Tuple[str, List[LoadResult]]:
     """Sweep one benchmark's broker across an offered-rate ladder.
 
-    One executor serves every rate point; each point gets a fresh
-    broker (and metrics registry) so its counters reduce cleanly to a
-    :class:`~repro.serving.loadgen.LoadResult` row.  With *trace_out*
-    the run's wall-clock spans — broker batches next to executor
-    worker shards — and final ``serving.*`` counters are exported as a
-    Chrome/Perfetto JSON file.  Returns ``(table text, results)``.
+    One executor and one event loop serve every rate point; each point
+    gets a fresh broker (and reuses the executor's pooled lanes) so
+    its counters reduce cleanly to a
+    :class:`~repro.serving.loadgen.LoadResult` row.  *n_lanes* batches
+    are kept in flight concurrently over the executor's reentrant
+    lanes — the pipelined zero-copy datapath (docs/serving.md).  With
+    *trace_out* the run's wall-clock spans — per-lane broker batches
+    next to executor worker shards — and final ``serving.*`` counters
+    are exported as a Chrome/Perfetto JSON file.  Returns
+    ``(table text, results)``.
     """
     from repro.baselines.executor import ParallelPlanExecutor
     from repro.experiments.utilization import host_cpu_batch
@@ -78,6 +129,8 @@ def run_serve(
         raise ServingError(f"duration_s must be > 0, got {duration_s}")
     if not rates:
         raise ServingError("at least one offered rate is required")
+    if n_lanes < 1:
+        raise ServingError(f"n_lanes must be >= 1, got {n_lanes}")
     bench = nips_benchmark(benchmark)
     data = host_cpu_batch(benchmark, 4096)
     recorder = HostSpanRecorder() if trace_out is not None else None
@@ -90,8 +143,9 @@ def run_serve(
         bench.spn,
         n_workers=n_workers,
         backend=backend,
+        max_lanes=n_lanes + 1,
         host_tracer=recorder,
-    ) as executor:
+    ) as executor, _SweepRunner() as runner:
         for index, rate in enumerate(rates):
             arrivals = _arrival_trace(arrival, float(rate), duration_s,
                                       seed + index)
@@ -102,6 +156,7 @@ def run_serve(
                     max_batch_rows=max_batch_rows,
                     max_wait_ms=max_wait_ms,
                     max_queue_rows=max_queue_rows,
+                    n_lanes=n_lanes,
                     metrics=metrics,
                     host_tracer=recorder,
                 ) as broker:
@@ -113,14 +168,14 @@ def run_serve(
                         slo_ms=slo_ms,
                     )
 
-            results.append(asyncio.run(run_point()))
+            results.append(runner.run(run_point()))
 
     lines = [
         f"Serving sweep - {benchmark}, {arrival} arrivals, "
         f"{duration_s:g} s/point, SLO "
         f"{'-' if slo_ms is None else f'{slo_ms:g} ms'} "
         f"(max_batch_rows={max_batch_rows}, max_wait_ms={max_wait_ms:g}, "
-        f"max_queue_rows={max_queue_rows})",
+        f"max_queue_rows={max_queue_rows}, n_lanes={n_lanes})",
         "",
         format_load_results(results),
     ]
@@ -145,22 +200,75 @@ SELFTEST_RATE_RPS = 200.0
 SELFTEST_DURATION_S = 1.0
 SELFTEST_SLO_MS = 250.0
 
+#: The selftest's interleaved traffic: plain likelihood, a marginal
+#: query and a missing-value query, cycling per request — every
+#: signature-keyed batch path is exercised in one run.
+SELFTEST_QUERY_MIX: Tuple[
+    Tuple[Optional[Tuple[int, ...]], Optional[float]], ...
+] = (
+    (None, None),
+    ((0, 1), None),
+    (None, None),
+    (None, -1.0),
+)
+
 
 def run_serve_selftest(benchmark: str = "NIPS10") -> Tuple[str, int]:
-    """Short Poisson run with hard assertions; ``(text, exit code)``.
+    """Short mixed-traffic run with hard assertions; ``(text, exit code)``.
 
-    Exit 0 iff every request was answered (zero shed, zero failed) and
-    p99 latency stayed under the selftest SLO.
+    Exit 0 iff every request was answered (zero shed, zero failed),
+    p99 latency stayed under the selftest SLO, the zero-copy lane path
+    was engaged (``serving.staged_bytes_copied == 0``), and every
+    returned value — likelihood, marginal and missing-value queries
+    interleaved per :data:`SELFTEST_QUERY_MIX` — is bit-identical to
+    :func:`~repro.spn.plan_eval.plan_log_likelihood` on the same row,
+    proving signature-keyed batch isolation end to end.
     """
-    text, results = run_serve(
-        benchmark,
-        rates=(SELFTEST_RATE_RPS,),
-        duration_s=SELFTEST_DURATION_S,
-        slo_ms=SELFTEST_SLO_MS,
-        max_wait_ms=5.0,
-        n_workers=1,
+    from repro.baselines.executor import ParallelPlanExecutor
+    from repro.experiments.utilization import host_cpu_batch
+    from repro.spn.nips import nips_benchmark
+    from repro.spn.plan import get_plan
+    from repro.spn.plan_eval import plan_log_likelihood
+
+    bench = nips_benchmark(benchmark)
+    data = host_cpu_batch(benchmark, 1024)
+    plan = get_plan(bench.spn)
+    arrivals = poisson_arrivals(
+        SELFTEST_RATE_RPS, SELFTEST_DURATION_S, seed=11
     )
-    (result,) = results
+    # Reference answers, one batch per signature in the mix, computed
+    # outside the serving stack entirely.
+    reference = {
+        signature: plan_log_likelihood(
+            plan, data, marginalized=signature[0], missing_value=signature[1]
+        )
+        for signature in set(SELFTEST_QUERY_MIX)
+    }
+    answers: dict = {}
+    metrics = MetricsRegistry()
+
+    async def run_point() -> LoadResult:
+        async with MicroBatchBroker(
+            executor,
+            max_wait_ms=5.0,
+            n_lanes=DEFAULT_LANES,
+            metrics=metrics,
+        ) as broker:
+            return await run_open_loop(
+                broker,
+                data,
+                arrivals,
+                name=f"mixed@{SELFTEST_RATE_RPS:g}",
+                slo_ms=SELFTEST_SLO_MS,
+                query_mix=SELFTEST_QUERY_MIX,
+                on_result=lambda i, value: answers.__setitem__(i, value),
+            )
+
+    with ParallelPlanExecutor(
+        bench.spn, n_workers=1, max_lanes=DEFAULT_LANES + 1
+    ) as executor, _SweepRunner() as runner:
+        result = runner.run(run_point())
+
     problems = []
     if result.n_rejected:
         problems.append(f"{result.n_rejected} request(s) shed at low load")
@@ -170,8 +278,31 @@ def run_serve_selftest(benchmark: str = "NIPS10") -> Tuple[str, int]:
         problems.append(
             f"p99 {result.p99_ms:.1f} ms over the {SELFTEST_SLO_MS:g} ms SLO"
         )
+    staged = metrics.counter("serving.staged_bytes_copied").value
+    if staged:
+        problems.append(
+            f"serving.staged_bytes_copied = {staged:g} (zero-copy arena "
+            "path not engaged)"
+        )
+    n_wrong = sum(
+        1
+        for i, value in answers.items()
+        if value
+        != reference[SELFTEST_QUERY_MIX[i % len(SELFTEST_QUERY_MIX)]][
+            i % data.shape[0]
+        ]
+    )
+    if n_wrong:
+        problems.append(
+            f"{n_wrong}/{len(answers)} answer(s) differ from plan_eval "
+            "(signature-keyed batch isolation broken)"
+        )
     verdict = (
-        "serve selftest PASS" if not problems
+        "serve selftest PASS "
+        f"({len(answers)} mixed queries bit-identical to plan_eval, "
+        "staged_bytes_copied=0)"
+        if not problems
         else "serve selftest FAIL: " + "; ".join(problems)
     )
+    text = format_load_results([result])
     return f"{text}\n\n{verdict}", 0 if not problems else 1

@@ -410,3 +410,176 @@ def test_check_batch_rejects_bad_input():
         check_batch(np.zeros(7))
     with pytest.raises(ReproError):
         check_batch(np.zeros((5, 3)), dtype=np.int64)
+
+
+# -- reentrant staging lanes (the serving zero-copy datapath) -----------------
+
+
+def test_lane_submit_bit_identical_serial_and_pooled(setup):
+    """Lane evaluation is pure transport: writing rows into the arena
+    and submitting matches plan evaluation bit for bit, with zero
+    staged copies, on both the serial and the pooled executor."""
+    spn, data = setup
+    batch = data[:300]
+    for n_workers in (1, 2):
+        metrics = MetricsRegistry()
+        with ParallelPlanExecutor(
+            spn, n_workers=n_workers, min_rows_per_shard=64, metrics=metrics
+        ) as executor:
+            reference = executor.submit(batch)
+            lane = executor.acquire_lane(512)
+            assert lane.capacity_rows >= 300
+            lane.arena[: batch.shape[0]] = batch
+            out = lane.submit(batch.shape[0])
+            lane.release()
+        assert np.array_equal(out, reference)
+        assert metrics.counter("executor.staged_bytes_copied").value == (
+            batch.nbytes if n_workers > 1 else 0
+        ), "only the legacy copyto submit may stage bytes"
+        assert metrics.counter("executor.pickled_array_bytes").value == 0
+
+
+def test_lane_queries_marginal_and_missing(setup, executor):
+    spn, data = setup
+    batch = data[:50].copy()
+    batch[batch == 3] = -1.0
+    lane = executor.acquire_lane(64)
+    lane.arena[:50] = batch
+    out_marg = lane.submit(50, marginalized=(1, 5))
+    reference = executor.submit(batch, marginalized=(1, 5))
+    assert np.array_equal(out_marg, reference)
+    lane.arena[:50] = batch
+    out_miss = lane.submit(50, missing_value=-1.0)
+    assert np.array_equal(out_miss, executor.submit(batch, missing_value=-1.0))
+    lane.release()
+
+
+def test_lanes_are_pooled_and_regrow(setup, executor):
+    lane = executor.acquire_lane(16)
+    first_id = lane.lane_id
+    lane.release()
+    regrown = executor.acquire_lane(1024)
+    assert regrown.lane_id == first_id  # reused, not newly allocated
+    assert regrown.capacity_rows >= 1024
+    regrown.release()
+
+
+def test_lane_exhaustion_and_misuse_raise(setup):
+    spn, _ = setup
+    with ParallelPlanExecutor(spn, n_workers=1, max_lanes=2) as executor:
+        lanes = [executor.acquire_lane(8), executor.acquire_lane(8)]
+        with pytest.raises(ReproError, match="lanes"):
+            executor.acquire_lane(8)
+        lane = lanes[0]
+        lane.release()
+        lane.release()  # idempotent
+        with pytest.raises(ReproError, match="release"):
+            lane.submit(1)
+        with pytest.raises(ReproError, match="arena"):
+            _ = lane.arena
+        again = executor.acquire_lane(8)
+        again.arena[0] = np.zeros(8)
+        with pytest.raises(ReproError, match="rows"):
+            again.submit(9)
+        with pytest.raises(ReproError, match="capacity_rows"):
+            executor.acquire_lane(0)
+    with pytest.raises(ReproError, match="close"):
+        executor.acquire_lane(8)
+
+
+def test_lane_release_after_close_is_safe(setup):
+    spn, data = setup
+    executor = ParallelPlanExecutor(spn, n_workers=2)
+    lane = executor.acquire_lane(32)
+    lane.arena[:4] = data[:4]
+    executor.close()
+    lane.release()  # no-op, no resurrection of freed segments
+    with pytest.raises(ReproError, match="close"):
+        lane.submit(4)
+
+
+def test_concurrent_lane_submits_are_consistent(setup):
+    """Reentrancy: two threads hammering two lanes of one executor
+    never cross results — each lane's answers match its own rows."""
+    import threading
+
+    spn, data = setup
+    errors = []
+    with ParallelPlanExecutor(spn, n_workers=2, min_rows_per_shard=64) as ex:
+        reference_a = ex.submit(data[:256])
+        reference_b = ex.submit(data[256:512])
+
+        def worker(rows, reference):
+            try:
+                lane = ex.acquire_lane(256)
+                for _ in range(5):
+                    lane.arena[:256] = rows
+                    out = lane.submit(256)
+                    if not np.array_equal(out, reference):
+                        errors.append("lane result mismatch")
+                lane.release()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(data[:256], reference_a)),
+            threading.Thread(target=worker, args=(data[256:512], reference_b)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    assert errors == []
+
+
+# -- completion-order shard accounting (span attribution) ---------------------
+
+
+class _Recorder:
+    def __init__(self):
+        self.spans = []
+
+    def record(self, track, label, begin, end):
+        self.spans.append((track, label, begin, end))
+
+
+def test_span_attribution_follows_completion_order(setup):
+    """Regression for the pool.map head-of-line block: a slow shard 0
+    must not delay the attribution of shards that finished first —
+    _account_shards folds stamps in the order they complete."""
+    spn, _ = setup
+    recorder = _Recorder()
+    metrics = MetricsRegistry()
+    with ParallelPlanExecutor(
+        spn, n_workers=1, metrics=metrics, host_tracer=recorder
+    ) as executor:
+        # Completion order: shard2 (fast), shard1, then the slow shard0.
+        completed = iter(
+            [
+                ("shard2", (111, 10.0, 10.5)),
+                ("shard1", (222, 10.0, 11.0)),
+                ("shard0", (111, 10.0, 14.0)),
+            ]
+        )
+        busy = executor._account_shards(completed)
+    assert [label for (_, label, _, _) in recorder.spans] == [
+        "shard2", "shard1", "shard0"
+    ]
+    assert busy == {111: pytest.approx(4.5), 222: pytest.approx(1.0)}
+    # Worker slots assigned in first-seen (completion) order.
+    assert [track for (track, _, _, _) in recorder.spans] == [
+        "executor worker0", "executor worker1", "executor worker0"
+    ]
+
+
+def test_pooled_submit_records_one_span_per_shard(setup):
+    spn, data = setup
+    recorder = _Recorder()
+    with ParallelPlanExecutor(
+        spn, n_workers=2, min_rows_per_shard=64, host_tracer=recorder
+    ) as executor:
+        if executor.n_workers == 1:
+            pytest.skip("process pool unavailable in this sandbox")
+        executor.submit(data[:512], n_shards=4)
+    labels = sorted(label for (_, label, _, _) in recorder.spans)
+    assert labels == ["shard0", "shard1", "shard2", "shard3"]

@@ -84,6 +84,32 @@ class TestPercentiles:
         with pytest.raises(ServingError, match="zero completions"):
             percentile_summary([])
 
+    def test_single_sample_is_every_percentile(self):
+        # n=1: every nearest-rank percentile is the one observation.
+        summary = percentile_summary([7.25])
+        assert summary["p50"] == 7.25
+        assert summary["p95"] == 7.25
+        assert summary["p99"] == 7.25
+        assert summary["mean"] == 7.25
+        assert summary["max"] == 7.25
+
+    def test_two_samples_take_the_higher_rank(self):
+        # n=2, method="higher": the 50th percentile's fractional rank
+        # (0.5 of the way from 1.0 to 9.0) rounds *up* to the second
+        # observation — never an interpolated 5.0.
+        summary = percentile_summary([9.0, 1.0])
+        assert summary["p50"] == 9.0
+        assert summary["p95"] == 9.0
+        assert summary["p99"] == 9.0
+        assert summary["mean"] == 5.0
+        assert summary["max"] == 9.0
+
+    def test_all_equal_samples_are_degenerate(self):
+        summary = percentile_summary([4.0] * 5)
+        assert summary == {
+            "p50": 4.0, "p95": 4.0, "p99": 4.0, "mean": 4.0, "max": 4.0
+        }
+
 
 def drive(engine, arrivals, **broker_kwargs):
     data = np.arange(12.0, dtype=np.float64).reshape(4, 3)
@@ -140,6 +166,47 @@ class TestOpenLoop:
         assert result.n_ok + result.n_rejected == 64
         # Everything admitted was answered within the bounded queue.
         assert result.n_failed == 0
+
+    def test_query_mix_cycles_signatures_and_reports_values(self):
+        """Mixed traffic: request i carries query_mix[i % len], the
+        broker keeps the signatures in separate batches, and on_result
+        hands back every answered (index, value) pair."""
+        engine = FakeEngine()
+        mix = [(None, None), ((0, 1), None), (None, -1.0)]
+        answers = {}
+
+        async def scenario():
+            data = np.arange(12.0, dtype=np.float64).reshape(4, 3)
+            async with MicroBatchBroker(
+                engine, max_batch_rows=64, max_wait_ms=2.0
+            ) as broker:
+                return await run_open_loop(
+                    broker,
+                    data,
+                    np.linspace(0.0, 0.1, 12),
+                    name="mix",
+                    query_mix=mix,
+                    on_result=lambda i, value: answers.__setitem__(i, value),
+                )
+
+        result = asyncio.run(scenario())
+        assert result.n_ok == 12
+        signatures = {(marg, miss) for (_, marg, miss) in engine.calls}
+        assert signatures == {(None, None), ((0, 1), None), (None, -1.0)}
+        # Every answered request reported exactly once, with the
+        # engine's value for its row (row i%4 starts at 3*(i%4)).
+        assert sorted(answers) == list(range(12))
+        assert all(answers[i] == (i % 4) * 30.0 for i in answers)
+
+    def test_empty_query_mix_rejected(self):
+        async def scenario():
+            async with MicroBatchBroker(FakeEngine()) as broker:
+                await run_open_loop(
+                    broker, np.zeros((1, 3)), np.array([0.0]), query_mix=[]
+                )
+
+        with pytest.raises(ServingError, match="query_mix"):
+            asyncio.run(scenario())
 
     def test_empty_trace_rejected(self):
         async def scenario():
