@@ -394,6 +394,7 @@ class ExecutorLane:
         *,
         marginalized: Optional[Sequence[int]] = None,
         missing_value: Optional[float] = None,
+        stamps: Optional[dict] = None,
     ) -> np.ndarray:
         """Evaluate the first *rows* arena rows; returns float64 lls.
 
@@ -402,6 +403,14 @@ class ExecutorLane:
         plan evaluator and the native kernel both allocate per-call
         scratch only).  A single lane is one producer's staging buffer
         — callers must not submit the same lane concurrently.
+
+        When a *stamps* dict is supplied, the executor fills it with
+        ``kernel_start``/``kernel_end`` (``perf_counter`` bounds of
+        the engine call) and ``worker_track`` (the trace track of the
+        worker span covering them, when host tracing is on) — the
+        request-tracing hooks the serving broker threads into its
+        per-stage histograms and Perfetto flow arrows.  Results are
+        identical with and without it.
         """
         executor = self._executor
         if executor._closed:
@@ -425,10 +434,10 @@ class ExecutorLane:
         pool = executor._pool
         if pool is None or executor._use_threads(rows) or not self._shm_names:
             return executor._eval_lane_inline(
-                self, data, marginalized, missing_value
+                self, data, marginalized, missing_value, stamps=stamps
             )
         return executor._eval_lane_pool(
-            self, pool, rows, marginalized, missing_value
+            self, pool, rows, marginalized, missing_value, stamps=stamps
         )
 
     def release(self) -> None:
@@ -1152,6 +1161,7 @@ class ParallelPlanExecutor:
         data: np.ndarray,
         marginalized: Optional[Tuple[int, ...]],
         missing_value: Optional[float],
+        stamps: Optional[dict] = None,
     ) -> np.ndarray:
         """Evaluate a lane's filled arena prefix in-process.
 
@@ -1185,6 +1195,15 @@ class ParallelPlanExecutor:
         self._record_worker_span(
             os.getpid(), f"lane{lane.lane_id}.shard0", t0, t1
         )
+        if stamps is not None:
+            stamps["kernel_start"] = t0
+            stamps["kernel_end"] = t1
+            if self._host_tracer is not None:
+                # The worker span above starts exactly at kernel_start,
+                # so a flow arrow finishing there lands inside it.
+                stamps["worker_track"] = (
+                    f"executor worker{self._worker_slot(os.getpid())}"
+                )
         if self._m_submits is not None:
             with self._metrics_lock:
                 self._m_submits.add(1)
@@ -1201,6 +1220,7 @@ class ParallelPlanExecutor:
         rows: int,
         marginalized: Optional[Tuple[int, ...]],
         missing_value: Optional[float],
+        stamps: Optional[dict] = None,
     ) -> np.ndarray:
         """Fan a lane's arena over the worker pool, zero staging copies.
 
@@ -1242,7 +1262,8 @@ class ParallelPlanExecutor:
             self._pool = None
             self._n_workers = 1
             return self._eval_lane_inline(
-                lane, lane._in_view[:rows], marginalized, missing_value
+                lane, lane._in_view[:rows], marginalized, missing_value,
+                stamps=stamps,
             )
         except RuntimeError:
             if self._closed:
@@ -1253,6 +1274,12 @@ class ParallelPlanExecutor:
                 ) from None
             raise
         wall = time.perf_counter() - start
+        if stamps is not None:
+            # Pooled shards overlap across worker processes, so the
+            # kernel interval is the pool fan-out wall; no single
+            # worker span covers it.
+            stamps["kernel_start"] = start
+            stamps["kernel_end"] = start + wall
         result = np.array(lane._out_view[:rows])
         if self._m_submits is not None:
             with self._metrics_lock:

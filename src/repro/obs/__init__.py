@@ -1,12 +1,16 @@
-"""Observability: metrics, utilization reports, trace export, bench.
+"""Observability: metrics, tracing, telemetry export, reports, bench.
 
 See :mod:`repro.obs.metrics` for the registry the simulated components
-update, :mod:`repro.obs.report` for the fused
-:class:`UtilizationReport`, :mod:`repro.obs.trace_export` for the
-Chrome/Perfetto exporter (``repro trace``) and :mod:`repro.obs.bench`
-for the benchmark trajectory recorder (``repro bench``);
-``docs/observability.md`` maps every report field to the paper claim
-it measures.
+update (counters, gauges, time-weighted stats and log-bucketed
+:class:`LogHistogram` latency histograms), :mod:`repro.obs.rtrace` for
+request-scoped tracing through the serving datapath,
+:mod:`repro.obs.exporter` for streaming telemetry snapshots
+(Prometheus text / JSON) and SLO error-budget burn tracking,
+:mod:`repro.obs.report` for the fused :class:`UtilizationReport`,
+:mod:`repro.obs.trace_export` for the Chrome/Perfetto exporter
+(``repro trace``) and :mod:`repro.obs.bench` for the benchmark
+trajectory recorder (``repro bench``); ``docs/observability.md`` maps
+every report field to the paper claim it measures.
 """
 
 from repro.obs.bench import (
@@ -17,6 +21,13 @@ from repro.obs.bench import (
     env_fingerprint,
     record_scenarios,
 )
+from repro.obs.exporter import (
+    PeriodicTelemetryWriter,
+    SLOTracker,
+    TelemetryServer,
+    TelemetrySnapshotter,
+)
+from repro.obs.hist import LogHistogram
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, TimeWeightedStat
 from repro.obs.report import (
     ChannelUtilization,
@@ -24,8 +35,15 @@ from repro.obs.report import (
     ExecutorUtilization,
     MemoryBlockStats,
     PEUtilization,
+    ServingStageLatency,
+    ServingUtilization,
     UtilizationReport,
     WorkerUtilization,
+)
+from repro.obs.rtrace import (
+    RequestTrace,
+    RequestTraceRecorder,
+    add_request_flows,
 )
 from repro.obs.trace_export import (
     ChromeTraceBuilder,
@@ -37,6 +55,7 @@ from repro.obs.trace_export import (
 __all__ = [
     "Counter",
     "Gauge",
+    "LogHistogram",
     "MetricsRegistry",
     "TimeWeightedStat",
     "ChannelUtilization",
@@ -44,8 +63,17 @@ __all__ = [
     "ExecutorUtilization",
     "MemoryBlockStats",
     "PEUtilization",
+    "ServingStageLatency",
+    "ServingUtilization",
     "UtilizationReport",
     "WorkerUtilization",
+    "RequestTrace",
+    "RequestTraceRecorder",
+    "add_request_flows",
+    "PeriodicTelemetryWriter",
+    "SLOTracker",
+    "TelemetryServer",
+    "TelemetrySnapshotter",
     "ChromeTraceBuilder",
     "HostSpan",
     "HostSpanRecorder",

@@ -332,6 +332,8 @@ def _run_serving_latency() -> Tuple[float, float]:
 
     from repro.baselines.executor import ParallelPlanExecutor
     from repro.experiments.utilization import host_cpu_batch
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.rtrace import RequestTraceRecorder
     from repro.serving.broker import MicroBatchBroker
     from repro.serving.loadgen import poisson_arrivals, run_open_loop
     from repro.spn.nips import nips_benchmark
@@ -342,6 +344,11 @@ def _run_serving_latency() -> Tuple[float, float]:
     # trajectory gate catches regressions that leave capacity intact
     # but lengthen the tail (slower flush path, lost dispatch overlap,
     # event-loop stalls).  Lower is better.
+    #
+    # Telemetry (registry + default-sampled request tracing) is ON for
+    # the measured run: the gated p99 bounds the observability
+    # overhead too, so per-stage histograms and 1-in-16 flow sampling
+    # can never quietly cost the tail what they claim to measure.
     rate_rps, duration_s = 500.0, 3.0
     bench = nips_benchmark("NIPS10")
     data = host_cpu_batch("NIPS10", 4096)
@@ -359,6 +366,8 @@ def _run_serving_latency() -> Tuple[float, float]:
                 max_wait_ms=2.0,
                 max_queue_rows=100_000,
                 n_lanes=2,
+                metrics=MetricsRegistry(),
+                rtrace=RequestTraceRecorder(),
             ) as broker:
                 # A short unrecorded pass first: the measured p99 must
                 # reflect the steady-state answer path, not one-time

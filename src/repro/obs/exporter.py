@@ -1,0 +1,348 @@
+"""Streaming telemetry export: Prometheus text, JSON snapshots, SLOs.
+
+The metrics registry and the per-stage latency histograms are
+in-process objects; a serving deployment needs them *outside* the
+process while the broker runs.  This module is the export edge:
+
+* :class:`TelemetrySnapshotter` — one consistent cut of a
+  :class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges, time
+  stats, histograms) plus optional SLO state, rendered either as a
+  JSON document or as Prometheus text exposition (quantiles as
+  ``summary`` metrics, the convention for client-side histograms);
+* :class:`PeriodicTelemetryWriter` — a daemon thread rewriting the
+  JSON snapshot to a file every interval (``repro serve
+  --telemetry-out``), final snapshot flushed on stop, so a crashed or
+  killed run still leaves its last-known state on disk;
+* :class:`TelemetryServer` — a localhost-only HTTP endpoint
+  (``repro serve --metrics-port``) serving ``/metrics`` (Prometheus
+  text) and ``/telemetry`` (JSON) from live registry state — point a
+  Prometheus scraper or ``curl`` at a running sweep;
+* :class:`SLOTracker` — rolling-window error-budget accounting against
+  a latency SLO: with target compliance ``target`` (default 99%), the
+  error budget is the ``1 - target`` fraction of requests allowed over
+  the SLO, and the **burn rate** is how many times faster than budget
+  the window is consuming it (burn 1.0 = exactly on budget, > 1 =
+  will exhaust it; the Google SRE workbook convention).  Shed requests
+  burn budget too — a shed user is not a served user, which is exactly
+  the survivorship bias the shed-visibility fix removes.
+
+Everything here *reads* instruments; nothing on the serve hot path
+blocks on export (the HTTP server and the writer run on their own
+threads, snapshots take the registry lock only long enough to copy).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Deque, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "SLOTracker",
+    "TelemetrySnapshotter",
+    "PeriodicTelemetryWriter",
+    "TelemetryServer",
+    "prometheus_name",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Quantile label → histogram-summary key, for Prometheus rendering.
+_PROM_QUANTILES: Tuple[Tuple[str, str], ...] = (
+    ("0.5", "p50"),
+    ("0.95", "p95"),
+    ("0.99", "p99"),
+    ("0.999", "p999"),
+)
+
+
+def prometheus_name(name: str, prefix: str = "repro") -> str:
+    """A dotted metric name as a legal Prometheus metric name."""
+    return f"{prefix}_{_NAME_RE.sub('_', name)}"
+
+
+class SLOTracker:
+    """Rolling-window error-budget burn rate against a latency SLO.
+
+    :meth:`record` each answered request's latency (and
+    :meth:`record_shed` each shed one); :meth:`state` reduces the
+    window to violation rate and burn rate.  The window is a deque of
+    ``(stamp, violated)`` pairs pruned to *window_s* — fixed work per
+    request, no sample retention beyond the window.  Stamps default to
+    ``time.perf_counter()`` and can be passed explicitly for
+    deterministic tests.
+    """
+
+    def __init__(
+        self,
+        slo_ms: float,
+        *,
+        target: float = 0.99,
+        window_s: float = 60.0,
+    ):
+        if slo_ms <= 0:
+            raise ReproError(f"slo_ms must be > 0, got {slo_ms}")
+        if not 0.0 < target < 1.0:
+            raise ReproError(
+                f"target must be strictly between 0 and 1, got {target}"
+            )
+        if window_s <= 0:
+            raise ReproError(f"window_s must be > 0, got {window_s}")
+        self.slo_ms = float(slo_ms)
+        self.target = float(target)
+        self.window_s = float(window_s)
+        self._events: Deque[Tuple[float, bool]] = deque()
+        self._lock = threading.Lock()
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window_s
+        while self._events and self._events[0][0] < horizon:
+            self._events.popleft()
+
+    def record(self, latency_s: float, *, now: Optional[float] = None) -> None:
+        """Record one answered request's latency (seconds)."""
+        now = time.perf_counter() if now is None else now
+        violated = latency_s * 1e3 > self.slo_ms
+        with self._lock:
+            self._events.append((now, violated))
+            self._prune(now)
+
+    def record_shed(self, *, now: Optional[float] = None) -> None:
+        """Record one shed request (always an SLO violation)."""
+        now = time.perf_counter() if now is None else now
+        with self._lock:
+            self._events.append((now, True))
+            self._prune(now)
+
+    def state(self, *, now: Optional[float] = None) -> dict:
+        """The window's SLO accounting as a JSON-native dict."""
+        now = time.perf_counter() if now is None else now
+        with self._lock:
+            self._prune(now)
+            n = len(self._events)
+            n_violations = sum(1 for _, violated in self._events if violated)
+        violation_rate = n_violations / n if n else 0.0
+        budget = 1.0 - self.target
+        burn_rate = violation_rate / budget if n else 0.0
+        return {
+            "slo_ms": self.slo_ms,
+            "target": self.target,
+            "window_s": self.window_s,
+            "window_requests": n,
+            "window_violations": n_violations,
+            "violation_rate": violation_rate,
+            "error_budget": budget,
+            "burn_rate": burn_rate,
+            "budget_remaining": max(0.0, 1.0 - burn_rate),
+        }
+
+
+class TelemetrySnapshotter:
+    """Consistent registry + SLO cuts, as JSON or Prometheus text."""
+
+    def __init__(self, metrics, *, slo: Optional[SLOTracker] = None):
+        self._metrics = metrics
+        self._slo = slo
+        self._epoch = time.perf_counter()
+
+    def snapshot(self) -> dict:
+        """One JSON-native telemetry document."""
+        return {
+            "schema_version": 1,
+            "uptime_seconds": time.perf_counter() - self._epoch,
+            "metrics": self._metrics.snapshot(),
+            "slo": self._slo.state() if self._slo is not None else None,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The snapshot serialised as JSON text."""
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def to_prometheus(self) -> str:
+        """The snapshot in Prometheus text exposition format.
+
+        Counters become ``counter`` metrics, gauges ``gauge`` pairs
+        (value + ``_max`` high-water), time stats gauge pairs
+        (``_mean``/``_max``), histograms ``summary`` metrics with
+        quantile labels plus ``_sum``/``_count``, and the SLO state a
+        handful of gauges (``repro_slo_burn_rate`` is the alerting
+        handle).
+        """
+        snap = self._metrics.snapshot()
+        lines = []
+
+        def emit(name: str, kind: str, samples) -> None:
+            lines.append(f"# TYPE {name} {kind}")
+            for suffix, value in samples:
+                if value is None or value != value:
+                    continue
+                lines.append(f"{name}{suffix} {value:g}")
+
+        for name, value in snap["counters"].items():
+            emit(prometheus_name(name), "counter", [("", value)])
+        for name, values in snap["gauges"].items():
+            pname = prometheus_name(name)
+            emit(pname, "gauge", [("", values["value"])])
+            emit(pname + "_max", "gauge", [("", values["max"])])
+        for name, values in snap["time_stats"].items():
+            pname = prometheus_name(name)
+            emit(pname + "_mean", "gauge", [("", values["mean"])])
+            emit(pname + "_max", "gauge", [("", values["max"])])
+        for name, values in snap["histograms"].items():
+            pname = prometheus_name(name)
+            emit(
+                pname,
+                "summary",
+                [
+                    ('{quantile="%s"}' % q, values[key])
+                    for q, key in _PROM_QUANTILES
+                ]
+                + [("_sum", values["sum"]), ("_count", values["count"])],
+            )
+        if self._slo is not None:
+            state = self._slo.state()
+            for key in (
+                "burn_rate",
+                "violation_rate",
+                "budget_remaining",
+                "window_requests",
+                "window_violations",
+            ):
+                emit(prometheus_name(f"slo.{key}"), "gauge",
+                     [("", state[key])])
+        return "\n".join(lines) + "\n"
+
+
+class PeriodicTelemetryWriter:
+    """Daemon thread rewriting the JSON snapshot to a file on a cadence.
+
+    ``start()``/``stop()`` (or use as a context manager); *stop*
+    always writes one final snapshot, so the file on disk reflects the
+    run's end state even when the interval never elapsed.
+    """
+
+    def __init__(
+        self,
+        snapshotter: TelemetrySnapshotter,
+        path: str,
+        *,
+        interval_s: float = 1.0,
+    ):
+        if interval_s <= 0:
+            raise ReproError(f"interval_s must be > 0, got {interval_s}")
+        self._snapshotter = snapshotter
+        self.path = path
+        self.interval_s = float(interval_s)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.n_writes = 0
+
+    def _write(self) -> None:
+        with open(self.path, "w") as handle:
+            handle.write(self._snapshotter.to_json())
+        self.n_writes += 1
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self._write()
+
+    def start(self) -> "PeriodicTelemetryWriter":
+        """Write an initial snapshot and start the cadence thread."""
+        self._write()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-telemetry", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the thread and write the final snapshot."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._write()
+
+    def __enter__(self) -> "PeriodicTelemetryWriter":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+class TelemetryServer:
+    """Localhost HTTP endpoint serving live telemetry.
+
+    ``GET /metrics`` returns the Prometheus text exposition,
+    ``GET /telemetry`` (or ``/telemetry.json``) the JSON snapshot —
+    rendered from live registry state per request.  Binds
+    ``127.0.0.1`` only (telemetry is not an open service); pass port 0
+    to let the OS pick (the bound port is :attr:`port`).
+    """
+
+    def __init__(self, snapshotter: TelemetrySnapshotter, *, port: int = 0):
+        snapshotter_ref = snapshotter
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 - http.server API
+                if self.path in ("/metrics", "/metrics/"):
+                    body = snapshotter_ref.to_prometheus().encode()
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                elif self.path in ("/telemetry", "/telemetry.json", "/"):
+                    body = snapshotter_ref.to_json().encode()
+                    ctype = "application/json"
+                else:
+                    self.send_error(404, "unknown telemetry path")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):  # silence per-request stderr
+                pass
+
+        self._server = ThreadingHTTPServer(("127.0.0.1", port), _Handler)
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint."""
+        return f"http://127.0.0.1:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        """Serve on a daemon thread until :meth:`stop`."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-telemetry-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

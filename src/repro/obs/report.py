@@ -20,7 +20,12 @@ quantities the paper's claims are stated in:
   zero-copy :class:`~repro.baselines.executor.ParallelPlanExecutor`
   (``executor.*`` metrics present), per-worker busy fractions,
   shared-memory traffic and the pickled-payload counter that the
-  zero-copy regression guard asserts stays at zero.
+  zero-copy regression guard asserts stays at zero;
+* **serving datapath accounting** — when the run went through the
+  micro-batching broker (``serving.*`` metrics present), request/
+  batch/shed counts and the per-stage latency decomposition
+  (``serving.batch_form`` → ``serving.scatter``) recorded by the
+  broker's log-bucketed histograms (:mod:`repro.obs.hist`).
 
 Reports are plain frozen dataclasses of primitives: picklable (so
 sweep workers can return them) and exportable as JSON for downstream
@@ -43,8 +48,15 @@ __all__ = [
     "MemoryBlockStats",
     "WorkerUtilization",
     "ExecutorUtilization",
+    "ServingStageLatency",
+    "ServingUtilization",
     "UtilizationReport",
 ]
+
+#: Stage histogram names reported in the serving section, path order.
+_SERVING_STAGES = (
+    "batch_form", "queue_wait", "dispatch", "kernel", "scatter", "e2e",
+)
 
 
 def _merged_intervals(spans) -> List[Tuple[float, float]]:
@@ -164,6 +176,35 @@ class ExecutorUtilization:
 
 
 @dataclass(frozen=True)
+class ServingStageLatency:
+    """One serving-datapath stage's latency histogram summary."""
+
+    stage: str
+    count: int
+    p50_ms: float
+    p99_ms: float
+
+
+@dataclass(frozen=True)
+class ServingUtilization:
+    """Micro-batching broker accounting (see ``docs/serving.md``).
+
+    Stage summaries come from the broker's per-stage
+    :class:`~repro.obs.hist.LogHistogram` instruments; the stages
+    partition the end-to-end path, so their medians sum to roughly
+    the ``e2e`` median (the serving selftest gates on 10%).
+    """
+
+    requests: int
+    rejected: int
+    batches: int
+    rows: int
+    #: Mean rows coalesced per dispatched batch.
+    mean_batch_rows: float
+    stages: Tuple[ServingStageLatency, ...]
+
+
+@dataclass(frozen=True)
 class UtilizationReport:
     """Fused utilization view of one runtime execution."""
 
@@ -180,6 +221,9 @@ class UtilizationReport:
     #: Host-CPU executor accounting; ``None`` unless the run recorded
     #: ``executor.*`` metrics.
     executor: Optional[ExecutorUtilization] = None
+    #: Serving-broker accounting; ``None`` unless the run recorded
+    #: ``serving.*`` metrics.
+    serving: Optional[ServingUtilization] = None
 
     # -- construction -----------------------------------------------------------
     @classmethod
@@ -306,6 +350,35 @@ class UtilizationReport:
                 workers=tuple(workers),
             )
 
+        serving: Optional[ServingUtilization] = None
+        if metrics.has("serving.requests"):
+            batches = int(metrics.value("serving.batches"))
+            rows = int(metrics.value("serving.rows"))
+            stages: List[ServingStageLatency] = []
+            for stage in _SERVING_STAGES:
+                name = f"serving.{stage}"
+                if not metrics.has(name):
+                    continue
+                hist = metrics.histogram(name)
+                if hist.count == 0:
+                    continue
+                stages.append(
+                    ServingStageLatency(
+                        stage=stage,
+                        count=hist.count,
+                        p50_ms=hist.p50 * 1e3,
+                        p99_ms=hist.p99 * 1e3,
+                    )
+                )
+            serving = ServingUtilization(
+                requests=int(metrics.value("serving.requests")),
+                rejected=int(metrics.value("serving.rejected")),
+                batches=batches,
+                rows=rows,
+                mean_batch_rows=rows / batches if batches else 0.0,
+                stages=tuple(stages),
+            )
+
         overlap_seconds: Optional[float] = None
         overlap_fraction: Optional[float] = None
         if tracer is not None:
@@ -327,6 +400,7 @@ class UtilizationReport:
             dma_compute_overlap_seconds=overlap_seconds,
             dma_compute_overlap_fraction=overlap_fraction,
             executor=executor,
+            serving=serving,
         )
 
     # -- export -----------------------------------------------------------------
@@ -337,6 +411,8 @@ class UtilizationReport:
             out[key] = list(out[key])
         if out["executor"] is not None:
             out["executor"]["workers"] = list(out["executor"]["workers"])
+        if out["serving"] is not None:
+            out["serving"]["stages"] = list(out["serving"]["stages"])
         return out
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -367,6 +443,17 @@ class UtilizationReport:
                 f"host workers busy {mean_busy:.0%} "
                 f"({self.executor.shards} shards)"
             )
+        if self.serving is not None:
+            digest = (
+                f"serving {self.serving.requests} reqs "
+                f"({self.serving.rejected} shed)"
+            )
+            e2e = next(
+                (s for s in self.serving.stages if s.stage == "e2e"), None
+            )
+            if e2e is not None:
+                digest += f", e2e p99 {e2e.p99_ms:.2f} ms"
+            parts.append(digest)
         return ", ".join(parts)
 
     def format_text(self) -> str:
@@ -381,6 +468,8 @@ class UtilizationReport:
         )
         if host_only:
             lines.extend(self._format_executor_lines())
+            if self.serving is not None:
+                lines.extend(self._format_serving_lines())
             return "\n".join(lines)
         lines.append("  PEs:")
         for pe in self.pes:
@@ -421,6 +510,8 @@ class UtilizationReport:
             )
         if self.executor is not None:
             lines.extend(self._format_executor_lines())
+        if self.serving is not None:
+            lines.extend(self._format_serving_lines())
         return "\n".join(lines)
 
     def _format_executor_lines(self) -> List[str]:
@@ -441,5 +532,22 @@ class UtilizationReport:
                 f"    worker{worker.index}: "
                 f"busy {worker.busy_seconds * 1e3:.3f} ms "
                 f"({worker.busy_fraction:.1%} of elapsed)"
+            )
+        return lines
+
+    def _format_serving_lines(self) -> List[str]:
+        """Render the serving-broker section of :meth:`format_text`."""
+        sv = self.serving
+        assert sv is not None
+        lines = [
+            "  serving broker:",
+            f"    {sv.requests} requests ({sv.rejected} shed), "
+            f"{sv.rows} rows in {sv.batches} batches "
+            f"(mean {sv.mean_batch_rows:.1f} rows/batch)",
+        ]
+        for stage in sv.stages:
+            lines.append(
+                f"    {stage.stage}: p50 {stage.p50_ms:.3f} ms, "
+                f"p99 {stage.p99_ms:.3f} ms ({stage.count} obs)"
             )
         return lines

@@ -236,6 +236,80 @@ class ChromeTraceBuilder:
             }
         )
 
+    def add_flow(
+        self,
+        pid: int,
+        track: str,
+        name: str,
+        at_seconds: float,
+        *,
+        flow_id: int,
+        phase: str,
+        category: str = "request",
+    ) -> None:
+        """Add one flow event ("s" start / "t" step / "f" finish).
+
+        Flow events with one *flow_id* draw a connected arrow between
+        the slices enclosing them: viewers bind each event to the
+        span covering ``at_seconds`` on ``(pid, track)``, so the
+        timestamp must land inside an already-added "X" span there
+        (the finish event carries ``bp: "e"`` to bind to the enclosing
+        slice, per the trace format spec).
+        """
+        if phase not in ("s", "t", "f"):
+            raise ReproError(
+                f"flow phase must be 's', 't' or 'f', got {phase!r}"
+            )
+        event = {
+            "name": name,
+            "cat": category,
+            "ph": phase,
+            "ts": at_seconds * _SECONDS_TO_US,
+            "pid": pid,
+            "tid": self._tid(pid, track),
+            "id": flow_id,
+        }
+        if phase == "f":
+            event["bp"] = "e"
+        self._events.append(event)
+
+    def add_async_span(
+        self,
+        pid: int,
+        track: str,
+        name: str,
+        begin_seconds: float,
+        end_seconds: float,
+        *,
+        async_id: int,
+        category: str = "request",
+    ) -> None:
+        """Add one async ("b"/"e") interval.
+
+        Async events live on their own rows grouped by
+        ``(category, async_id)`` — the natural shape for a request's
+        end-to-end lifetime, which overlaps other requests' and so
+        cannot be a nested "X" slice on a single thread track.
+        """
+        if end_seconds < begin_seconds:
+            raise ReproError(
+                f"async span ends before it begins "
+                f"({begin_seconds} > {end_seconds})"
+            )
+        tid = self._tid(pid, track)
+        for phase, at in (("b", begin_seconds), ("e", end_seconds)):
+            self._events.append(
+                {
+                    "name": name,
+                    "cat": category,
+                    "ph": phase,
+                    "ts": at * _SECONDS_TO_US,
+                    "pid": pid,
+                    "tid": tid,
+                    "id": async_id,
+                }
+            )
+
     def _announce_default(self, pid: int) -> None:
         """Name a process group by convention if the caller did not."""
         if pid in self._named_processes:
@@ -328,6 +402,7 @@ class ChromeTraceBuilder:
             "n_events": len(events),
             "n_spans": sum(1 for e in events if e["ph"] == "X"),
             "n_counters": sum(1 for e in events if e["ph"] == "C"),
+            "n_flows": sum(1 for e in events if e["ph"] in ("s", "t", "f")),
         }
 
 

@@ -51,11 +51,17 @@ thread dispatch, numpy or native backend):
   ``serving.arena_waits``/``serving.arenas_busy`` make the distinction
   observable.
 * **observability** — with a :class:`~repro.obs.metrics.MetricsRegistry`
-  attached the broker records ``serving.*`` counters/gauges; with a
-  :class:`~repro.obs.trace_export.HostSpanRecorder` every dispatched
+  attached the broker records ``serving.*`` counters/gauges plus
+  per-stage latency histograms (``serving.batch_form`` /
+  ``queue_wait`` / ``dispatch`` / ``kernel`` / ``scatter`` / ``e2e``
+  and ``serving.shed`` — the five stages partition e2e exactly); with
+  a :class:`~repro.obs.trace_export.HostSpanRecorder` every dispatched
   batch records a wall-clock span on its arena's ``serving lane{k}``
-  track, so ``repro serve --trace-out`` renders the overlapping
-  batches in Perfetto next to the executor's worker shards.
+  track; with a :class:`~repro.obs.rtrace.RequestTraceRecorder`
+  sampled requests carry stage stamps end to end and export as
+  Perfetto flow arrows, so ``repro serve --trace-out`` renders the
+  overlapping batches *and* clickable per-request flows next to the
+  executor's worker shards.
 
 Results are bit-identical to calling the engine directly with the same
 rows: the broker only places rows and scatters the result vector back
@@ -74,6 +80,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ReproError, ServingError, ServingOverloadError
+from repro.obs.rtrace import STAGE_HISTOGRAMS
 
 __all__ = ["MicroBatchBroker", "BrokerStats"]
 
@@ -139,9 +146,17 @@ class _Arena:
 
 
 class _PendingBatch:
-    """An arena filling with rows + futures toward one engine call."""
+    """An arena filling with rows + futures toward one engine call.
 
-    __slots__ = ("key", "arena", "futures", "created", "timer")
+    ``enqueues``/``traces`` parallel ``futures`` but are only appended
+    when the broker is timing (metrics or request tracing attached) —
+    with both off, a batch carries nothing beyond the PR 9 state.
+    """
+
+    __slots__ = (
+        "key", "arena", "futures", "created", "timer",
+        "enqueues", "traces", "sealed",
+    )
 
     def __init__(self, key: _Key, arena: _Arena, created: float):
         self.key = key
@@ -149,6 +164,9 @@ class _PendingBatch:
         self.futures: List[asyncio.Future] = []
         self.created = created
         self.timer: Optional[asyncio.TimerHandle] = None
+        self.enqueues: List[float] = []
+        self.traces: List[Optional[object]] = []
+        self.sealed = 0.0
 
 
 class MicroBatchBroker:
@@ -201,6 +219,18 @@ class MicroBatchBroker:
         Optional :class:`~repro.obs.trace_export.HostSpanRecorder`;
         every batch records a span (label ``batch<N> <rows>r``) on its
         arena's ``serving lane{k}`` track, Perfetto-exportable.
+    rtrace:
+        Optional :class:`~repro.obs.rtrace.RequestTraceRecorder`.
+        Sampled requests (1-in-N, recorder-configured) carry a
+        :class:`~repro.obs.rtrace.RequestTrace` through the broker and
+        land in the recorder's ring with every stage-boundary stamp —
+        :func:`~repro.obs.rtrace.add_request_flows` turns them into
+        Perfetto flow arrows across loadgen, broker, lane and executor
+        worker tracks.  With *metrics* attached the same stamps also
+        feed the per-stage latency histograms (``serving.batch_form``
+        / ``queue_wait`` / ``dispatch`` / ``kernel`` / ``scatter`` /
+        ``e2e``, plus ``serving.shed`` for time-to-rejection).  With
+        neither attached no stamps are ever taken.
 
     Use ``async with`` (or call :meth:`close`) so pending requests are
     flushed and the dispatch threads are joined on shutdown.
@@ -217,6 +247,7 @@ class MicroBatchBroker:
         n_lanes: int = 1,
         metrics=None,
         host_tracer=None,
+        rtrace=None,
     ):
         if n_variables is None:
             n_variables = getattr(engine, "n_variables", None)
@@ -283,9 +314,23 @@ class MicroBatchBroker:
             self._m_arena_waits = metrics.counter("serving.arena_waits")
             self._m_queue = metrics.gauge("serving.queue_rows")
             self._m_arenas_busy = metrics.gauge("serving.arenas_busy")
+            self._h_e2e = metrics.histogram("serving.e2e")
+            self._h_shed = metrics.histogram("serving.shed")
+            self._h_stage = {
+                name: metrics.histogram(f"serving.{name}")
+                for name, _, _ in STAGE_HISTOGRAMS
+            }
         else:
             self._m_requests = None
             self._m_queue = None
+            self._h_e2e = None
+            self._h_shed = None
+            self._h_stage = None
+        self._rtrace = rtrace
+        # One flag guards every stamp site: with neither metrics nor a
+        # request-trace recorder attached, the broker takes zero extra
+        # perf_counter() readings on the request path.
+        self._timing = metrics is not None or rtrace is not None
 
     # -- introspection ----------------------------------------------------------
     @property
@@ -339,6 +384,10 @@ class MicroBatchBroker:
         row = self._check_row(values)
         if marginalized is not None:
             marginalized = tuple(sorted(int(v) for v in marginalized))
+        enqueue_t = time.perf_counter() if self._timing else 0.0
+        trace = self._rtrace.sample() if self._rtrace is not None else None
+        if trace is not None:
+            trace.stamp("enqueue", enqueue_t)
         if self._m_requests is not None:
             self._m_requests.add(1)
         self.stats.requests += 1
@@ -346,6 +395,7 @@ class MicroBatchBroker:
             self.stats.rejected += 1
             if self._m_requests is not None:
                 self._m_rejected.add(1)
+            self._record_shed(enqueue_t, trace)
             raise ServingOverloadError(
                 f"request shed: {self._queued_rows} rows queued >= "
                 f"max_queue_rows={self.max_queue_rows}"
@@ -364,12 +414,16 @@ class MicroBatchBroker:
                 self.stats.rejected += 1
                 if self._m_requests is not None:
                     self._m_rejected.add(1)
+                self._record_shed(enqueue_t, trace)
             raise
         # The single write of this request's payload on the serve
         # path: straight into the arena slot the engine evaluates.
         batch.arena.view[len(batch.futures)] = row
         future: asyncio.Future = loop.create_future()
         batch.futures.append(future)
+        if self._timing:
+            batch.enqueues.append(enqueue_t)
+            batch.traces.append(trace)
         if len(batch.futures) >= self.max_batch_rows or self.max_wait_ms == 0:
             self._flush(key, "full")
         return await future
@@ -428,6 +482,25 @@ class MicroBatchBroker:
         self._queued_rows = value
         if self._m_queue is not None:
             self._m_queue.set(value)
+
+    def _record_shed(self, enqueue_t: float, trace) -> None:
+        """Account one shed request: time-to-rejection + trace marker.
+
+        Shed requests used to vanish into a bare counter, so a sweep
+        point could report a great p99 while quietly refusing a third
+        of its offered load — the ``serving.shed`` histogram makes the
+        shed path cost (how long a doomed request held the event loop)
+        first-class next to the served-path latencies.
+        """
+        if not self._timing:
+            return
+        now = time.perf_counter()
+        if self._h_shed is not None:
+            self._h_shed.record(max(0.0, now - enqueue_t))
+        if trace is not None:
+            trace.shed = True
+            trace.stamp("complete", now)
+            self._rtrace.add(trace)
 
     # -- the arena ring ---------------------------------------------------------
     def _take_arena(self) -> Optional[_Arena]:
@@ -500,6 +573,11 @@ class MicroBatchBroker:
         if self._m_requests is not None and reason in ("full", "wait"):
             (self._m_flush_full if reason == "full"
              else self._m_flush_wait).add(1)
+        if self._timing:
+            # The seal: this batch's membership is final.  Everything
+            # before this stamp is coalescing (batch_form), everything
+            # after is the batch moving through dispatch as one unit.
+            batch.sealed = time.perf_counter()
         loop = asyncio.get_running_loop()
         call = loop.run_in_executor(
             self._dispatch,
@@ -522,11 +600,25 @@ class MicroBatchBroker:
         """
         marginalized, missing_value = batch.key
         arena = batch.arena
+        stage: Optional[dict] = None
         t0 = time.perf_counter()
         if arena.lane is not None:
-            out = arena.lane.submit(
-                rows, marginalized=marginalized, missing_value=missing_value
-            )
+            if self._timing:
+                # The executor refines kernel_start/kernel_end (and
+                # names the worker span) straight into this dict.
+                stage = {"dispatch": t0, "batch_id": batch_id}
+                out = arena.lane.submit(
+                    rows,
+                    marginalized=marginalized,
+                    missing_value=missing_value,
+                    stamps=stage,
+                )
+            else:
+                out = arena.lane.submit(
+                    rows,
+                    marginalized=marginalized,
+                    missing_value=missing_value,
+                )
             staged_bytes = 0
         else:
             view = arena.view[:rows]
@@ -535,17 +627,22 @@ class MicroBatchBroker:
             )
             staged_bytes = view.nbytes
         t1 = time.perf_counter()
+        if self._timing:
+            if stage is None:  # lane-less engine: the call is the kernel
+                stage = {"dispatch": t0, "batch_id": batch_id}
+            stage.setdefault("kernel_start", t0)
+            stage.setdefault("kernel_end", t1)
         if self._host_tracer is not None:
             self._host_tracer.record(
                 f"serving lane{arena.index}", f"batch{batch_id} {rows}r",
                 t0, t1,
             )
-        return out, t1 - t0, staged_bytes
+        return out, t1 - t0, staged_bytes, stage
 
     async def _finish(self, batch: _PendingBatch, call) -> None:
         """Scatter one batch's results (or failure) onto its futures."""
         try:
-            out, seconds, staged_bytes = await call
+            out, seconds, staged_bytes, stage = await call
         except Exception as exc:  # noqa: BLE001 - forwarded, not swallowed
             for future in batch.futures:
                 if not future.done():
@@ -565,9 +662,52 @@ class MicroBatchBroker:
             for future, value in zip(batch.futures, out):
                 if not future.done():
                     future.set_result(float(value))
+            if self._timing and stage is not None:
+                self._record_batch_timing(batch, stage)
         finally:
             self._set_queued(self._queued_rows - len(batch.futures))
             self._release_arena(batch.arena)
+
+    def _record_batch_timing(self, batch: _PendingBatch, stage: dict) -> None:
+        """Reduce one completed batch's stamps into histograms + traces.
+
+        ``batch_form`` and ``e2e`` are per-request (each request has
+        its own enqueue stamp); ``queue_wait``/``dispatch``/``kernel``/
+        ``scatter`` are batch-wide boundaries recorded once per request
+        so every histogram weighs requests, not batches — that is what
+        makes the five stage medians add up against the e2e median.
+        """
+        complete = time.perf_counter()
+        sealed = batch.sealed
+        dispatch = stage.get("dispatch", sealed)
+        kernel_start = stage.get("kernel_start", dispatch)
+        kernel_end = stage.get("kernel_end", kernel_start)
+        if self._h_e2e is not None and batch.enqueues:
+            hist = self._h_stage
+            queue_wait = max(0.0, dispatch - sealed)
+            dispatch_s = max(0.0, kernel_start - dispatch)
+            kernel_s = max(0.0, kernel_end - kernel_start)
+            scatter_s = max(0.0, complete - kernel_end)
+            for enqueue in batch.enqueues:
+                hist["batch_form"].record(max(0.0, sealed - enqueue))
+                hist["queue_wait"].record(queue_wait)
+                hist["dispatch"].record(dispatch_s)
+                hist["kernel"].record(kernel_s)
+                hist["scatter"].record(scatter_s)
+                self._h_e2e.record(max(0.0, complete - enqueue))
+        if self._rtrace is not None:
+            for trace in batch.traces:
+                if trace is None:
+                    continue
+                trace.stamp("batch_seal", sealed)
+                trace.stamp("dispatch", dispatch)
+                trace.stamp("kernel_start", kernel_start)
+                trace.stamp("kernel_end", kernel_end)
+                trace.stamp("complete", complete)
+                trace.lane = batch.arena.index
+                trace.batch_id = stage.get("batch_id")
+                trace.worker_track = stage.get("worker_track")
+                self._rtrace.add(trace)
 
     # -- lifecycle --------------------------------------------------------------
     async def close(self, *, flush: bool = True) -> None:
@@ -618,6 +758,8 @@ class MicroBatchBroker:
         self.stats.rejected += len(batch.futures)
         if self._m_requests is not None:
             self._m_rejected.add(len(batch.futures))
+        for enqueue, trace in zip(batch.enqueues, batch.traces):
+            self._record_shed(enqueue, trace)
         self._set_queued(self._queued_rows - len(batch.futures))
         self._release_arena(batch.arena)
 

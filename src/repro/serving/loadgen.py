@@ -18,13 +18,18 @@ Two arrival processes stand in for live traffic:
   the offered load itself drifts.
 
 Latency is captured per request (send → future resolution, so it
-includes queueing, batching wait and kernel time), and a run reduces
-to a :class:`LoadResult`: offered vs delivered load (goodput), shed
-count, p50/p95/p99 latency, and the broker's mean batch size.
-Percentiles use the *nearest-rank (higher)* convention — the reported
-p99 is an actually-observed latency, never an interpolation below one
-— computed by :func:`percentile_summary`, which is pure and unit-tested
-against known traces.
+includes queueing, batching wait and kernel time) into a
+:class:`~repro.obs.hist.LogHistogram` — fixed memory however many
+requests a sweep point answers, readable mid-run for streaming
+telemetry — and a run reduces to a :class:`LoadResult`: offered vs
+delivered load (goodput), shed count *and rate*, p50/p95/p99/p999
+latency, SLO error-budget burn rate
+(:class:`~repro.obs.exporter.SLOTracker`, shed requests burn budget
+too), and the broker's mean batch size.  Percentiles follow the
+*nearest-rank (higher)* convention to within the histogram's bucket
+width (≤ 4.5% relative) — the reference implementation is
+:func:`percentile_summary`, pure and unit-tested against known traces,
+which the histogram is cross-checked against.
 """
 
 from __future__ import annotations
@@ -37,6 +42,8 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ServingError, ServingOverloadError
+from repro.obs.exporter import SLOTracker
+from repro.obs.hist import LogHistogram
 from repro.serving.broker import MicroBatchBroker
 
 __all__ = [
@@ -141,6 +148,9 @@ class LoadResult:
     p99_ms: float
     mean_batch_rows: float
     slo_ms: Optional[float] = None
+    p999_ms: float = float("nan")
+    shed_rate: float = 0.0
+    burn_rate: Optional[float] = None
 
     @property
     def slo_met(self) -> Optional[bool]:
@@ -163,9 +173,12 @@ class LoadResult:
             "p50_ms": self.p50_ms,
             "p95_ms": self.p95_ms,
             "p99_ms": self.p99_ms,
+            "p999_ms": self.p999_ms,
             "mean_batch_rows": self.mean_batch_rows,
             "slo_ms": self.slo_ms,
             "slo_met": self.slo_met,
+            "shed_rate": self.shed_rate,
+            "burn_rate": self.burn_rate,
         }
 
 
@@ -182,6 +195,8 @@ async def run_open_loop(
         Sequence[Tuple[Optional[Sequence[int]], Optional[float]]]
     ] = None,
     on_result: Optional[Callable[[int, float], None]] = None,
+    slo_tracker: Optional[SLOTracker] = None,
+    latency_hist: Optional[LogHistogram] = None,
 ) -> LoadResult:
     """Drive *broker* with one pre-drawn arrival trace, open-loop.
 
@@ -199,6 +214,15 @@ async def run_open_loop(
     signature-keyed batches.  *on_result* (``callback(i, value)``) is
     invoked with each answered request's index and log-likelihood, so
     callers can verify values without closing the loop.
+
+    Latencies stream into a fixed-memory
+    :class:`~repro.obs.hist.LogHistogram` (pass *latency_hist* to keep
+    it — e.g. a registry-owned one telemetry exports live — or let the
+    run own a private one).  When *slo_ms* is set, an
+    :class:`~repro.obs.exporter.SLOTracker` accounts every answered
+    *and shed* request against the SLO and the result carries the
+    run's error-budget burn rate; pass *slo_tracker* to share one
+    tracker (and its rolling window) across sweep points.
     """
     arrivals = np.asarray(arrivals, dtype=np.float64)
     if arrivals.size == 0:
@@ -210,7 +234,17 @@ async def run_open_loop(
     if query_mix is not None and len(query_mix) == 0:
         raise ServingError("query_mix must be non-empty when given")
     loop = asyncio.get_running_loop()
-    latencies: list = []
+    duration = float(arrivals[-1])
+    hist = (
+        latency_hist
+        if latency_hist is not None
+        else LogHistogram(f"{name}.latency")
+    )
+    tracker = slo_tracker
+    if tracker is None and slo_ms is not None:
+        # Run-private tracker: the window must cover the whole run so
+        # the reported burn rate accounts every request it made.
+        tracker = SLOTracker(slo_ms, window_s=duration + 60.0)
     counts = {"ok": 0, "rejected": 0, "failed": 0}
     start = loop.time()
 
@@ -229,11 +263,16 @@ async def run_open_loop(
             )
         except ServingOverloadError:
             counts["rejected"] += 1
+            if tracker is not None:
+                tracker.record_shed()
         except Exception:  # pragma: no cover - engine failure path
             counts["failed"] += 1
         else:
             counts["ok"] += 1
-            latencies.append(time.perf_counter() - sent)
+            latency = time.perf_counter() - sent
+            hist.record(latency)
+            if tracker is not None:
+                tracker.record(latency)
             if on_result is not None:
                 on_result(i, value)
 
@@ -245,12 +284,6 @@ async def run_open_loop(
         )
     )
     span = max(time.perf_counter() - t0, 1e-9)
-    summary = (
-        percentile_summary(latencies)
-        if latencies
-        else {"p50": float("nan"), "p95": float("nan"), "p99": float("nan")}
-    )
-    duration = float(arrivals[-1]) if arrivals.size else 0.0
     return LoadResult(
         name=name,
         offered_rps=arrivals.size / max(duration, 1e-9),
@@ -260,27 +293,40 @@ async def run_open_loop(
         n_rejected=counts["rejected"],
         n_failed=counts["failed"],
         goodput_rps=counts["ok"] / span,
-        p50_ms=summary["p50"] * 1e3,
-        p95_ms=summary["p95"] * 1e3,
-        p99_ms=summary["p99"] * 1e3,
+        p50_ms=hist.p50 * 1e3,
+        p95_ms=hist.p95 * 1e3,
+        p99_ms=hist.p99 * 1e3,
+        p999_ms=hist.p999 * 1e3,
         mean_batch_rows=broker.stats.mean_batch_rows,
         slo_ms=slo_ms,
+        shed_rate=counts["rejected"] / arrivals.size,
+        burn_rate=(
+            tracker.state()["burn_rate"] if tracker is not None else None
+        ),
     )
 
 
 def format_load_results(results: Sequence[LoadResult]) -> str:
-    """Render load runs as the serving result table."""
+    """Render load runs as the serving result table.
+
+    ``shed%`` (of offered load) and ``burn`` (SLO error-budget burn
+    rate, shed requests included) sit next to the latency percentiles
+    so an overloaded sweep point cannot hide behind a good p99 — the
+    shed-visibility rule.
+    """
     header = (
         f"{'scenario':<16} {'offered':>9} {'goodput':>9} {'ok':>7} "
-        f"{'shed':>6} {'p50':>8} {'p95':>8} {'p99':>8} {'batch':>7}  slo"
+        f"{'shed%':>6} {'p50':>8} {'p95':>8} {'p99':>8} {'batch':>7} "
+        f"{'burn':>6}  slo"
     )
     lines = [header, "-" * len(header)]
     for r in results:
         slo = "-" if r.slo_met is None else ("ok" if r.slo_met else "MISS")
+        burn = "-" if r.burn_rate is None else f"{r.burn_rate:.2f}"
         lines.append(
             f"{r.name:<16} {r.offered_rps:>7.0f}/s {r.goodput_rps:>7.0f}/s "
-            f"{r.n_ok:>7} {r.n_rejected:>6} {r.p50_ms:>6.1f}ms "
+            f"{r.n_ok:>7} {r.shed_rate * 100:>5.1f}% {r.p50_ms:>6.1f}ms "
             f"{r.p95_ms:>6.1f}ms {r.p99_ms:>6.1f}ms {r.mean_batch_rows:>7.1f}"
-            f"  {slo}"
+            f" {burn:>6}  {slo}"
         )
     return "\n".join(lines)

@@ -12,16 +12,29 @@ Poisson run mixing likelihood, marginal and missing-value queries must
 meet its p99 SLO with zero shed requests **and** return every answer
 bit-identical to the plan evaluator, proving the whole serve path
 (asyncio broker → arena ring → executor lanes → result scatter) and
-its signature-keyed batch isolation end to end in a few seconds.
+its signature-keyed batch isolation end to end in a few seconds.  With
+telemetry on, the selftest additionally cross-checks the per-stage
+latency histograms against the end-to-end one (the stage medians must
+sum close to the e2e median — the decomposition is additive by
+construction) and that sampled requests exported as connected Perfetto
+flows.
 """
 
 from __future__ import annotations
 
 import asyncio
+import math
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ServingError
+from repro.obs.exporter import (
+    PeriodicTelemetryWriter,
+    SLOTracker,
+    TelemetryServer,
+    TelemetrySnapshotter,
+)
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.rtrace import STAGE_HISTOGRAMS, RequestTraceRecorder, add_request_flows
 from repro.obs.trace_export import HOST_PID, ChromeTraceBuilder, HostSpanRecorder
 from repro.serving.broker import MicroBatchBroker
 from repro.serving.loadgen import (
@@ -106,6 +119,9 @@ def run_serve(
     n_workers: Optional[int] = 1,
     backend: Optional[str] = None,
     trace_out: Optional[str] = None,
+    telemetry_out: Optional[str] = None,
+    metrics_port: Optional[int] = None,
+    trace_sample_every: int = 16,
     seed: int = 7,
 ) -> Tuple[str, List[LoadResult]]:
     """Sweep one benchmark's broker across an offered-rate ladder.
@@ -115,10 +131,22 @@ def run_serve(
     its counters reduce cleanly to a
     :class:`~repro.serving.loadgen.LoadResult` row.  *n_lanes* batches
     are kept in flight concurrently over the executor's reentrant
-    lanes — the pipelined zero-copy datapath (docs/serving.md).  With
-    *trace_out* the run's wall-clock spans — per-lane broker batches
-    next to executor worker shards — and final ``serving.*`` counters
-    are exported as a Chrome/Perfetto JSON file.  Returns
+    lanes — the pipelined zero-copy datapath (docs/serving.md).
+
+    With *trace_out* the run's wall-clock spans — per-lane broker
+    batches next to executor worker shards — final ``serving.*``
+    counters **and** 1-in-*trace_sample_every* sampled requests as
+    connected flow arrows are exported as a Chrome/Perfetto JSON file.
+    With *telemetry_out* a JSON telemetry snapshot (metrics registry +
+    per-stage histograms + SLO burn state) is rewritten every 500 ms
+    during the sweep and once at the end; with *metrics_port* a
+    localhost HTTP endpoint serves ``/metrics`` (Prometheus text) and
+    ``/telemetry.json`` live for the duration of the sweep (port 0
+    picks a free port).  When either telemetry sink is active and an
+    SLO is set, one rolling-window :class:`~repro.obs.exporter.
+    SLOTracker` spans the whole sweep — its burn rate is the streaming
+    view; without telemetry each rate point gets a private tracker so
+    the table's ``burn`` column is per-point.  Returns
     ``(table text, results)``.
     """
     from repro.baselines.executor import ParallelPlanExecutor
@@ -134,41 +162,67 @@ def run_serve(
     bench = nips_benchmark(benchmark)
     data = host_cpu_batch(benchmark, 4096)
     recorder = HostSpanRecorder() if trace_out is not None else None
+    rtrace = (
+        RequestTraceRecorder(sample_every=trace_sample_every)
+        if trace_out is not None
+        else None
+    )
     results: List[LoadResult] = []
     # One registry for the whole sweep (counters accumulate across rate
     # points; per-point numbers come from each broker's own stats) so
     # the exported trace carries exactly one track per serving.* name.
     metrics = MetricsRegistry()
-    with ParallelPlanExecutor(
-        bench.spn,
-        n_workers=n_workers,
-        backend=backend,
-        max_lanes=n_lanes + 1,
-        host_tracer=recorder,
-    ) as executor, _SweepRunner() as runner:
-        for index, rate in enumerate(rates):
-            arrivals = _arrival_trace(arrival, float(rate), duration_s,
-                                      seed + index)
+    telemetry_on = telemetry_out is not None or metrics_port is not None
+    sweep_tracker = (
+        SLOTracker(slo_ms) if telemetry_on and slo_ms is not None else None
+    )
+    writer = server = None
+    if telemetry_on:
+        snapshotter = TelemetrySnapshotter(metrics, slo=sweep_tracker)
+        if telemetry_out is not None:
+            writer = PeriodicTelemetryWriter(
+                snapshotter, telemetry_out, interval_s=0.5
+            ).start()
+        if metrics_port is not None:
+            server = TelemetryServer(snapshotter, port=metrics_port).start()
+    try:
+        with ParallelPlanExecutor(
+            bench.spn,
+            n_workers=n_workers,
+            backend=backend,
+            max_lanes=n_lanes + 1,
+            host_tracer=recorder,
+        ) as executor, _SweepRunner() as runner:
+            for index, rate in enumerate(rates):
+                arrivals = _arrival_trace(arrival, float(rate), duration_s,
+                                          seed + index)
 
-            async def run_point() -> LoadResult:
-                async with MicroBatchBroker(
-                    executor,
-                    max_batch_rows=max_batch_rows,
-                    max_wait_ms=max_wait_ms,
-                    max_queue_rows=max_queue_rows,
-                    n_lanes=n_lanes,
-                    metrics=metrics,
-                    host_tracer=recorder,
-                ) as broker:
-                    return await run_open_loop(
-                        broker,
-                        data,
-                        arrivals,
-                        name=f"{arrival}@{rate:g}",
-                        slo_ms=slo_ms,
-                    )
+                async def run_point() -> LoadResult:
+                    async with MicroBatchBroker(
+                        executor,
+                        max_batch_rows=max_batch_rows,
+                        max_wait_ms=max_wait_ms,
+                        max_queue_rows=max_queue_rows,
+                        n_lanes=n_lanes,
+                        metrics=metrics,
+                        host_tracer=recorder,
+                        rtrace=rtrace,
+                    ) as broker:
+                        return await run_open_loop(
+                            broker,
+                            data,
+                            arrivals,
+                            name=f"{arrival}@{rate:g}",
+                            slo_ms=slo_ms,
+                            slo_tracker=sweep_tracker,
+                        )
 
-            results.append(runner.run(run_point()))
+                results.append(runner.run(run_point()))
+    finally:
+        if writer is not None:
+            writer.stop()
+        if server is not None:
+            server.stop()
 
     lines = [
         f"Serving sweep - {benchmark}, {arrival} arrivals, "
@@ -179,16 +233,38 @@ def run_serve(
         "",
         format_load_results(results),
     ]
+    if sweep_tracker is not None:
+        state = sweep_tracker.state()
+        lines.append(
+            f"\nSLO burn rate (rolling {state['window_s']:g} s window, "
+            f"target {state['target'] * 100:g}%): "
+            f"{state['burn_rate']:.2f}x budget "
+            f"({state['window_violations']}/{state['window_requests']} "
+            "over SLO, shed included)"
+        )
     if trace_out is not None:
         builder = ChromeTraceBuilder()
         builder.add_host_spans(recorder.spans)
         elapsed = max((span.end for span in recorder.spans), default=0.0)
         builder.add_metrics(metrics, at_seconds=elapsed, pid=HOST_PID)
+        n_requests = add_request_flows(
+            builder, rtrace.traces, epoch=recorder.epoch
+        )
         summary = builder.write(trace_out)
         lines.append(
             f"\nwrote {summary['path']}: {summary['n_events']} events "
-            f"({summary['n_spans']} spans) - "
+            f"({summary['n_spans']} spans, {n_requests} sampled request "
+            f"flows of {rtrace.seen} requests) - "
             "open at https://ui.perfetto.dev"
+        )
+    if telemetry_out is not None:
+        lines.append(
+            f"wrote {telemetry_out}: telemetry snapshot x{writer.n_writes} "
+            "(metrics + stage histograms + SLO state)"
+        )
+    if server is not None:
+        lines.append(
+            f"served telemetry at {server.url}/metrics during the sweep"
         )
     return "\n".join(lines), results
 
@@ -213,16 +289,31 @@ SELFTEST_QUERY_MIX: Tuple[
 )
 
 
-def run_serve_selftest(benchmark: str = "NIPS10") -> Tuple[str, int]:
+def run_serve_selftest(
+    benchmark: str = "NIPS10",
+    *,
+    telemetry_out: Optional[str] = None,
+    trace_out: Optional[str] = None,
+) -> Tuple[str, int]:
     """Short mixed-traffic run with hard assertions; ``(text, exit code)``.
 
     Exit 0 iff every request was answered (zero shed, zero failed),
     p99 latency stayed under the selftest SLO, the zero-copy lane path
-    was engaged (``serving.staged_bytes_copied == 0``), and every
-    returned value — likelihood, marginal and missing-value queries
-    interleaved per :data:`SELFTEST_QUERY_MIX` — is bit-identical to
-    :func:`~repro.spn.plan_eval.plan_log_likelihood` on the same row,
-    proving signature-keyed batch isolation end to end.
+    was engaged (``serving.staged_bytes_copied == 0``), every returned
+    value — likelihood, marginal and missing-value queries interleaved
+    per :data:`SELFTEST_QUERY_MIX` — is bit-identical to
+    :func:`~repro.spn.plan_eval.plan_log_likelihood` on the same row
+    (proving signature-keyed batch isolation end to end, *with the
+    full telemetry stack attached* — tracing must not perturb
+    results), **and** the telemetry itself is coherent: every answered
+    request appears in each per-stage histogram, the five stage
+    medians sum to within 10% of the end-to-end median (the stage
+    decomposition is additive per request), and at least one sampled
+    request completed with a full stamp chain (flow-exportable).
+
+    *telemetry_out* writes the final telemetry JSON snapshot;
+    *trace_out* writes the Perfetto trace with the sampled request
+    flows — both are what CI uploads as artifacts.
     """
     from repro.baselines.executor import ParallelPlanExecutor
     from repro.experiments.utilization import host_cpu_batch
@@ -246,6 +337,9 @@ def run_serve_selftest(benchmark: str = "NIPS10") -> Tuple[str, int]:
     }
     answers: dict = {}
     metrics = MetricsRegistry()
+    recorder = HostSpanRecorder()
+    rtrace = RequestTraceRecorder()  # default 1-in-16 sampling
+    slo_tracker = SLOTracker(SELFTEST_SLO_MS, window_s=60.0)
 
     async def run_point() -> LoadResult:
         async with MicroBatchBroker(
@@ -253,6 +347,8 @@ def run_serve_selftest(benchmark: str = "NIPS10") -> Tuple[str, int]:
             max_wait_ms=5.0,
             n_lanes=DEFAULT_LANES,
             metrics=metrics,
+            host_tracer=recorder,
+            rtrace=rtrace,
         ) as broker:
             return await run_open_loop(
                 broker,
@@ -262,10 +358,14 @@ def run_serve_selftest(benchmark: str = "NIPS10") -> Tuple[str, int]:
                 slo_ms=SELFTEST_SLO_MS,
                 query_mix=SELFTEST_QUERY_MIX,
                 on_result=lambda i, value: answers.__setitem__(i, value),
+                slo_tracker=slo_tracker,
             )
 
     with ParallelPlanExecutor(
-        bench.spn, n_workers=1, max_lanes=DEFAULT_LANES + 1
+        bench.spn,
+        n_workers=1,
+        max_lanes=DEFAULT_LANES + 1,
+        host_tracer=recorder,
     ) as executor, _SweepRunner() as runner:
         result = runner.run(run_point())
 
@@ -297,12 +397,64 @@ def run_serve_selftest(benchmark: str = "NIPS10") -> Tuple[str, int]:
             f"{n_wrong}/{len(answers)} answer(s) differ from plan_eval "
             "(signature-keyed batch isolation broken)"
         )
+    # Telemetry coherence: the stage histograms must account for every
+    # answered request, and the additive stage decomposition must
+    # reconstruct the e2e distribution's centre.
+    e2e = metrics.histogram("serving.e2e")
+    stage_p50s = []
+    for stage_name, _, _ in STAGE_HISTOGRAMS:
+        hist = metrics.histogram(f"serving.{stage_name}")
+        if hist.count != result.n_ok:
+            problems.append(
+                f"serving.{stage_name} histogram holds {hist.count} "
+                f"samples for {result.n_ok} answered requests"
+            )
+        stage_p50s.append(hist.p50)
+    if e2e.count != result.n_ok:
+        problems.append(
+            f"serving.e2e histogram holds {e2e.count} samples for "
+            f"{result.n_ok} answered requests"
+        )
+    stage_sum = sum(stage_p50s)
+    if math.isnan(stage_sum) or math.isnan(e2e.p50):
+        problems.append("stage/e2e histograms are empty")
+    elif abs(stage_sum - e2e.p50) > max(0.10 * e2e.p50, 1e-3):
+        problems.append(
+            f"stage medians sum to {stage_sum * 1e3:.2f} ms vs e2e median "
+            f"{e2e.p50 * 1e3:.2f} ms (> 10% apart; the stage decomposition "
+            "no longer partitions end-to-end latency)"
+        )
+    n_flows = len(rtrace.completed())
+    if not n_flows:
+        problems.append(
+            f"no sampled request completed its stamp chain "
+            f"({rtrace.seen} requests seen, {rtrace.sampled} sampled)"
+        )
     verdict = (
         "serve selftest PASS "
-        f"({len(answers)} mixed queries bit-identical to plan_eval, "
-        "staged_bytes_copied=0)"
+        f"({len(answers)} mixed queries bit-identical to plan_eval with "
+        f"telemetry on, staged_bytes_copied=0, stage medians sum "
+        f"{stage_sum * 1e3:.2f} ms ~ e2e p50 {e2e.p50 * 1e3:.2f} ms, "
+        f"{n_flows} request flows sampled)"
         if not problems
         else "serve selftest FAIL: " + "; ".join(problems)
     )
-    text = format_load_results([result])
+    lines = [format_load_results([result])]
+    if telemetry_out is not None:
+        snapshotter = TelemetrySnapshotter(metrics, slo=slo_tracker)
+        with open(telemetry_out, "w") as handle:
+            handle.write(snapshotter.to_json())
+        lines.append(f"wrote {telemetry_out}: telemetry snapshot")
+    if trace_out is not None:
+        builder = ChromeTraceBuilder()
+        builder.add_host_spans(recorder.spans)
+        elapsed = max((span.end for span in recorder.spans), default=0.0)
+        builder.add_metrics(metrics, at_seconds=elapsed, pid=HOST_PID)
+        add_request_flows(builder, rtrace.traces, epoch=recorder.epoch)
+        summary = builder.write(trace_out)
+        lines.append(
+            f"wrote {summary['path']}: {summary['n_events']} events "
+            f"({summary['n_flows']} flow events)"
+        )
+    text = "\n".join(lines)
     return f"{text}\n\n{verdict}", 0 if not problems else 1

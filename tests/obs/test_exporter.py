@@ -1,0 +1,162 @@
+"""Unit tests for telemetry export: SLO math, Prometheus, writer, HTTP."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.exporter import (
+    PeriodicTelemetryWriter,
+    SLOTracker,
+    TelemetryServer,
+    TelemetrySnapshotter,
+    prometheus_name,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _registry():
+    metrics = MetricsRegistry()
+    metrics.counter("serving.requests").add(100)
+    metrics.gauge("serving.queue_rows").set(7)
+    metrics.time_stat("q").update(2.0, now=0.0)
+    metrics.time_stat("q").update(0.0, now=1.0)
+    hist = metrics.histogram("serving.e2e")
+    for v in (0.001, 0.002, 0.004, 0.008):
+        hist.record(v)
+    return metrics
+
+
+class TestSLOTracker:
+    def test_burn_rate_follows_the_sre_convention(self):
+        # target 99% -> 1% budget. 2 violations in 100 requests is a
+        # 2% violation rate = burning budget at 2x.
+        tracker = SLOTracker(10.0, target=0.99, window_s=60.0)
+        for i in range(98):
+            tracker.record(0.005, now=float(i) * 0.1)
+        tracker.record(0.050, now=9.8)
+        tracker.record(0.050, now=9.9)
+        state = tracker.state(now=10.0)
+        assert state["window_requests"] == 100
+        assert state["window_violations"] == 2
+        assert state["violation_rate"] == pytest.approx(0.02)
+        assert state["burn_rate"] == pytest.approx(2.0)
+        assert state["budget_remaining"] == 0.0
+
+    def test_sheds_burn_budget(self):
+        tracker = SLOTracker(10.0, target=0.99)
+        tracker.record(0.001, now=0.0)
+        tracker.record_shed(now=0.1)
+        state = tracker.state(now=0.2)
+        assert state["window_violations"] == 1
+        assert state["violation_rate"] == pytest.approx(0.5)
+
+    def test_window_prunes_old_events(self):
+        tracker = SLOTracker(10.0, window_s=5.0)
+        tracker.record(0.050, now=0.0)  # violation, will age out
+        tracker.record(0.001, now=4.0)
+        state = tracker.state(now=8.0)  # horizon is 3.0
+        assert state["window_requests"] == 1
+        assert state["window_violations"] == 0
+        assert state["burn_rate"] == 0.0
+
+    def test_empty_window_is_zero_burn(self):
+        state = SLOTracker(10.0).state(now=0.0)
+        assert state["window_requests"] == 0
+        assert state["burn_rate"] == 0.0
+        assert state["budget_remaining"] == 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ReproError, match="slo_ms"):
+            SLOTracker(0.0)
+        with pytest.raises(ReproError, match="target"):
+            SLOTracker(10.0, target=1.0)
+        with pytest.raises(ReproError, match="window_s"):
+            SLOTracker(10.0, window_s=0.0)
+
+
+class TestSnapshotter:
+    def test_json_snapshot_round_trips(self):
+        snapshotter = TelemetrySnapshotter(_registry())
+        payload = json.loads(snapshotter.to_json())
+        assert payload["schema_version"] == 1
+        assert payload["uptime_seconds"] >= 0.0
+        assert payload["metrics"]["counters"]["serving.requests"] == 100
+        assert payload["metrics"]["histograms"]["serving.e2e"]["count"] == 4
+        assert payload["slo"] is None
+
+    def test_slo_state_rides_along(self):
+        tracker = SLOTracker(10.0)
+        tracker.record(0.001)  # real clock: stays inside the window
+        payload = TelemetrySnapshotter(_registry(), slo=tracker).snapshot()
+        assert payload["slo"]["window_requests"] == 1
+
+    def test_prometheus_text_exposition(self):
+        tracker = SLOTracker(10.0)
+        tracker.record(0.050, now=0.0)
+        text = TelemetrySnapshotter(_registry(), slo=tracker).to_prometheus()
+        assert "# TYPE repro_serving_requests counter" in text
+        assert "repro_serving_requests 100" in text
+        assert "# TYPE repro_serving_e2e summary" in text
+        assert 'repro_serving_e2e{quantile="0.5"}' in text
+        assert "repro_serving_e2e_count 4" in text
+        assert "repro_slo_burn_rate" in text
+        # Every line is either a comment or `name[labels] value`.
+        for line in text.strip().splitlines():
+            assert line.startswith("# TYPE") or len(line.split(" ")) == 2
+
+    def test_empty_histograms_emit_no_nan_samples(self):
+        metrics = MetricsRegistry()
+        metrics.histogram("serving.e2e")  # registered, never recorded
+        text = TelemetrySnapshotter(metrics).to_prometheus()
+        assert "nan" not in text.lower()
+        assert "repro_serving_e2e_count 0" in text
+
+    def test_prometheus_name_sanitises(self):
+        assert prometheus_name("serving.e2e") == "repro_serving_e2e"
+        assert prometheus_name("hbm.ch0.bytes-read") == "repro_hbm_ch0_bytes_read"
+
+
+class TestPeriodicWriter:
+    def test_initial_and_final_snapshots_always_land(self, tmp_path):
+        path = tmp_path / "telemetry.json"
+        metrics = _registry()
+        writer = PeriodicTelemetryWriter(
+            TelemetrySnapshotter(metrics), str(path), interval_s=3600.0
+        )
+        with writer:
+            metrics.counter("serving.requests").add(1)
+        # Interval never elapsed, but start+stop wrote twice and the
+        # file reflects the end state.
+        assert writer.n_writes == 2
+        payload = json.loads(path.read_text())
+        assert payload["metrics"]["counters"]["serving.requests"] == 101
+
+    def test_invalid_interval_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="interval_s"):
+            PeriodicTelemetryWriter(
+                TelemetrySnapshotter(_registry()),
+                str(tmp_path / "t.json"),
+                interval_s=0.0,
+            )
+
+
+class TestTelemetryServer:
+    def test_serves_prometheus_and_json_on_a_free_port(self):
+        with TelemetryServer(TelemetrySnapshotter(_registry()), port=0) as server:
+            assert server.port > 0
+            with urllib.request.urlopen(f"{server.url}/metrics") as resp:
+                assert resp.status == 200
+                assert "text/plain" in resp.headers["Content-Type"]
+                body = resp.read().decode()
+            assert "repro_serving_requests 100" in body
+            with urllib.request.urlopen(f"{server.url}/telemetry") as resp:
+                payload = json.loads(resp.read())
+            assert payload["metrics"]["counters"]["serving.requests"] == 100
+
+    def test_unknown_path_is_404(self):
+        with TelemetryServer(TelemetrySnapshotter(_registry()), port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{server.url}/nope")
+            assert excinfo.value.code == 404

@@ -1,9 +1,11 @@
 """Unit tests for the metrics primitives and registry."""
 
 import json
+import threading
 
 import pytest
 
+from repro.obs.hist import LogHistogram
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, TimeWeightedStat
 
 
@@ -60,6 +62,28 @@ class TestMetricsRegistry:
         assert registry.counter("a") is registry.counter("a")
         assert registry.gauge("g") is registry.gauge("g")
         assert registry.time_stat("t") is registry.time_stat("t")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_histogram_is_a_registered_kind(self):
+        from repro.errors import ReproError
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("serving.e2e")
+        assert isinstance(hist, LogHistogram)
+        assert registry.has("serving.e2e")
+        assert "serving.e2e" in list(registry.names())
+        with pytest.raises(ReproError, match="already registered as a histogram"):
+            registry.counter("serving.e2e")
+        registry.counter("serving.requests")
+        with pytest.raises(ReproError, match="cannot re-register it as a histogram"):
+            registry.histogram("serving.requests")
+
+    def test_histogram_kwargs_configure_first_creation_only(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", min_value=1e-3, max_value=10.0)
+        assert hist.min_value == 1e-3
+        # Later lookups ignore layout kwargs and return the same object.
+        assert registry.histogram("h", min_value=1.0) is hist
 
     def test_value_reads_counters_and_gauges(self):
         registry = MetricsRegistry()
@@ -117,8 +141,99 @@ class TestMetricsRegistry:
         registry.gauge("mem.block0.allocated_bytes").set(4096)
         registry.time_stat("hbm.ch0.queue_depth").update(1.0, now=0.0)
         registry.time_stat("hbm.ch0.queue_depth").update(0.0, now=2.0)
+        registry.histogram("serving.e2e").record(0.004)
         snapshot = json.loads(registry.to_json())
         assert snapshot == registry.snapshot()
         assert snapshot["counters"]["hbm.ch0.requests"] == 3
         assert snapshot["gauges"]["mem.block0.allocated_bytes"]["max"] == 4096
         assert snapshot["time_stats"]["hbm.ch0.queue_depth"]["mean"] == 1.0
+        assert snapshot["histograms"]["serving.e2e"]["count"] == 1
+
+    def test_empty_histogram_snapshot_is_strict_json(self):
+        # NaN percentiles become None so strict JSON parsers accept it.
+        registry = MetricsRegistry()
+        registry.histogram("serving.e2e")
+        payload = json.loads(registry.to_json(), parse_constant=lambda c: (
+            pytest.fail(f"non-strict JSON constant {c!r} in snapshot")
+        ))
+        summary = payload["histograms"]["serving.e2e"]
+        assert summary["count"] == 0
+        assert summary["p99"] is None and summary["mean"] is None
+
+
+class TestConcurrentLaneCompletion:
+    """Regression: dispatch-lane threads update shared instruments
+    concurrently; every increment must land exactly once."""
+
+    N_THREADS = 4
+    ROUNDS = 5_000
+
+    def _hammer(self, work):
+        threads = [
+            threading.Thread(target=work, args=(t,))
+            for t in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_two_lane_counter_hammer_loses_no_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("serving.rows")
+
+        def work(_):
+            for _ in range(self.ROUNDS):
+                counter.add(1)
+
+        self._hammer(work)
+        assert counter.value == self.N_THREADS * self.ROUNDS
+
+    def test_mixed_instrument_hammer_stays_consistent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("serving.batches")
+        gauge = registry.gauge("serving.arenas_busy")
+        hist = registry.histogram("serving.e2e")
+
+        def work(_):
+            for _ in range(self.ROUNDS):
+                counter.add(1)
+                gauge.add(1)
+                hist.record(0.002)
+                gauge.add(-1)
+
+        self._hammer(work)
+        total = self.N_THREADS * self.ROUNDS
+        assert counter.value == total
+        assert gauge.value == 0
+        assert hist.count == total
+
+    def test_snapshot_during_hammer_is_consistent(self):
+        # Snapshots taken mid-flight under the registry lock must see
+        # a consistent cut (counter == histogram count per round).
+        registry = MetricsRegistry()
+        counter = registry.counter("serving.requests")
+        hist = registry.histogram("serving.e2e")
+        stop = threading.Event()
+        errors = []
+
+        def work(_):
+            for _ in range(self.ROUNDS):
+                with registry._lock:
+                    counter.add(1)
+                    hist.record(0.001)
+
+        def snapshotter():
+            while not stop.is_set():
+                snap = registry.snapshot()
+                if (snap["counters"]["serving.requests"]
+                        != snap["histograms"]["serving.e2e"]["count"]):
+                    errors.append(snap)
+
+        watcher = threading.Thread(target=snapshotter)
+        watcher.start()
+        self._hammer(work)
+        stop.set()
+        watcher.join()
+        assert not errors
+        assert counter.value == self.N_THREADS * self.ROUNDS

@@ -217,3 +217,50 @@ class TestHostExecutorSection:
         assert "DMA" not in summary
         exported = json.loads(report.to_json())
         assert exported["executor"]["workers"][1]["index"] == 1
+
+
+class TestServingSection:
+    """The report's serving-broker section (``serving.*`` metrics)."""
+
+    @staticmethod
+    def _registry():
+        metrics = MetricsRegistry()
+        metrics.counter("serving.requests").add(100)
+        metrics.counter("serving.rejected").add(4)
+        metrics.counter("serving.batches").add(10)
+        metrics.counter("serving.rows").add(100)
+        for stage, value in (
+            ("batch_form", 0.001),
+            ("kernel", 0.002),
+            ("e2e", 0.004),
+        ):
+            hist = metrics.histogram(f"serving.{stage}")
+            for _ in range(96):
+                hist.record(value)
+        return metrics
+
+    def test_section_built_from_serving_metrics(self):
+        report = UtilizationReport.from_run(self._registry(), 0.5)
+        sv = report.serving
+        assert sv is not None
+        assert sv.requests == 100 and sv.rejected == 4
+        assert sv.mean_batch_rows == pytest.approx(10.0)
+        stages = {s.stage: s for s in sv.stages}
+        # Only recorded histograms appear, in path order.
+        assert list(stages) == ["batch_form", "kernel", "e2e"]
+        assert stages["e2e"].count == 96
+        assert stages["e2e"].p50_ms == pytest.approx(4.0, rel=0.05)
+
+    def test_absent_without_serving_metrics(self):
+        report = UtilizationReport.from_run(MetricsRegistry(), 0.1)
+        assert report.serving is None
+
+    def test_rendering_and_json_export(self):
+        report = UtilizationReport.from_run(self._registry(), 0.5)
+        text = report.format_text()
+        assert "serving broker:" in text
+        assert "100 requests (4 shed)" in text
+        assert "e2e: p50" in text
+        assert "serving 100 reqs (4 shed)" in report.summary_line()
+        exported = json.loads(report.to_json())
+        assert exported["serving"]["stages"][0]["stage"] == "batch_form"

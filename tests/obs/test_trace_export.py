@@ -199,6 +199,108 @@ class TestMergedTraceHasBothClockDomains:
             assert event["pid"] in (SIM_PID, HOST_PID)
 
 
+class TestFlowEvents:
+    def test_flow_phase_validated(self):
+        builder = ChromeTraceBuilder()
+        with pytest.raises(ReproError, match="flow phase"):
+            builder.add_flow(HOST_PID, "t", "x", 0.0, flow_id=1, phase="q")
+
+    def test_finish_step_terminates_at_the_binding_span(self):
+        builder = ChromeTraceBuilder()
+        builder.add_flow(HOST_PID, "a", "req0", 0.0, flow_id=1, phase="s")
+        builder.add_flow(HOST_PID, "b", "req0", 1.0, flow_id=1, phase="f")
+        start, finish = [
+            e for e in builder.to_dict()["traceEvents"] if e["ph"] in "sf"
+        ]
+        assert start["id"] == finish["id"] == 1
+        assert "bp" not in start
+        assert finish["bp"] == "e"
+
+    def test_async_span_emits_begin_end_pair(self):
+        builder = ChromeTraceBuilder()
+        builder.add_async_span(HOST_PID, "requests", "request 0", 0.0, 0.5,
+                               async_id=0)
+        begin, end = [
+            e for e in builder.to_dict()["traceEvents"] if e["ph"] in "be"
+        ]
+        assert begin["ph"] == "b" and end["ph"] == "e"
+        assert begin["id"] == end["id"]
+        assert end["ts"] > begin["ts"]
+
+    def test_backwards_async_span_rejected(self):
+        builder = ChromeTraceBuilder()
+        with pytest.raises(ReproError, match="ends before it begins"):
+            builder.add_async_span(HOST_PID, "t", "x", 2.0, 1.0, async_id=0)
+
+    def test_write_summary_counts_flows(self, tmp_path):
+        builder = ChromeTraceBuilder()
+        builder.add_span(HOST_PID, "a", "s", 0.0, 1.0, category="host")
+        builder.add_flow(HOST_PID, "a", "req0", 0.5, flow_id=1, phase="s")
+        builder.add_flow(HOST_PID, "a", "req0", 0.7, flow_id=1, phase="f")
+        summary = builder.write(str(tmp_path / "t.json"))
+        assert summary["n_flows"] == 2
+        assert summary["n_spans"] == 1
+
+
+class TestMergedTraceWithRequestFlows:
+    """Satellite check: one merged trace holding simulated-clock spans
+    (pid 1), host-clock spans (pid 2) and request flow arrows whose
+    every step binds inside a span that actually exists."""
+
+    def test_flows_reference_only_existing_spans(self, tmp_path):
+        from repro.experiments.utilization import run_traced_utilization
+        from repro.obs.rtrace import RequestTrace, add_request_flows
+        from repro.obs.trace_export import HostSpanRecorder
+
+        sim = run_traced_utilization(
+            "NIPS10", 1, threads_per_pe=1, samples_per_core=50_000
+        )
+        builder = ChromeTraceBuilder()
+        builder.add_tracer(sim.tracer)
+
+        # Host-clock lane + worker spans, then a request flow whose
+        # stamps land inside them.
+        recorder = HostSpanRecorder(epoch=1000.0)
+        recorder.record("serving lane0", "batch0", 1000.002, 1000.010)
+        recorder.record("executor worker0", "batch0 rows", 1000.004, 1000.009)
+        builder.add_host_spans(recorder.spans)
+
+        trace = RequestTrace(0)
+        trace.stamp("enqueue", 1000.000)
+        trace.stamp("batch_seal", 1000.001)
+        trace.stamp("dispatch", 1000.003)
+        trace.stamp("kernel_start", 1000.005)
+        trace.stamp("kernel_end", 1000.008)
+        trace.stamp("complete", 1000.011)
+        trace.lane = 0
+        trace.worker_track = "executor worker0"
+        assert add_request_flows(
+            builder, [trace], epoch=recorder.epoch
+        ) == 1
+
+        path = tmp_path / "merged.json"
+        summary = builder.write(str(path))
+        assert summary["n_flows"] == 4
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+
+        # Both clock domains present, never sharing a process group.
+        pids = {e["pid"] for e in events if e["ph"] != "M"}
+        assert pids == {SIM_PID, HOST_PID}
+
+        # Every flow step's timestamp lies inside an "X" span on the
+        # same (pid, tid) — Perfetto silently drops dangling arrows.
+        spans = [e for e in events if e["ph"] == "X"]
+        for flow in (e for e in events if e["ph"] in ("s", "t", "f")):
+            assert flow["pid"] == HOST_PID  # request path is host-clock
+            assert any(
+                s["pid"] == flow["pid"]
+                and s["tid"] == flow["tid"]
+                and s["ts"] <= flow["ts"] <= s["ts"] + s["dur"]
+                for s in spans
+            ), f"dangling flow step: {flow}"
+
+
 class TestZeroPerturbation:
     def test_simulated_elapsed_bit_identical_with_export(self, tmp_path):
         from repro.experiments.utilization import run_utilization

@@ -485,3 +485,127 @@ class TestValidationAndObservability:
         assert all(s.label.startswith("batch") for s in spans)
         assert all("4r" in s.label for s in spans)
         assert metrics.gauge("serving.arenas_busy").maximum >= 1
+
+
+class TestRequestTracing:
+    """Per-request stage histograms and sampled trace completion."""
+
+    def test_stage_histograms_weigh_every_answered_request(self):
+        from repro.obs.rtrace import STAGE_HISTOGRAMS
+
+        metrics = MetricsRegistry()
+
+        async def scenario():
+            async with MicroBatchBroker(
+                FakeEngine(), max_batch_rows=4, max_wait_ms=5.0,
+                metrics=metrics,
+            ) as broker:
+                await asyncio.gather(*(broker.submit(row) for row in rows(8)))
+
+        run(scenario())
+        e2e = metrics.histogram("serving.e2e")
+        assert e2e.count == 8
+        for name, _, _ in STAGE_HISTOGRAMS:
+            hist = metrics.histogram(f"serving.{name}")
+            assert hist.count == 8, f"serving.{name} missed requests"
+        # The five stages partition the path: their means sum to the
+        # end-to-end mean (batch-wide stages weigh each request once).
+        stage_mean = sum(
+            metrics.histogram(f"serving.{name}").mean
+            for name, _, _ in STAGE_HISTOGRAMS
+        )
+        assert stage_mean == pytest.approx(e2e.mean, rel=0.05)
+
+    def test_sheds_record_latency_and_mark_traces(self):
+        from repro.obs.rtrace import RequestTraceRecorder
+
+        metrics = MetricsRegistry()
+        rtrace = RequestTraceRecorder(sample_every=1)
+
+        async def scenario():
+            async with MicroBatchBroker(
+                FakeEngine(delay_s=0.1),
+                max_batch_rows=4,
+                max_wait_ms=5.0,
+                max_queue_rows=4,
+                metrics=metrics,
+                rtrace=rtrace,
+            ) as broker:
+                admitted = [
+                    asyncio.ensure_future(broker.submit(row))
+                    for row in rows(4)
+                ]
+                await asyncio.sleep(0.02)
+                with pytest.raises(ServingOverloadError):
+                    await broker.submit(np.zeros(3))
+                await asyncio.gather(*admitted)
+
+        run(scenario())
+        assert metrics.histogram("serving.shed").count == 1
+        shed_traces = [t for t in rtrace.traces if t.shed]
+        assert len(shed_traces) == 1
+        assert shed_traces[0].complete is not None
+
+    def test_sampled_traces_complete_with_lane_and_batch(self):
+        from repro.obs.rtrace import RequestTraceRecorder
+
+        rtrace = RequestTraceRecorder(sample_every=1)
+
+        async def scenario():
+            async with MicroBatchBroker(
+                FakeEngine(), max_batch_rows=4, max_wait_ms=5.0,
+                rtrace=rtrace,
+            ) as broker:
+                await asyncio.gather(*(broker.submit(row) for row in rows(8)))
+
+        run(scenario())
+        completed = rtrace.completed()
+        assert len(completed) == 8
+        for trace in completed:
+            assert trace.lane is not None
+            assert trace.batch_id is not None
+            stages = trace.stage_seconds()
+            assert sum(stages.values()) == pytest.approx(
+                trace.complete - trace.enqueue, abs=1e-9
+            )
+
+    def test_sampling_cadence_respected_under_load(self):
+        from repro.obs.rtrace import RequestTraceRecorder
+
+        rtrace = RequestTraceRecorder(sample_every=4)
+
+        async def scenario():
+            async with MicroBatchBroker(
+                FakeEngine(), max_batch_rows=4, max_wait_ms=5.0,
+                rtrace=rtrace,
+            ) as broker:
+                await asyncio.gather(*(broker.submit(row) for row in rows(16)))
+
+        run(scenario())
+        assert rtrace.seen == 16
+        assert rtrace.sampled == 4
+        assert len(rtrace.completed()) == 4
+
+    def test_results_bit_identical_with_tracing_on_and_off(self):
+        from repro.obs.rtrace import RequestTraceRecorder
+
+        data = rows(8, base=3.0)
+
+        async def scenario(**obs_kwargs):
+            async with MicroBatchBroker(
+                FakeEngine(), max_batch_rows=4, max_wait_ms=5.0, **obs_kwargs
+            ) as broker:
+                return await asyncio.gather(
+                    *(broker.submit(row) for row in data)
+                )
+
+        bare = run(scenario())
+        traced = run(
+            scenario(
+                metrics=MetricsRegistry(),
+                rtrace=RequestTraceRecorder(sample_every=1),
+            )
+        )
+        assert [v.tobytes() for v in np.asarray(bare, dtype=np.float64)] == [
+            v.tobytes() for v in np.asarray(traced, dtype=np.float64)
+        ]

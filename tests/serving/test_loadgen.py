@@ -231,14 +231,19 @@ class TestFormatting:
                 n_sent=9000, n_ok=7000, n_rejected=2000, n_failed=0,
                 goodput_rps=7000.0, p50_ms=20.0, p95_ms=80.0, p99_ms=90.0,
                 mean_batch_rows=400.0, slo_ms=50.0,
+                shed_rate=2000 / 9000, burn_rate=23.4,
             ),
         ]
         table = format_load_results(rows)
         assert "poisson@100" in table and "poisson@9k" in table
         assert "ok" in table and "MISS" in table
-        assert "2000" in table  # the shed column
+        # Shed visibility: the overloaded point shows its shed *rate*
+        # and its SLO burn rate right in the table.
+        assert "22.2%" in table
+        assert "23.40" in table
+        assert "shed%" in table and "burn" in table
         lines = table.splitlines()
-        assert all(len(line) <= 100 for line in lines)
+        assert all(len(line) <= 110 for line in lines)
 
     def test_result_to_dict_round_trips_json_natively(self):
         import json
